@@ -1,0 +1,69 @@
+//! ABL — design-choice ablations (see DESIGN.md):
+//! * ABL-TBL: RIV's direct-mapped table vs the same packed value resolved
+//!   through the fat hashtable;
+//! * ABL-SELF: self-relative (off-holder) vs segment-base-relative vs
+//!   global-base offsets;
+//! * ABL-NULL: cost of off-holder's null/self sentinel checks.
+
+#[path = "common.rs"]
+mod common;
+
+use bench::reprs::{RivHash, SegBasePtr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{BasedPtr, NormalPtr, OffHolder, Riv};
+use std::time::Duration;
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abl/list-traverse");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    macro_rules! go {
+        ($R:ty, $name:expr) => {{
+            let (_alive, l) = common::list::<$R>(1, false);
+            g.bench_function($name, |b| b.iter(|| std::hint::black_box(l.traverse())));
+        }};
+    }
+    // ABL-TBL
+    go!(NormalPtr, "tbl/normal");
+    go!(Riv, "tbl/riv-direct-map");
+    go!(RivHash, "tbl/riv-hashtable");
+    // ABL-SELF
+    go!(OffHolder, "self/off-holder");
+    go!(SegBasePtr, "self/segment-base");
+    go!(BasedPtr, "self/global-base");
+    g.finish();
+
+    // ABL-NULL: decode with sentinels vs raw add.
+    let holders: Vec<u64> = (0..4_000u64).map(|i| 0x1000 + i * 16).collect();
+    let encoded: Vec<OffHolder> = holders
+        .iter()
+        .map(|&h| OffHolder::encode_at(h as usize, (h + 64) as usize))
+        .collect();
+    let mut g = c.benchmark_group("abl/null-sentinels");
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(500));
+    g.bench_function("decode-with-sentinels", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (e, &h) in encoded.iter().zip(&holders) {
+                acc = acc.wrapping_add(e.decode_at(h as usize) as u64);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("raw-add", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (e, &h) in encoded.iter().zip(&holders) {
+                acc = acc.wrapping_add(h.wrapping_add(e.raw_offset() as u64));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

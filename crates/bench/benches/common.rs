@@ -1,0 +1,106 @@
+#![allow(dead_code)] // each bench file uses a subset of these builders
+
+//! Shared builders for the criterion benches.
+//!
+//! Each bench file includes this module via `#[path = "common.rs"]`. The
+//! builders construct one structure instance (with scattered placement,
+//! like the `paper_tables` harness) and return it together with the
+//! regions that keep it alive.
+
+use bench::workloads;
+use nvmsim::Region;
+use pds::{NodeArena, PBst, PHashSet, PList, PTrie};
+use pi_core::PtrRepr;
+use pstore::ObjectStore;
+
+/// Elements per structure in the criterion benches (smaller than the
+/// paper's 10 000 to keep `cargo bench` wall-clock reasonable).
+pub const N: usize = 4_000;
+/// RNG seed.
+pub const SEED: u64 = 42;
+
+/// Regions kept alive for a built structure (closed on drop).
+pub struct Alive {
+    regions: Vec<Region>,
+}
+
+impl Drop for Alive {
+    fn drop(&mut self) {
+        for r in self.regions.drain(..) {
+            let _ = r.close();
+        }
+    }
+}
+
+/// Creates `k` regions (+stores when `tx`) and the matching arena.
+pub fn arena(k: usize, tx: bool) -> (Alive, NodeArena) {
+    let regions: Vec<Region> = (0..k)
+        .map(|_| Region::create(48 << 20).expect("region"))
+        .collect();
+    let arena = if tx {
+        let stores: Vec<ObjectStore> = regions
+            .iter()
+            .map(|r| ObjectStore::format(r).expect("store"))
+            .collect();
+        NodeArena::transactional_round_robin(stores)
+    } else {
+        NodeArena::raw_round_robin(regions.clone())
+    };
+    (Alive { regions }, arena)
+}
+
+/// Builds a scattered list of `N` keys. Installs the based-pointer base.
+pub fn list<R: PtrRepr>(k: usize, tx: bool) -> (Alive, PList<R, 32>) {
+    let (alive, arena) = arena(k, tx);
+    pi_core::based::set_base(arena.home_region().base());
+    let mut l: PList<R, 32> = PList::new(arena).expect("list");
+    l.arena()
+        .scatter(N * 2, std::mem::size_of::<pds::ListNode<R, 32>>(), SEED)
+        .expect("scatter");
+    l.extend(workloads::keys(N, SEED)).expect("populate");
+    (alive, l)
+}
+
+/// Builds a scattered BST of `N` keys.
+pub fn bst<R: PtrRepr>(k: usize, tx: bool) -> (Alive, PBst<R, 32>) {
+    let (alive, arena) = arena(k, tx);
+    pi_core::based::set_base(arena.home_region().base());
+    let mut t: PBst<R, 32> = PBst::new(arena).expect("bst");
+    t.arena()
+        .scatter(N * 2, std::mem::size_of::<pds::BstNode<R, 32>>(), SEED)
+        .expect("scatter");
+    t.extend(workloads::keys(N, SEED)).expect("populate");
+    (alive, t)
+}
+
+/// Builds a scattered hash set of `N` keys.
+pub fn hashset<R: PtrRepr>(k: usize, tx: bool) -> (Alive, PHashSet<R, 32>) {
+    let (alive, arena) = arena(k, tx);
+    pi_core::based::set_base(arena.home_region().base());
+    let mut s: PHashSet<R, 32> = PHashSet::new(arena, (N as u64 / 8).max(8)).expect("hashset");
+    s.arena()
+        .scatter(N * 2, std::mem::size_of::<pds::HsNode<R, 32>>(), SEED)
+        .expect("scatter");
+    s.extend(workloads::keys(N, SEED)).expect("populate");
+    (alive, s)
+}
+
+/// Builds a scattered trie over a vocabulary of `N` words.
+pub fn trie<R: PtrRepr>(k: usize, tx: bool) -> (Alive, PTrie<R, 32>) {
+    let (alive, arena) = arena(k, tx);
+    pi_core::based::set_base(arena.home_region().base());
+    let mut t: PTrie<R, 32> = PTrie::new(arena).expect("trie");
+    t.arena()
+        .scatter(N * 2, std::mem::size_of::<pds::TrieNode<R, 32>>(), SEED)
+        .expect("scatter");
+    let vocab = workloads::vocabulary(N, SEED);
+    t.extend(vocab.iter().map(|s| s.as_str()))
+        .expect("populate");
+    (alive, t)
+}
+
+/// Search keys drawn from the structure's population.
+pub fn search_keys() -> Vec<u64> {
+    let keys = workloads::keys(N, SEED);
+    workloads::search_sample(&keys, 1_000, SEED)
+}

@@ -1,0 +1,59 @@
+//! FIG12 — traversal cost per representation, non-transactional, single
+//! region, 32-byte payload (criterion variant of `paper_tables fig12`).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{BasedPtr, FatPtr, NormalPtr, OffHolder, Riv};
+use std::time::Duration;
+
+macro_rules! traverse_bench {
+    ($group:expr, $builder:ident, $R:ty, $name:expr) => {{
+        let (_alive, s) = common::$builder::<$R>(1, false);
+        $group.bench_function($name, |b| b.iter(|| std::hint::black_box(s.traverse())));
+    }};
+}
+
+fn fig12(c: &mut Criterion) {
+    for structure in ["list", "btree", "hashset", "trie"] {
+        let mut g = c.benchmark_group(format!("fig12/{structure}"));
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(700))
+            .warm_up_time(Duration::from_millis(200));
+        match structure {
+            "list" => {
+                traverse_bench!(g, list, NormalPtr, "normal");
+                traverse_bench!(g, list, OffHolder, "off-holder");
+                traverse_bench!(g, list, Riv, "riv");
+                traverse_bench!(g, list, FatPtr, "fat");
+                traverse_bench!(g, list, BasedPtr, "based");
+            }
+            "btree" => {
+                traverse_bench!(g, bst, NormalPtr, "normal");
+                traverse_bench!(g, bst, OffHolder, "off-holder");
+                traverse_bench!(g, bst, Riv, "riv");
+                traverse_bench!(g, bst, FatPtr, "fat");
+                traverse_bench!(g, bst, BasedPtr, "based");
+            }
+            "hashset" => {
+                traverse_bench!(g, hashset, NormalPtr, "normal");
+                traverse_bench!(g, hashset, OffHolder, "off-holder");
+                traverse_bench!(g, hashset, Riv, "riv");
+                traverse_bench!(g, hashset, FatPtr, "fat");
+                traverse_bench!(g, hashset, BasedPtr, "based");
+            }
+            _ => {
+                traverse_bench!(g, trie, NormalPtr, "normal");
+                traverse_bench!(g, trie, OffHolder, "off-holder");
+                traverse_bench!(g, trie, Riv, "riv");
+                traverse_bench!(g, trie, FatPtr, "fat");
+                traverse_bench!(g, trie, BasedPtr, "based");
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! FIG13 — traversal and random search on transactional (store-wrapped)
+//! structures, single NVRegion (criterion variant).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{BasedPtr, FatPtr, FatPtrCached, NormalPtr, OffHolder, Riv};
+use std::time::Duration;
+
+macro_rules! tx_bench {
+    ($group:expr, $R:ty, $name:expr, $searches:expr) => {{
+        let (_alive, t) = common::bst::<$R>(1, true);
+        $group.bench_function(concat!($name, "/traverse"), |b| {
+            b.iter(|| std::hint::black_box(t.traverse()))
+        });
+        let keys = $searches;
+        $group.bench_function(concat!($name, "/search"), |b| {
+            b.iter(|| std::hint::black_box(keys.iter().filter(|&&k| t.contains(k)).count()))
+        });
+    }};
+}
+
+fn fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13/btree");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    let keys = common::search_keys();
+    tx_bench!(g, NormalPtr, "normal", &keys);
+    tx_bench!(g, FatPtr, "fat", &keys);
+    tx_bench!(g, FatPtrCached, "fat+cache", &keys);
+    tx_bench!(g, Riv, "riv", &keys);
+    tx_bench!(g, OffHolder, "off-holder", &keys);
+    tx_bench!(g, BasedPtr, "based", &keys);
+    g.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! FIG14 — multi-region (10 NVRegions, round-robin placement,
+//! transactional) traversal: the configuration where the fat-pointer cache
+//! collapses while RIV stays cheap (criterion variant).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{FatPtr, FatPtrCached, NormalPtr, Riv};
+use std::time::Duration;
+
+fn fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14/list-10-regions");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    macro_rules! go {
+        ($R:ty, $name:expr) => {{
+            let (_alive, l) = common::list::<$R>(10, true);
+            g.bench_function($name, |b| b.iter(|| std::hint::black_box(l.traverse())));
+        }};
+    }
+    go!(NormalPtr, "normal");
+    go!(FatPtr, "fat");
+    go!(FatPtrCached, "fat+cache");
+    go!(Riv, "riv");
+    g.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! FIG15 — wordcount execution time per representation (criterion
+//! variant, 100k-word input; the paper-scale 1M/2M runs are in
+//! `paper_tables fig15`).
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmsim::Region;
+use pds::{NodeArena, WordCount};
+use pi_core::{BasedPtr, FatPtr, NormalPtr, OffHolder, PtrRepr, Riv};
+use std::time::Duration;
+
+fn run_wordcount<R: PtrRepr>(words: &[&str]) -> u64 {
+    let region = Region::create(32 << 20).expect("region");
+    pi_core::based::set_base(region.base());
+    let mut wc: WordCount<R> = WordCount::new(NodeArena::raw(region.clone())).expect("wc");
+    wc.add_all(words.iter().copied()).expect("count");
+    let d = wc.distinct();
+    region.close().expect("close");
+    d
+}
+
+fn fig15(c: &mut Criterion) {
+    let vocab = workloads::vocabulary(5_000, 42);
+    let stream = workloads::word_stream(100_000, vocab.len(), 42);
+    let words = workloads::words(&vocab, &stream);
+
+    let mut g = c.benchmark_group("fig15/wordcount-100k");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g.bench_function("normal", |b| b.iter(|| run_wordcount::<NormalPtr>(&words)));
+    g.bench_function("based", |b| b.iter(|| run_wordcount::<BasedPtr>(&words)));
+    g.bench_function("off-holder", |b| {
+        b.iter(|| run_wordcount::<OffHolder>(&words))
+    });
+    g.bench_function("riv", |b| b.iter(|| run_wordcount::<Riv>(&words)));
+    g.bench_function("fat", |b| b.iter(|| run_wordcount::<FatPtr>(&words)));
+    g.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

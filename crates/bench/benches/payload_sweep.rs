@@ -1,0 +1,45 @@
+//! PAY256 — payload-size sweep (Section 6.2): pointer overheads shrink as
+//! the payload grows from 32 to 256 bytes.
+
+use bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmsim::Region;
+use pds::{ListNode, NodeArena, PList};
+use pi_core::{NormalPtr, OffHolder, PtrRepr, Riv};
+use std::time::Duration;
+
+fn build<R: PtrRepr, const P: usize>() -> (Region, PList<R, P>) {
+    let region = Region::create(48 << 20).expect("region");
+    let mut l: PList<R, P> = PList::new(NodeArena::raw(region.clone())).expect("list");
+    l.arena()
+        .scatter(8_000, std::mem::size_of::<ListNode<R, P>>(), 42)
+        .expect("scatter");
+    l.extend(workloads::keys(4_000, 42)).expect("populate");
+    (region, l)
+}
+
+fn payload_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload/list-traverse");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+
+    macro_rules! go {
+        ($R:ty, $P:literal, $name:expr) => {{
+            let (region, l) = build::<$R, $P>();
+            g.bench_function($name, |b| b.iter(|| std::hint::black_box(l.traverse())));
+            drop(l);
+            region.close().expect("close");
+        }};
+    }
+    go!(NormalPtr, 32, "normal/32B");
+    go!(Riv, 32, "riv/32B");
+    go!(OffHolder, 32, "off-holder/32B");
+    go!(NormalPtr, 256, "normal/256B");
+    go!(Riv, 256, "riv/256B");
+    go!(OffHolder, 256, "off-holder/256B");
+    g.finish();
+}
+
+criterion_group!(benches, payload_sweep);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! RIVBRK — the three steps of a RIV-based read (Section 6.2 breakdown):
+//! field extraction, ID→base translation, offset add + target read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmsim::{NvSpace, Region};
+use pi_core::Riv;
+use std::time::Duration;
+
+fn riv_breakdown(c: &mut Criterion) {
+    let region = Region::create(32 << 20).expect("region");
+    let n = 4_000;
+    let mut values: Vec<Riv> = Vec::with_capacity(n);
+    for i in 0..n {
+        let cell = region.alloc(8, 8).expect("cell").as_ptr() as *mut u64;
+        unsafe { cell.write(i as u64) };
+        values.push(Riv::p2x(cell as usize));
+    }
+    let space = NvSpace::global();
+    let l3 = space.layout().l3;
+    let mask = (1u64 << l3) - 1;
+
+    let mut g = c.benchmark_group("rivbrk");
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
+    g.bench_function("step1-extract", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in &values {
+                let raw = v.raw() & !(1 << 63);
+                acc = acc.wrapping_add((raw >> l3) ^ (raw & mask));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("step12-id2addr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in &values {
+                let raw = v.raw() & !(1 << 63);
+                let base = space.base_of_rid((raw >> l3) as u32);
+                acc = acc.wrapping_add(base as u64 ^ (raw & mask));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("step123-full-read", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in &values {
+                acc = acc.wrapping_add(unsafe { *(v.x2p() as *const u64) });
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+    region.close().expect("close");
+}
+
+criterion_group!(benches, riv_breakdown);
+criterion_main!(benches);

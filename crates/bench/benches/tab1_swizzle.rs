@@ -1,0 +1,49 @@
+//! TAB1 — swizzling protocol cost (swizzle + k traversals + unswizzle)
+//! versus k plain traversals, k ∈ {1, 10} (criterion variant; the full
+//! k=100 point is in `paper_tables tab1`).
+
+#[path = "common.rs"]
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_core::{NormalPtr, SwizzledPtr};
+use std::time::Duration;
+
+fn tab1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab1/list");
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
+
+    let (_a1, normal) = common::list::<NormalPtr>(1, false);
+    for k in [1usize, 10] {
+        g.bench_function(format!("normal/{k}-traversals"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for _ in 0..k {
+                    sum = sum.wrapping_add(normal.traverse());
+                }
+                std::hint::black_box(sum)
+            })
+        });
+    }
+
+    let (_a2, mut swz) = common::list::<SwizzledPtr>(1, false);
+    for k in [1usize, 10] {
+        g.bench_function(format!("swizzling/{k}-traversals"), |b| {
+            b.iter(|| {
+                swz.swizzle();
+                let mut sum = 0u64;
+                for _ in 0..k {
+                    sum = sum.wrapping_add(swz.traverse());
+                }
+                swz.unswizzle();
+                std::hint::black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tab1);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Regenerates the paper's tables and figures as text tables.
+//!
+//! ```text
+//! paper_tables [EXPERIMENT ...] [--quick] [--markdown] [--n N] [--reps R]
+//!
+//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl all
+//! ```
+
+use bench::{experiments, render, render_markdown, Config, Row};
+use std::env;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|all ...] \
+         [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut cfg = Config::paper();
+    let mut markdown = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut word_sizes: Vec<usize> = vec![1_000_000, 2_000_000];
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg = Config::quick();
+                word_sizes = vec![100_000, 200_000];
+            }
+            "--markdown" => markdown = true,
+            "--n" => {
+                i += 1;
+                cfg.n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.searches = cfg.n;
+            }
+            "--reps" => {
+                i += 1;
+                cfg.reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--words" => {
+                i += 1;
+                word_sizes = args
+                    .get(i)
+                    .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+                    .unwrap_or_else(|| usage());
+            }
+            flag if flag.starts_with('-') => usage(),
+            exp => selected.push(exp.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    let all = selected.iter().any(|s| s == "all");
+    let want = |name: &str| all || selected.iter().any(|s| s == name);
+
+    let mut sections: Vec<(&str, Vec<Row>)> = Vec::new();
+    if want("fig12") {
+        eprintln!("running FIG12 (non-transactional slowdowns, 32 B payload)...");
+        sections.push((
+            "Figure 12 — slowdown, non-transactional, single region",
+            experiments::fig12(&cfg),
+        ));
+    }
+    if want("pay256") {
+        eprintln!("running PAY256 (256 B payload sweep)...");
+        sections.push((
+            "Section 6.2 — 256 B payload sweep",
+            experiments::pay256(&cfg),
+        ));
+    }
+    if want("tab1") {
+        eprintln!("running TAB1 (swizzling overhead vs #traversals)...");
+        sections.push((
+            "Table 1 — swizzling overhead vs number of traversals",
+            experiments::tab1(&cfg),
+        ));
+    }
+    if want("fig13") {
+        eprintln!("running FIG13 (transactional, single region)...");
+        sections.push((
+            "Figure 13 — slowdown, transactional, single NVRegion",
+            experiments::fig13(&cfg),
+        ));
+    }
+    if want("fig14") {
+        eprintln!("running FIG14 (transactional, 10 regions)...");
+        sections.push((
+            "Figure 14 — slowdown, transactional, 10 NVRegions",
+            experiments::fig14(&cfg, 10),
+        ));
+    }
+    if want("regs") {
+        eprintln!("running REGS (2/4/8-region sweep)...");
+        sections.push((
+            "Section 6.3 — region-count sweep",
+            experiments::region_sweep(&cfg),
+        ));
+    }
+    if want("fig15") {
+        eprintln!("running FIG15 (wordcount, {word_sizes:?} words)...");
+        sections.push((
+            "Figure 15 — wordcount execution times",
+            experiments::fig15(&cfg, &word_sizes),
+        ));
+    }
+    if want("rivbrk") {
+        eprintln!("running RIVBRK (RIV read-cost breakdown)...");
+        sections.push((
+            "Section 6.2 — RIV dereference cost breakdown",
+            experiments::riv_breakdown(&cfg),
+        ));
+    }
+    if want("abl") {
+        eprintln!("running ABL (design-choice ablations)...");
+        sections.push(("Ablations (DESIGN.md)", experiments::ablations(&cfg)));
+    }
+    if sections.is_empty() {
+        usage();
+    }
+
+    for (title, rows) in sections {
+        if markdown {
+            println!("\n### {title}\n");
+            print!("{}", render_markdown(&rows));
+        } else {
+            println!("\n=== {title} ===\n");
+            print!("{}", render(&rows));
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Experiment runners — one per table/figure of the paper's evaluation
+//! (see the per-experiment index in `DESIGN.md`).
+//!
+//! Every runner returns [`Row`]s with times and slowdowns normalized to
+//! the normal-(volatile)-pointer implementation of the same workload, the
+//! same normalization the paper uses in Figures 12–14 (Figure 15 and
+//! Table 1 report absolute times and traversal-count-normalized overheads
+//! respectively — those runners follow suit).
+
+use crate::harness::{
+    group_times, structure_times, tab1_point, time_avg, wordcount_time, Config, ReprKind,
+};
+use crate::report::{normalize, Row};
+use crate::workloads;
+use nvmsim::{registry, NvSpace, Region};
+use pi_core::Riv;
+
+/// The four structures of Section 6.1, in the paper's order.
+pub const STRUCTURES: [&str; 4] = ["list", "btree", "hashset", "trie"];
+
+/// FIG12 — slowdowns of the non-transactional implementations, single
+/// region, 32-byte payloads, full traversals.
+pub fn fig12(cfg: &Config) -> Vec<Row> {
+    payload_rows("FIG12", cfg, 32)
+}
+
+/// PAY256 — the Section 6.2 payload sweep: same as FIG12 with 256-byte
+/// payloads.
+pub fn pay256(cfg: &Config) -> Vec<Row> {
+    payload_rows("PAY256", cfg, 256)
+}
+
+fn payload_rows(exp: &'static str, cfg: &Config, payload: usize) -> Vec<Row> {
+    let note = format!("payload={payload}B");
+    let kinds = [
+        ReprKind::Normal,
+        ReprKind::Swizzled,
+        ReprKind::Fat,
+        ReprKind::Riv,
+        ReprKind::OffHolder,
+        ReprKind::Based,
+    ];
+    let mut rows = Vec::new();
+    for s in STRUCTURES {
+        for (kind, t) in group_times(s, &kinds, payload, cfg, 1, false) {
+            rows.push(Row::new(
+                exp,
+                s,
+                "traverse",
+                kind.name(),
+                t.traverse_ns,
+                note.clone(),
+            ));
+        }
+    }
+    normalize(&mut rows, "normal");
+    rows
+}
+
+/// TAB1 — overhead of the swizzling method as the structure is traversed
+/// 1, 10, and 100 times per load/store cycle (32-byte payload,
+/// non-transactional).
+pub fn tab1(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for s in STRUCTURES {
+        for k in [1usize, 10, 100] {
+            // Fewer timed reps for the expensive k=100 protocol.
+            let mut c = *cfg;
+            c.reps = if k >= 100 { cfg.reps.min(3) } else { cfg.reps };
+            let (protocol, base_k) = tab1_point(s, &c, k);
+            let mut row = Row::new(
+                "TAB1",
+                s,
+                format!("{k} traversals"),
+                "swizzling",
+                protocol,
+                "vs k normal traversals",
+            );
+            row.slowdown = Some(protocol / base_k);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// FIG13 — slowdowns of the transactional implementations (PMEM.IO-style
+/// wrapped objects), single region; traversal and random search.
+pub fn fig13(cfg: &Config) -> Vec<Row> {
+    let kinds = [
+        ReprKind::Normal,
+        ReprKind::Fat,
+        ReprKind::FatCached,
+        ReprKind::Riv,
+        ReprKind::OffHolder,
+        ReprKind::Based,
+    ];
+    let mut rows = Vec::new();
+    for s in STRUCTURES {
+        for (kind, t) in group_times(s, &kinds, 32, cfg, 1, true) {
+            rows.push(Row::new(
+                "FIG13",
+                s,
+                "traverse",
+                kind.name(),
+                t.traverse_ns,
+                "tx,1 region",
+            ));
+            rows.push(Row::new(
+                "FIG13",
+                s,
+                "search",
+                kind.name(),
+                t.search_ns,
+                "tx,1 region",
+            ));
+        }
+    }
+    normalize(&mut rows, "normal");
+    rows
+}
+
+/// FIG14 — slowdowns with the structure spread round-robin over `k`
+/// NVRegions (transactional). Off-holder and based pointers are not
+/// applicable cross-region and are omitted, as in the paper.
+pub fn fig14(cfg: &Config, k: usize) -> Vec<Row> {
+    let note = format!("tx,{k} regions");
+    let kinds = [
+        ReprKind::Normal,
+        ReprKind::Fat,
+        ReprKind::FatCached,
+        ReprKind::Riv,
+    ];
+    let mut rows = Vec::new();
+    for s in STRUCTURES {
+        for (kind, t) in group_times(s, &kinds, 32, cfg, k, true) {
+            rows.push(Row::new(
+                "FIG14",
+                s,
+                "traverse",
+                kind.name(),
+                t.traverse_ns,
+                note.clone(),
+            ));
+            rows.push(Row::new(
+                "FIG14",
+                s,
+                "search",
+                kind.name(),
+                t.search_ns,
+                note.clone(),
+            ));
+        }
+    }
+    normalize(&mut rows, "normal");
+    rows
+}
+
+/// REGS — the Section 6.3 sweep over smaller region counts {2, 4, 8}
+/// (traversals only, list and btree, to keep the sweep affordable).
+pub fn region_sweep(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let kinds = [
+        ReprKind::Normal,
+        ReprKind::Fat,
+        ReprKind::FatCached,
+        ReprKind::Riv,
+    ];
+    for k in [2usize, 4, 8] {
+        let note = format!("tx,{k} regions");
+        for s in ["list", "btree"] {
+            for (kind, t) in group_times(s, &kinds, 32, cfg, k, true) {
+                rows.push(Row::new(
+                    "REGS",
+                    s,
+                    "traverse",
+                    kind.name(),
+                    t.traverse_ns,
+                    note.clone(),
+                ));
+            }
+        }
+    }
+    normalize(&mut rows, "normal");
+    rows
+}
+
+/// FIG15 — wordcount execution times for inputs of `sizes` words (the
+/// paper uses 1M and 2M).
+pub fn fig15(cfg: &Config, sizes: &[usize]) -> Vec<Row> {
+    let vocab_size = (sizes.iter().copied().max().unwrap_or(1_000_000) / 20).clamp(1_000, 50_000);
+    let vocab = workloads::vocabulary(vocab_size, cfg.seed);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let stream = workloads::word_stream(n, vocab.len(), cfg.seed);
+        let words = workloads::words(&vocab, &stream);
+        let note = format!("{}M words", n as f64 / 1e6);
+        for kind in [
+            ReprKind::Normal,
+            ReprKind::Based,
+            ReprKind::OffHolder,
+            ReprKind::Riv,
+            ReprKind::Fat,
+            ReprKind::FatCached,
+        ] {
+            let ns = wordcount_time(kind, &words, cfg.reps.min(3));
+            rows.push(Row::new(
+                "FIG15",
+                "wordcount",
+                "run",
+                kind.name(),
+                ns,
+                note.clone(),
+            ));
+        }
+    }
+    normalize(&mut rows, "normal");
+    rows
+}
+
+/// RIVBRK — the Section 6.2 breakdown of a RIV-based read into its three
+/// steps: (1) extract the ID and offset fields, (2) translate the ID to
+/// the region base through the base table, (3) add the offset and read
+/// the target. Returns one row per step with its share of the total in
+/// the note (the paper reports 32% / 23% / 48%).
+pub fn riv_breakdown(cfg: &Config) -> Vec<Row> {
+    let region = Region::create(32 << 20).expect("region");
+    let n = cfg.n.max(1000);
+    // A chain of RIV values, each stored at a random-ish allocation, each
+    // pointing at a u64 cell.
+    let mut values: Vec<Riv> = Vec::with_capacity(n);
+    for i in 0..n {
+        let cell = region.alloc(8, 8).expect("cell").as_ptr() as *mut u64;
+        // SAFETY: freshly allocated cell.
+        unsafe { cell.write(i as u64) };
+        values.push(Riv::p2x(cell as usize));
+    }
+    let space = NvSpace::global();
+    let l3 = space.layout().l3;
+    let mask = (1u64 << l3) - 1;
+    let reps = cfg.reps.max(3) * 10;
+
+    // Step 1 only: field extraction.
+    let t1 = time_avg(
+        || {
+            let mut acc = 0u64;
+            for v in &values {
+                let raw = v.raw() & !(1 << 63);
+                acc = acc.wrapping_add((raw >> l3) ^ (raw & mask));
+            }
+            acc
+        },
+        reps,
+    );
+    // Steps 1+2: extraction + base-table translation.
+    let t12 = time_avg(
+        || {
+            let mut acc = 0u64;
+            for v in &values {
+                let raw = v.raw() & !(1 << 63);
+                let base = space.base_of_rid((raw >> l3) as u32);
+                acc = acc.wrapping_add(base as u64 ^ (raw & mask));
+            }
+            acc
+        },
+        reps,
+    );
+    // Steps 1+2+3: the full dereference (x2p + target read).
+    let t123 = time_avg(
+        || {
+            let mut acc = 0u64;
+            for v in &values {
+                // SAFETY: targets are live u64 cells in the open region.
+                acc = acc.wrapping_add(unsafe { *(v.x2p() as *const u64) });
+            }
+            acc
+        },
+        reps,
+    );
+    region.close().expect("close");
+
+    let step2 = (t12 - t1).max(0.0);
+    let step3 = (t123 - t12).max(0.0);
+    let total = (t1 + step2 + step3).max(1.0);
+    let mut rows = Vec::new();
+    for (name, ns) in [
+        ("1: extract ID+offset", t1),
+        ("2: ID2Addr (base table)", step2),
+        ("3: add offset + read", step3),
+    ] {
+        rows.push(Row::new(
+            "RIVBRK",
+            "riv-read",
+            name,
+            "riv",
+            ns,
+            format!("{:.0}% of read cost", 100.0 * ns / total),
+        ));
+    }
+    rows
+}
+
+/// ABL — ablations of individual design decisions (see `DESIGN.md`):
+/// table design (ABL-TBL), self-relative vs region-relative offsets
+/// (ABL-SELF), cache hit rates vs region count (ABL-CACHE), and the
+/// off-holder sentinel encodings (ABL-NULL).
+pub fn ablations(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // ABL-TBL: same packed format, different translation structure.
+    for (kind, t) in group_times(
+        "list",
+        &[
+            ReprKind::Normal,
+            ReprKind::Riv,
+            ReprKind::RivHash,
+            ReprKind::Fat,
+        ],
+        32,
+        cfg,
+        1,
+        false,
+    ) {
+        rows.push(Row::new(
+            "ABL-TBL",
+            "list",
+            "traverse",
+            kind.name(),
+            t.traverse_ns,
+            "1 region",
+        ));
+    }
+
+    // ABL-SELF: self-relative vs masked-region-base vs global-base offsets.
+    for (kind, t) in group_times(
+        "list",
+        &[
+            ReprKind::Normal,
+            ReprKind::OffHolder,
+            ReprKind::SegBase,
+            ReprKind::Based,
+        ],
+        32,
+        cfg,
+        1,
+        false,
+    ) {
+        rows.push(Row::new(
+            "ABL-SELF",
+            "list",
+            "traverse",
+            kind.name(),
+            t.traverse_ns,
+            "1 region",
+        ));
+    }
+
+    // ABL-CACHE: fat-with-cache hit rate vs number of regions.
+    for k in [1usize, 2, 4, 10] {
+        registry::reset_cache();
+        let was = registry::set_cache_counting(true);
+        let t = structure_times("list", ReprKind::FatCached, 32, cfg, k, false);
+        registry::set_cache_counting(was);
+        let (hits, misses) = registry::cache_stats();
+        let rate = if hits + misses > 0 {
+            100.0 * hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        rows.push(Row::new(
+            "ABL-CACHE",
+            "list",
+            "traverse",
+            "fat+cache",
+            t.traverse_ns,
+            format!("{k} regions, {rate:.1}% cache hits"),
+        ));
+    }
+
+    // ABL-NULL: cost of the null/self sentinel checks in off-holder
+    // decode, vs a raw unconditional add.
+    {
+        use pi_core::OffHolder;
+        let n = cfg.n.max(1000);
+        let holders: Vec<u64> = (0..n as u64).map(|i| 0x1000 + i * 16).collect();
+        let encoded: Vec<OffHolder> = holders
+            .iter()
+            .map(|&h| OffHolder::encode_at(h as usize, (h + 64) as usize))
+            .collect();
+        let reps = cfg.reps * 10;
+        let with_sentinels = time_avg(
+            || {
+                let mut acc = 0u64;
+                for (e, &h) in encoded.iter().zip(&holders) {
+                    acc = acc.wrapping_add(e.decode_at(h as usize) as u64);
+                }
+                acc
+            },
+            reps,
+        );
+        let raw_add = time_avg(
+            || {
+                let mut acc = 0u64;
+                for (e, &h) in encoded.iter().zip(&holders) {
+                    acc = acc.wrapping_add(h.wrapping_add(e.raw_offset() as u64));
+                }
+                acc
+            },
+            reps,
+        );
+        let mut a = Row::new(
+            "ABL-NULL",
+            "decode",
+            "loop",
+            "off-holder (sentinels)",
+            with_sentinels,
+            "",
+        );
+        let b = Row::new("ABL-NULL", "decode", "loop", "raw add", raw_add, "");
+        a.slowdown = Some(with_sentinels / raw_add.max(1.0));
+        rows.push(a);
+        rows.push(b);
+    }
+
+    // ABL-LOG: undo vs redo logging discipline, single-word transactions.
+    {
+        use nvmsim::Region;
+        let region = Region::create(4 << 20).expect("region");
+        let store = pstore::ObjectStore::format(&region).expect("store");
+        let cell = store.alloc(1, 8).expect("cell").as_ptr() as *mut u64;
+        let n = (cfg.n / 10).max(100) as u64;
+        let undo = time_avg(
+            || {
+                for i in 0..n {
+                    // SAFETY: cell is a live store object.
+                    unsafe {
+                        let mut tx = store.begin();
+                        tx.set(cell, i).expect("set");
+                        tx.commit();
+                    }
+                }
+                n
+            },
+            cfg.reps,
+        );
+        let redo_off = region.alloc_off(64 << 10, 16).expect("log area");
+        let redo = pstore::RedoLog::new(region.clone(), redo_off, 64 << 10);
+        redo.format();
+        let redo_ns = time_avg(
+            || {
+                for i in 0..n {
+                    redo.record(cell as usize, &i.to_le_bytes())
+                        .expect("record");
+                    redo.commit();
+                }
+                n
+            },
+            cfg.reps,
+        );
+        let mut a = Row::new("ABL-LOG", "store", format!("{n} tx"), "undo log", undo, "");
+        let mut b = Row::new(
+            "ABL-LOG",
+            "store",
+            format!("{n} tx"),
+            "redo log",
+            redo_ns,
+            "",
+        );
+        a.slowdown = Some(1.0);
+        b.slowdown = Some(redo_ns / undo.max(1.0));
+        rows.push(a);
+        rows.push(b);
+        region.close().expect("close");
+    }
+
+    // Normalize the traversal ablations against normal.
+    normalize(&mut rows, "normal");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            n: 300,
+            reps: 2,
+            seed: 9,
+            searches: 100,
+        }
+    }
+
+    #[test]
+    fn fig12_covers_all_structures_and_reprs() {
+        let rows = fig12(&tiny());
+        assert_eq!(rows.len(), 4 * 6);
+        assert!(rows.iter().all(|r| r.nanos > 0.0));
+        // Baseline rows have slowdown 1.0.
+        for r in rows.iter().filter(|r| r.repr == "normal") {
+            assert!((r.slowdown.unwrap() - 1.0).abs() < 1e-9);
+        }
+        // Every non-baseline row got normalized.
+        assert!(rows.iter().all(|r| r.slowdown.is_some()));
+    }
+
+    #[test]
+    fn tab1_overhead_decreases_with_k() {
+        let rows = tab1(&tiny());
+        assert_eq!(rows.len(), 4 * 3);
+        for s in STRUCTURES {
+            let per: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.structure == s)
+                .map(|r| r.slowdown.unwrap())
+                .collect();
+            assert!(
+                per[0] > per[2],
+                "{s}: swizzle overhead at k=1 ({:.2}) must exceed k=100 ({:.2})",
+                per[0],
+                per[2]
+            );
+        }
+    }
+
+    #[test]
+    fn fig14_omits_intra_region_reprs() {
+        let rows = fig14(&tiny(), 2);
+        assert!(rows
+            .iter()
+            .all(|r| r.repr != "off-holder" && r.repr != "based"));
+        assert!(rows.iter().any(|r| r.repr == "riv"));
+    }
+
+    #[test]
+    fn riv_breakdown_sums_to_about_100_percent() {
+        let rows = riv_breakdown(&tiny());
+        assert_eq!(rows.len(), 3);
+        let pct: f64 = rows
+            .iter()
+            .map(|r| r.note.split('%').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((pct - 100.0).abs() < 2.0, "steps sum to {pct}%");
+    }
+
+    #[test]
+    fn ablation_cache_hit_rate_drops_with_regions() {
+        let rows = ablations(&tiny());
+        let cache_rows: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.experiment == "ABL-CACHE")
+            .collect();
+        assert_eq!(cache_rows.len(), 4);
+        let rate = |r: &Row| -> f64 {
+            r.note
+                .split(", ")
+                .nth(1)
+                .unwrap()
+                .trim_end_matches("% cache hits")
+                .parse()
+                .unwrap()
+        };
+        let single = rate(cache_rows[0]);
+        let ten = rate(cache_rows[3]);
+        assert!(single > 90.0, "single-region hit rate {single}");
+        assert!(ten < 50.0, "10-region hit rate {ten}");
+    }
+}

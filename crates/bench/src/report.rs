@@ -1,0 +1,198 @@
+//! Result rows and table rendering for the experiment runners.
+
+use std::fmt::Write as _;
+
+/// One measured data point of an experiment.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Experiment id (e.g. `FIG12`).
+    pub experiment: &'static str,
+    /// Structure or workload name.
+    pub structure: String,
+    /// Operation (`traverse`, `search`, `run`, ...).
+    pub op: String,
+    /// Representation name.
+    pub repr: String,
+    /// Average nanoseconds for the operation batch.
+    pub nanos: f64,
+    /// Slowdown relative to the normal-pointer baseline (1.0 = parity),
+    /// when a baseline applies.
+    pub slowdown: Option<f64>,
+    /// Free-form annotation (parameters such as payload size or k).
+    pub note: String,
+}
+
+impl Row {
+    /// Creates a row; slowdown is computed later by [`normalize`].
+    pub fn new(
+        experiment: &'static str,
+        structure: impl Into<String>,
+        op: impl Into<String>,
+        repr: impl Into<String>,
+        nanos: f64,
+        note: impl Into<String>,
+    ) -> Row {
+        Row {
+            experiment,
+            structure: structure.into(),
+            op: op.into(),
+            repr: repr.into(),
+            nanos,
+            slowdown: None,
+            note: note.into(),
+        }
+    }
+}
+
+/// Fills in `slowdown` for every row by dividing by the matching
+/// `baseline_repr` row (same experiment, structure, op, note).
+pub fn normalize(rows: &mut [Row], baseline_repr: &str) {
+    let baselines: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.repr == baseline_repr)
+        .map(|r| (group_key(r), r.nanos))
+        .collect();
+    for row in rows.iter_mut() {
+        let key = group_key(row);
+        if let Some((_, base)) = baselines.iter().find(|(k, _)| *k == key) {
+            if *base > 0.0 {
+                row.slowdown = Some(row.nanos / base);
+            }
+        }
+    }
+}
+
+fn group_key(r: &Row) -> String {
+    format!("{}|{}|{}|{}", r.experiment, r.structure, r.op, r.note)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let headers = [
+        "experiment",
+        "structure",
+        "op",
+        "repr",
+        "time",
+        "slowdown",
+        "note",
+    ];
+    let mut cells: Vec<[String; 7]> = Vec::with_capacity(rows.len());
+    for r in rows {
+        cells.push([
+            r.experiment.to_string(),
+            r.structure.clone(),
+            r.op.clone(),
+            r.repr.clone(),
+            fmt_ns(r.nanos),
+            r.slowdown.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            r.note.clone(),
+        ]);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let write_row = |out: &mut String, cols: &[String]| {
+        for (i, c) in cols.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &cells {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Renders rows as a GitHub-flavored markdown table.
+pub fn render_markdown(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("| experiment | structure | op | repr | time | slowdown | note |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            r.experiment,
+            r.structure,
+            r.op,
+            r.repr,
+            fmt_ns(r.nanos),
+            r.slowdown.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            r.note
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Row> {
+        vec![
+            Row::new("T", "list", "traverse", "normal", 100.0, "p=32"),
+            Row::new("T", "list", "traverse", "riv", 125.0, "p=32"),
+            Row::new("T", "btree", "traverse", "normal", 200.0, "p=32"),
+            Row::new("T", "btree", "traverse", "fat", 700.0, "p=32"),
+        ]
+    }
+
+    #[test]
+    fn normalize_computes_ratios_per_group() {
+        let mut rows = sample();
+        normalize(&mut rows, "normal");
+        assert_eq!(rows[0].slowdown, Some(1.0));
+        assert_eq!(rows[1].slowdown, Some(1.25));
+        assert_eq!(rows[3].slowdown, Some(3.5));
+    }
+
+    #[test]
+    fn normalize_leaves_unmatched_rows_none() {
+        let mut rows = vec![Row::new("T", "list", "traverse", "riv", 10.0, "")];
+        normalize(&mut rows, "normal");
+        assert_eq!(rows[0].slowdown, None);
+    }
+
+    #[test]
+    fn render_contains_all_reprs() {
+        let mut rows = sample();
+        normalize(&mut rows, "normal");
+        let s = render(&rows);
+        assert!(s.contains("riv") && s.contains("fat") && s.contains("3.50x"));
+        let md = render_markdown(&rows);
+        assert!(md.starts_with("| experiment"));
+        assert!(md.contains("| 3.50x |"));
+    }
+
+    #[test]
+    fn time_units_format_sensibly() {
+        assert_eq!(super::fmt_ns(500.0), "500 ns");
+        assert_eq!(super::fmt_ns(1500.0), "1.50 us");
+        assert_eq!(super::fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(super::fmt_ns(3_200_000_000.0), "3.200 s");
+    }
+}

@@ -1,0 +1,145 @@
+//! Ablation pointer representations.
+//!
+//! These isolate individual design decisions of the paper's proposals:
+//!
+//! * [`RivHash`] — a RIV-format value (packed `rid | offset`) resolved
+//!   through the *fat-pointer hashtable* instead of the direct-mapped base
+//!   table. Comparing it against `Riv` isolates the contribution of the
+//!   paper's table design from the packed single-word format (ABL-TBL).
+//! * [`SegBasePtr`] — a region-base-relative offset decoded by masking the
+//!   holder's own address (`getBase`), i.e. "offset from the starting
+//!   address of the NVRegion" without a global base variable. Comparing it
+//!   against `OffHolder` tests the paper's Section 4.2 claim that
+//!   self-relative offsets cost no more than region-relative ones
+//!   (ABL-SELF).
+
+use nvmsim::{registry, NvSpace};
+use pi_core::PtrRepr;
+
+/// RIV-format value resolved through the fat-pointer hashtable (ABL-TBL).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct RivHash(u64);
+
+const FLAG: u64 = 1 << 63;
+
+// SAFETY: same encoding as Riv; decoding goes through the registry
+// hashtable, which maps rid -> base for every open region.
+unsafe impl PtrRepr for RivHash {
+    const NAME: &'static str = "riv-hashtable";
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn store(&mut self, target: usize) {
+        if target == 0 {
+            self.0 = 0;
+            return;
+        }
+        let space = NvSpace::global();
+        let rid = space.rid_of_addr(target) as u64;
+        let off = (target & space.layout().offset_mask()) as u64;
+        self.0 = FLAG | (rid << space.layout().l3) | off;
+    }
+
+    #[inline]
+    fn load(&self) -> usize {
+        if self.0 == 0 {
+            return 0;
+        }
+        let l3 = NvSpace::global().layout().l3;
+        let rid = ((self.0 & !FLAG) >> l3) as u32;
+        let off = (self.0 & ((1u64 << l3) - 1)) as usize;
+        registry::fat_lookup(rid).expect("riv-hashtable pointer to a closed region") + off
+    }
+}
+
+/// Region-base-relative offset, base recovered by masking the holder's
+/// address (ABL-SELF). Intra-region only, like off-holder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct SegBasePtr(u64);
+
+// SAFETY: offset+1 encoding relative to the holder's segment base, which
+// equals the target's segment base for intra-region references.
+unsafe impl PtrRepr for SegBasePtr {
+    const NAME: &'static str = "segment-base";
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn store(&mut self, target: usize) {
+        if target == 0 {
+            self.0 = 0;
+            return;
+        }
+        let base = NvSpace::global().base_of_addr(target);
+        debug_assert_eq!(
+            base,
+            NvSpace::global().base_of_addr(self as *const _ as usize),
+            "segment-base pointers are intra-region"
+        );
+        self.0 = (target - base) as u64 + 1;
+    }
+
+    #[inline]
+    fn load(&self) -> usize {
+        if self.0 == 0 {
+            return 0;
+        }
+        let base = NvSpace::global().base_of_addr(self as *const _ as usize);
+        base + (self.0 - 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+
+    #[test]
+    fn riv_hash_roundtrips() {
+        let r = Region::create(1 << 20).unwrap();
+        let slot = r.alloc(8, 8).unwrap().as_ptr() as *mut RivHash;
+        let t = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        unsafe {
+            (*slot).store(t);
+            assert_eq!((*slot).load(), t);
+            (*slot).store(0);
+            assert!((*slot).is_null());
+        }
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn riv_hash_crosses_regions() {
+        let r1 = Region::create(1 << 20).unwrap();
+        let r2 = Region::create(1 << 20).unwrap();
+        let slot = r1.alloc(8, 8).unwrap().as_ptr() as *mut RivHash;
+        let t = r2.alloc(64, 8).unwrap().as_ptr() as usize;
+        unsafe {
+            (*slot).store(t);
+            assert_eq!((*slot).load(), t);
+        }
+        r1.close().unwrap();
+        r2.close().unwrap();
+    }
+
+    #[test]
+    fn seg_base_roundtrips() {
+        let r = Region::create(1 << 20).unwrap();
+        let slot = r.alloc(8, 8).unwrap().as_ptr() as *mut SegBasePtr;
+        let t = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        unsafe {
+            (*slot).store(t);
+            assert_eq!((*slot).load(), t);
+        }
+        r.close().unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! The **based pointer** baseline (paper Section 5, "Based Pointer").
+//!
+//! A based pointer stores only the offset of its target relative to a
+//! *base variable* — here a process global, mirroring how MSVC `__based`
+//! pointers typically share one global base per memory region. Decoding is
+//! a single add with the base essentially register-resident, which is why
+//! the paper measures based pointers as the fastest representation.
+//!
+//! The usability costs the paper documents are reproduced structurally:
+//! the base is **not** part of the value, so
+//!
+//! * all based pointers in a process resolve against the *same* base — no
+//!   cross-region data structures ([`crate::Riv`] has no such limit);
+//! * callers must install the right base ([`set_base`]) before touching a
+//!   structure, the moral equivalent of passing bases alongside pointers
+//!   in the paper's Figure 11.
+
+use crate::repr::PtrRepr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static BASE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs the process-global base address used by every [`BasedPtr`].
+/// Returns the previous base. Typically called right after opening the
+/// region the based structure lives in, with [`nvmsim::Region::base`].
+pub fn set_base(base: usize) -> usize {
+    BASE.swap(base, Ordering::Relaxed)
+}
+
+/// The currently installed base address.
+pub fn base() -> usize {
+    BASE.load(Ordering::Relaxed)
+}
+
+/// Offset-from-global-base pointer. See the module docs.
+///
+/// Encoding: the stored value is `target - base + 1`, with 0 reserved for
+/// null (offset 0 — the region header — is never a legal target, but the
+/// +1 bias keeps the null encoding independent of that detail).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct BasedPtr(u64);
+
+impl BasedPtr {
+    /// The stored biased offset (diagnostics/tests).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+// SAFETY: load(store(t)) == t as long as the global base is unchanged
+// between the two (the representation's documented contract); Default is
+// 0 = null.
+unsafe impl PtrRepr for BasedPtr {
+    const NAME: &'static str = "based";
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn store(&mut self, target: usize) {
+        self.0 = if target == 0 {
+            0
+        } else {
+            let base = BASE.load(Ordering::Relaxed);
+            debug_assert!(target >= base, "target below the installed base");
+            (target - base) as u64 + 1
+        };
+    }
+
+    #[inline]
+    fn load(&self) -> usize {
+        if self.0 == 0 {
+            0
+        } else {
+            BASE.load(Ordering::Relaxed) + (self.0 - 1) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    // The based-pointer base is process-global; serialize tests that move it.
+    static BASE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn roundtrip_against_installed_base() {
+        let _g = BASE_LOCK.lock();
+        let prev = set_base(0x10_0000);
+        let mut p = BasedPtr::default();
+        assert!(p.is_null());
+        p.store(0x10_0040);
+        assert_eq!(p.raw(), 0x41);
+        assert_eq!(p.load(), 0x10_0040);
+        p.store(0);
+        assert!(p.is_null());
+        set_base(prev);
+    }
+
+    #[test]
+    fn rebasing_relocates_all_targets() {
+        let _g = BASE_LOCK.lock();
+        let prev = set_base(0x10_0000);
+        let mut p = BasedPtr::default();
+        p.store(0x10_1000);
+        // "Remap" the region 0x5000 higher: the same stored offset now
+        // resolves relative to the new base — position independence.
+        set_base(0x10_5000);
+        assert_eq!(p.load(), 0x10_6000);
+        set_base(prev);
+    }
+
+    #[test]
+    fn base_offset_zero_is_distinguishable_from_null() {
+        let _g = BASE_LOCK.lock();
+        let prev = set_base(0x20_0000);
+        let mut p = BasedPtr::default();
+        p.store(0x20_0000); // target == base, offset 0
+        assert!(!p.is_null());
+        assert_eq!(p.load(), 0x20_0000);
+        set_base(prev);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn word_sized() {
+        assert_eq!(BasedPtr::SIZE_BYTES, 8);
+        assert!(BasedPtr::POSITION_INDEPENDENT);
+    }
+}

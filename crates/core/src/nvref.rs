@@ -1,0 +1,159 @@
+//! The volatile-side `persistent` modifier (paper Section 4.4).
+//!
+//! "There could be some extra modifiers for volatile pointers ... there is
+//! a type modifier `persistent` for a volatile pointer to distinguish
+//! volatile pointers that point to volatile memory locations and those
+//! pointing to persistent memory locations. ... Because these pointers
+//! themselves are not persistent ... they store absolute addresses,
+//! needing no position independence support."
+//!
+//! [`NvRef`] is that modifier: a plain absolute pointer that is *known*
+//! (checked at construction) to point into an open NVRegion. Code holding
+//! an `NvRef` can skip the "runtime checks (of the initial bits of an
+//! address)" the paper mentions, and persistence machinery (logging,
+//! flushing) can be applied unconditionally.
+
+use nvmsim::NvSpace;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Whether `addr` currently points into an open NVRegion — the runtime
+/// check the paper says is needed when the type system does not mark
+/// persistent-pointing volatile pointers.
+pub fn is_persistent(addr: usize) -> bool {
+    NvSpace::global().try_rid_of_addr(addr).is_some()
+}
+
+/// A volatile pointer statically marked as pointing into persistent
+/// memory (the paper's `persistent` modifier for volatile pointers).
+///
+/// Holds an absolute address; it is created for one session and must not
+/// be persisted (persist [`crate::OffHolder`] / [`crate::Riv`] values
+/// instead).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NvRef<T> {
+    ptr: *mut T,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> fmt::Debug for NvRef<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NvRef({:#x} in region {})",
+            self.ptr as usize,
+            self.rid()
+        )
+    }
+}
+
+impl<T> NvRef<T> {
+    /// Wraps `ptr` after verifying it points into an open NVRegion.
+    ///
+    /// Returns `None` for null pointers and for addresses outside every
+    /// open region (e.g. ordinary heap or stack addresses).
+    pub fn new(ptr: *mut T) -> Option<NvRef<T>> {
+        if ptr.is_null() || !is_persistent(ptr as usize) {
+            return None;
+        }
+        Some(NvRef {
+            ptr,
+            _marker: PhantomData,
+        })
+    }
+
+    /// The raw pointer.
+    pub fn as_ptr(&self) -> *mut T {
+        self.ptr
+    }
+
+    /// The ID of the region the target lives in (as of construction).
+    pub fn rid(&self) -> u32 {
+        NvSpace::global()
+            .try_rid_of_addr(self.ptr as usize)
+            .unwrap_or(0)
+    }
+
+    /// Borrows the target.
+    ///
+    /// # Safety
+    ///
+    /// The target must be a live, initialized `T`, its region still open,
+    /// with no concurrent mutable access.
+    pub unsafe fn as_ref(&self) -> &T {
+        &*self.ptr
+    }
+
+    /// Mutably borrows the target.
+    ///
+    /// # Safety
+    ///
+    /// As [`NvRef::as_ref`], plus exclusivity of the returned borrow.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut(&self) -> &mut T {
+        &mut *self.ptr
+    }
+
+    /// Converts to a position-independent RIV value for persisting.
+    pub fn to_riv(&self) -> crate::Riv {
+        crate::Riv::p2x(self.ptr as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+
+    #[test]
+    fn accepts_region_addresses_and_rejects_others() {
+        let region = Region::create(1 << 20).unwrap();
+        let p = region.alloc(8, 8).unwrap().as_ptr() as *mut u64;
+        let r = NvRef::new(p).expect("region address accepted");
+        assert_eq!(r.as_ptr(), p);
+        assert_eq!(r.rid(), region.rid());
+        assert!(is_persistent(p as usize));
+
+        let mut local = 7u64;
+        assert!(
+            NvRef::new(&mut local as *mut u64).is_none(),
+            "stack address rejected"
+        );
+        assert!(!is_persistent(&local as *const u64 as usize));
+        assert!(
+            NvRef::new(std::ptr::null_mut::<u64>()).is_none(),
+            "null rejected"
+        );
+
+        let heap = Box::into_raw(Box::new(9u64));
+        assert!(NvRef::new(heap).is_none(), "heap address rejected");
+        // SAFETY: reclaiming the box allocated above.
+        drop(unsafe { Box::from_raw(heap) });
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn reads_writes_and_riv_conversion() {
+        let region = Region::create(1 << 20).unwrap();
+        let p = region.alloc(8, 8).unwrap().as_ptr() as *mut u64;
+        let r = NvRef::new(p).unwrap();
+        unsafe {
+            *r.as_mut() = 31337;
+            assert_eq!(*r.as_ref(), 31337);
+        }
+        let x = r.to_riv();
+        assert_eq!(x.x2p(), p as usize);
+        assert!(!format!("{r:?}").is_empty());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn closed_region_addresses_stop_being_persistent() {
+        let region = Region::create(1 << 20).unwrap();
+        let p = region.alloc(8, 8).unwrap().as_ptr() as *mut u64;
+        assert!(is_persistent(p as usize));
+        region.close().unwrap();
+        assert!(!is_persistent(p as usize));
+        assert!(NvRef::new(p).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! The **off-holder** representation (paper Section 4.2).
+//!
+//! An off-holder stores the difference between the target's address and the
+//! *pointer's own address* (its "holder"). Decoding adds the pointer's own
+//! address back — which is free, because to dereference a pointer the
+//! pointer itself must have been located already.
+//!
+//! Because both the holder and the target live in the same NVRegion, the
+//! difference is invariant under remapping the region anywhere: off-holder
+//! is position independent with **zero** space overhead and near-zero time
+//! overhead. Its one restriction is that it cannot express cross-region
+//! references — the offset between two *different* regions changes from
+//! run to run ([`crate::Riv`] covers that case).
+//!
+//! # Encoding
+//!
+//! Stored as a signed 64-bit offset, with two reserved values borrowed from
+//! the classic `offset_ptr` trick:
+//!
+//! * `0` — null;
+//! * `1` — the pointer targets *itself* (a genuine offset of 1 cannot occur
+//!   because allocations are at least 8-byte aligned).
+
+use crate::repr::PtrRepr;
+
+/// Self-relative intra-region pointer. See the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct OffHolder(i64);
+
+/// Sentinel encoding for a pointer that targets its own address.
+const SELF_SENTINEL: i64 = 1;
+
+impl OffHolder {
+    /// The raw stored offset (for diagnostics and tests).
+    pub fn raw_offset(&self) -> i64 {
+        self.0
+    }
+
+    /// Encodes `target` relative to an explicit holder address. This is the
+    /// conversion the compiler would emit for the paper's `i = p` rule when
+    /// the holder is not addressable as `&self` (e.g. during swizzle-style
+    /// bulk fixups).
+    #[inline]
+    pub fn encode_at(holder: usize, target: usize) -> OffHolder {
+        if target == 0 {
+            return OffHolder(0);
+        }
+        if target == holder {
+            return OffHolder(SELF_SENTINEL);
+        }
+        let off = target.wrapping_sub(holder) as i64;
+        debug_assert!(off != 0 && off != SELF_SENTINEL);
+        OffHolder(off)
+    }
+
+    /// If `R` is `OffHolder`, encodes `target` against an explicit holder
+    /// address and returns the raw bits; `None` for other representations.
+    /// Used by [`crate::atomic::AtomicPPtr`], whose encode/decode must use
+    /// the atomic slot's own address for self-relative representations.
+    #[doc(hidden)]
+    #[inline]
+    pub fn try_reencode<R: 'static>(holder: usize, target: usize) -> Option<u64> {
+        if std::any::TypeId::of::<R>() == std::any::TypeId::of::<OffHolder>() {
+            Some(OffHolder::encode_at(holder, target).0 as u64)
+        } else {
+            None
+        }
+    }
+
+    /// If `R` is `OffHolder`, decodes `r`'s bits against an explicit
+    /// holder address; `None` for other representations. See
+    /// [`OffHolder::try_reencode`].
+    #[doc(hidden)]
+    #[inline]
+    pub fn try_redecode<R: crate::PtrRepr>(holder: usize, r: &R) -> Option<usize> {
+        if std::any::TypeId::of::<R>() == std::any::TypeId::of::<OffHolder>() {
+            // SAFETY: R is OffHolder (just checked) and both are 8-byte
+            // plain data.
+            let oh: OffHolder = unsafe { std::mem::transmute_copy(r) };
+            Some(oh.decode_at(holder))
+        } else {
+            None
+        }
+    }
+
+    /// Decodes against an explicit holder address (`p = i`:
+    /// `$$ .val = S1.val + S1.addr`).
+    #[inline]
+    pub fn decode_at(&self, holder: usize) -> usize {
+        match self.0 {
+            0 => 0,
+            SELF_SENTINEL => holder,
+            off => holder.wrapping_add(off as usize),
+        }
+    }
+}
+
+// SAFETY: decode(encode(t)) == t for any holder (see tests, incl. the two
+// sentinels); Default is 0 = null; repr(transparent) over i64.
+unsafe impl PtrRepr for OffHolder {
+    const NAME: &'static str = "off-holder";
+
+    #[inline]
+    fn is_null(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    fn store(&mut self, target: usize) {
+        *self = Self::encode_at(self as *const _ as usize, target);
+    }
+
+    #[inline]
+    fn load(&self) -> usize {
+        self.decode_at(self as *const _ as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_forward_and_backward_targets() {
+        // Holder in the middle, targets on both sides.
+        let mut slots = [OffHolder::default(); 3];
+        let t0 = &slots[0] as *const _ as usize;
+        let t2 = &slots[2] as *const _ as usize;
+        slots[1].store(t2);
+        assert_eq!(slots[1].load(), t2, "forward offset");
+        slots[1].store(t0);
+        assert_eq!(slots[1].load(), t0, "backward (negative) offset");
+    }
+
+    #[test]
+    fn null_roundtrips() {
+        let mut p = OffHolder::default();
+        assert!(p.is_null());
+        let addr = &p as *const _ as usize;
+        p.store(addr + 64);
+        assert!(!p.is_null());
+        p.store(0);
+        assert!(p.is_null());
+        assert_eq!(p.load(), 0);
+    }
+
+    #[test]
+    fn self_target_uses_sentinel() {
+        let mut p = OffHolder::default();
+        let addr = &p as *const _ as usize;
+        p.store(addr);
+        assert_eq!(p.raw_offset(), 1, "boost offset_ptr self-sentinel");
+        assert!(!p.is_null());
+        assert_eq!(p.load(), addr);
+    }
+
+    #[test]
+    fn representation_survives_moving_holder_and_target_together() {
+        // The position-independence property: copy a block containing both
+        // the holder and its target somewhere else; the offset still works.
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct Block {
+            ptr: OffHolder,
+            pad: [u64; 7],
+            value: u64,
+        }
+        let mut a = Box::new(Block {
+            ptr: OffHolder::default(),
+            pad: [0; 7],
+            value: 42,
+        });
+        let target = &a.value as *const _ as usize;
+        a.ptr.store(target);
+
+        let b = Box::new(*a); // bitwise copy at a different address
+        assert_ne!(&b.ptr as *const _ as usize, &a.ptr as *const _ as usize);
+        let resolved = b.ptr.load();
+        assert_eq!(resolved, &b.value as *const _ as usize);
+        assert_eq!(unsafe { *(resolved as *const u64) }, 42);
+    }
+
+    #[test]
+    fn encode_decode_at_match_in_place_operations() {
+        let mut p = OffHolder::default();
+        let holder = &p as *const _ as usize;
+        p.store(holder + 4096);
+        let q = OffHolder::encode_at(holder, holder + 4096);
+        assert_eq!(p, q);
+        assert_eq!(q.decode_at(holder), holder + 4096);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn zero_space_overhead() {
+        assert_eq!(OffHolder::SIZE_BYTES, 8);
+        assert_eq!(
+            std::mem::size_of::<OffHolder>(),
+            std::mem::size_of::<*mut u8>()
+        );
+        assert!(OffHolder::POSITION_INDEPENDENT);
+    }
+}

@@ -1,0 +1,178 @@
+//! Typed persistent pointers.
+//!
+//! [`PPtr<T, R>`] wraps a raw representation `R` with a target type `T`,
+//! giving persistent pointers the ergonomics the paper's `persistentI` /
+//! `persistentX` type extensions give C: assignments and dereferences look
+//! like ordinary pointer code, and the compiler (here: the generic
+//! instantiation) injects the representation-specific conversions.
+//!
+//! The crate also exports the paper's names:
+//!
+//! * [`PersistentI<T>`] — intra-region typed pointer (off-holder);
+//! * [`PersistentX<T>`] — cross-region typed pointer (RIV).
+
+use crate::off_holder::OffHolder;
+use crate::repr::PtrRepr;
+use crate::riv::Riv;
+use std::marker::PhantomData;
+
+/// A typed persistent pointer slot, stored in persistent memory.
+///
+/// Like the raw representations, a `PPtr` must be used **in place**: its
+/// encoding may depend on its own address (off-holder). It is therefore
+/// deliberately *not* `Copy`/`Clone` — moving the value through volatile
+/// memory must go through an explicit conversion (see [`crate::semantics`]),
+/// mirroring the paper's Figure 8 assignment rules.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nvmsim::NvError> {
+/// use nvmsim::Region;
+/// use pi_core::{PPtr, Riv};
+///
+/// let region = Region::create(1 << 20)?;
+/// let value = region.alloc(8, 8)?.as_ptr() as *mut u64;
+/// let slot = region.alloc(16, 8)?.as_ptr() as *mut PPtr<u64, Riv>;
+/// unsafe {
+///     value.write(7);
+///     (*slot).init();
+///     (*slot).set(value);
+///     assert_eq!(*(*slot).get(), 7);
+/// }
+/// region.close()?;
+/// # Ok(())
+/// # }
+/// ```
+#[repr(transparent)]
+#[derive(Debug)]
+pub struct PPtr<T, R: PtrRepr> {
+    repr: R,
+    _target: PhantomData<*mut T>,
+}
+
+/// The paper's `persistentI` type: a typed intra-region pointer
+/// materialized with the off-holder representation.
+pub type PersistentI<T> = PPtr<T, OffHolder>;
+
+/// The paper's `persistentX` type: a typed (possibly cross-region) pointer
+/// materialized with the RIV representation.
+pub type PersistentX<T> = PPtr<T, Riv>;
+
+impl<T, R: PtrRepr> PPtr<T, R> {
+    /// A null pointer value, for initializing slots that live on the
+    /// volatile stack before being written into a region. Slots already in
+    /// persistent memory can use [`PPtr::init`] in place.
+    pub fn null() -> PPtr<T, R> {
+        PPtr {
+            repr: R::null(),
+            _target: PhantomData,
+        }
+    }
+
+    /// Resets this slot to null in place.
+    pub fn init(&mut self) {
+        self.repr = R::null();
+    }
+
+    /// Whether the pointer is null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.repr.is_null()
+    }
+
+    /// Stores `target` into the slot (a typed `store`).
+    #[inline]
+    pub fn set(&mut self, target: *mut T) {
+        self.repr.store(target as usize);
+    }
+
+    /// Loads the target as a raw pointer (null if the slot is null).
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.repr.load() as *mut T
+    }
+
+    /// Borrows the target immutably.
+    ///
+    /// # Safety
+    ///
+    /// The target must be a live, initialized `T` in an open region, with
+    /// no concurrent mutable access.
+    #[inline]
+    pub unsafe fn as_ref(&self) -> Option<&T> {
+        (self.repr.load() as *const T).as_ref()
+    }
+
+    /// Borrows the target mutably.
+    ///
+    /// # Safety
+    ///
+    /// As [`PPtr::as_ref`], plus exclusivity of the returned borrow.
+    #[inline]
+    pub unsafe fn as_mut(&mut self) -> Option<&mut T> {
+        (self.repr.load() as *mut T).as_mut()
+    }
+
+    /// Accesses the raw representation (for conversions and walkers).
+    pub fn repr(&self) -> &R {
+        &self.repr
+    }
+
+    /// Mutably accesses the raw representation.
+    pub fn repr_mut(&mut self) -> &mut R {
+        &mut self.repr
+    }
+}
+
+impl<T, R: PtrRepr> Default for PPtr<T, R> {
+    fn default() -> Self {
+        PPtr::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::NormalPtr;
+    use nvmsim::Region;
+
+    #[test]
+    fn typed_roundtrip_with_each_single_word_repr() {
+        fn check<R: PtrRepr>() {
+            let r = Region::create(1 << 20).unwrap();
+            let v = r.alloc(8, 8).unwrap().as_ptr() as *mut u64;
+            let slot = r.alloc(16, 8).unwrap().as_ptr() as *mut PPtr<u64, R>;
+            unsafe {
+                v.write(1234);
+                (*slot).init();
+                assert!((*slot).is_null());
+                assert_eq!((*slot).get(), std::ptr::null_mut());
+                (*slot).set(v);
+                assert_eq!((*slot).get(), v);
+                assert_eq!(*(*slot).as_ref().unwrap(), 1234);
+                *(*slot).as_mut().unwrap() = 5678;
+                assert_eq!(v.read(), 5678);
+            }
+            r.close().unwrap();
+        }
+        check::<NormalPtr>();
+        check::<OffHolder>();
+        check::<Riv>();
+        check::<crate::fat::FatPtr>();
+    }
+
+    #[test]
+    fn pptr_is_repr_transparent_over_its_repr() {
+        assert_eq!(std::mem::size_of::<PPtr<u64, Riv>>(), 8);
+        assert_eq!(std::mem::size_of::<PPtr<u64, crate::fat::FatPtr>>(), 16);
+    }
+
+    #[test]
+    fn null_as_ref_is_none() {
+        let p: PPtr<u64, Riv> = PPtr::null();
+        assert!(unsafe { p.as_ref() }.is_none());
+        let p: PPtr<u64, Riv> = Default::default();
+        assert!(p.is_null());
+    }
+}

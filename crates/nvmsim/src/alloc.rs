@@ -1,0 +1,463 @@
+//! Intra-region persistent-memory allocator.
+//!
+//! Every piece of allocator state lives *inside the region it manages* and
+//! is expressed in **offsets from the region base**, never absolute
+//! addresses. A region image is therefore position independent by
+//! construction: it can be written to a file, reopened at any segment base,
+//! and the allocator resumes exactly where it left off.
+//!
+//! The design is a conventional segregated-fit allocator:
+//!
+//! * sizes up to [`MAX_CLASS_SIZE`] round up to one of [`CLASS_SIZES`] and
+//!   are served LIFO from per-class free lists (offset-linked);
+//! * larger sizes are served first-fit from a single large-block list, or
+//!   carved from the bump frontier;
+//! * the bump frontier is the fallback for empty free lists.
+//!
+//! Free-list links are stored in the first 8 bytes of each free block;
+//! large free blocks additionally store their size in the next 8 bytes.
+
+use crate::error::{NvError, Result};
+
+/// Allocation size classes in bytes. All are multiples of [`MIN_ALIGN`].
+pub const CLASS_SIZES: [usize; 16] = [
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096,
+];
+
+/// Largest size served by a class free list.
+pub const MAX_CLASS_SIZE: usize = 4096;
+
+/// Alignment of every allocation. Callers may not request more.
+pub const MIN_ALIGN: usize = 16;
+
+const NUM_CLASSES: usize = CLASS_SIZES.len();
+
+/// Returns the class index for `size`, or `None` for large sizes.
+pub fn class_for(size: usize) -> Option<usize> {
+    if size > MAX_CLASS_SIZE {
+        return None;
+    }
+    // Linear scan: 16 entries, branch-predictable, called on alloc/free only.
+    Some(
+        CLASS_SIZES
+            .iter()
+            .position(|&c| c >= size)
+            .expect("MAX_CLASS_SIZE is last"),
+    )
+}
+
+/// Point-in-time allocator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes handed out and not yet freed (rounded sizes).
+    pub live_bytes: u64,
+    /// Number of live allocations.
+    pub live_allocs: u64,
+    /// Total `alloc` calls over the region's lifetime.
+    pub alloc_calls: u64,
+    /// Total `dealloc` calls over the region's lifetime.
+    pub free_calls: u64,
+    /// Offset of the bump frontier.
+    pub bump: u64,
+    /// End offset of the allocatable area.
+    pub end: u64,
+}
+
+/// Allocator metadata embedded in a region header.
+///
+/// All fields are offsets or counters; the struct is `repr(C)` so the
+/// on-media layout is stable.
+#[repr(C)]
+#[derive(Debug)]
+pub struct AllocHeader {
+    bump: u64,
+    end: u64,
+    free_heads: [u64; NUM_CLASSES],
+    large_head: u64,
+    live_bytes: u64,
+    live_allocs: u64,
+    alloc_calls: u64,
+    free_calls: u64,
+}
+
+impl AllocHeader {
+    /// Initializes the allocator to manage `[data_start, end)` offsets.
+    pub fn init(&mut self, data_start: u64, end: u64) {
+        debug_assert!(data_start.is_multiple_of(MIN_ALIGN as u64));
+        debug_assert!(data_start <= end);
+        self.bump = data_start;
+        self.end = end;
+        self.free_heads = [0; NUM_CLASSES];
+        self.large_head = 0;
+        self.live_bytes = 0;
+        self.live_allocs = 0;
+        self.alloc_calls = 0;
+        self.free_calls = 0;
+    }
+
+    /// Rounds a request up to its served size.
+    pub fn rounded_size(size: usize) -> usize {
+        let size = size.max(MIN_ALIGN);
+        match class_for(size) {
+            Some(c) => CLASS_SIZES[c],
+            None => (size + MIN_ALIGN - 1) & !(MIN_ALIGN - 1),
+        }
+    }
+
+    #[inline]
+    unsafe fn read_u64(base: usize, off: u64) -> u64 {
+        *((base + off as usize) as *const u64)
+    }
+
+    #[inline]
+    unsafe fn write_u64(base: usize, off: u64, v: u64) {
+        *((base + off as usize) as *mut u64) = v;
+    }
+
+    /// Allocates `size` bytes with alignment `align`, returning the offset
+    /// of the block from the region base.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::OutOfMemory`] when neither a free block nor bump space is
+    /// available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align > MIN_ALIGN` or `size == 0`.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be the base address of the mapped region whose header
+    /// contains `self`, and the region must stay mapped for the duration of
+    /// the call.
+    pub unsafe fn alloc(&mut self, base: usize, size: usize, align: usize) -> Result<u64> {
+        assert!(size > 0, "zero-size allocation");
+        assert!(
+            align <= MIN_ALIGN && MIN_ALIGN.is_multiple_of(align.max(1)),
+            "alignment beyond {MIN_ALIGN} is not supported"
+        );
+        self.alloc_calls += 1;
+        let rounded = Self::rounded_size(size);
+        let off = if let Some(class) = class_for(rounded) {
+            let head = self.free_heads[class];
+            if head != 0 {
+                self.free_heads[class] = Self::read_u64(base, head);
+                head
+            } else {
+                self.bump_alloc(rounded)?
+            }
+        } else {
+            match self.large_fit(base, rounded) {
+                Some(off) => off,
+                None => self.bump_alloc(rounded)?,
+            }
+        };
+        self.live_bytes += rounded as u64;
+        self.live_allocs += 1;
+        Ok(off)
+    }
+
+    fn bump_alloc(&mut self, rounded: usize) -> Result<u64> {
+        let off = self.bump;
+        let next = off + rounded as u64;
+        if next > self.end {
+            return Err(NvError::OutOfMemory {
+                region: 0,
+                requested: rounded,
+            });
+        }
+        self.bump = next;
+        Ok(off)
+    }
+
+    /// First-fit scan of the large list; removes and returns a block of at
+    /// least `rounded` bytes whose waste is below half the request.
+    unsafe fn large_fit(&mut self, base: usize, rounded: usize) -> Option<u64> {
+        let mut prev: u64 = 0;
+        let mut cur = self.large_head;
+        while cur != 0 {
+            let next = Self::read_u64(base, cur);
+            let bsize = Self::read_u64(base, cur + 8) as usize;
+            if bsize >= rounded && bsize - rounded <= rounded / 2 {
+                if prev == 0 {
+                    self.large_head = next;
+                } else {
+                    Self::write_u64(base, prev, next);
+                }
+                return Some(cur);
+            }
+            prev = cur;
+            cur = next;
+        }
+        None
+    }
+
+    /// Returns the block at `off` (allocated with `size`) to the allocator.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be the region base; `(off, size)` must exactly describe a
+    /// block previously returned by [`AllocHeader::alloc`] on this header
+    /// with the same (pre-rounding) `size`, not freed since.
+    pub unsafe fn dealloc(&mut self, base: usize, off: u64, size: usize) {
+        debug_assert!(off.is_multiple_of(MIN_ALIGN as u64));
+        let rounded = Self::rounded_size(size);
+        debug_assert!(off + rounded as u64 <= self.end);
+        self.free_calls += 1;
+        self.live_bytes = self.live_bytes.saturating_sub(rounded as u64);
+        self.live_allocs = self.live_allocs.saturating_sub(1);
+        if let Some(class) = class_for(rounded) {
+            Self::write_u64(base, off, self.free_heads[class]);
+            self.free_heads[class] = off;
+        } else {
+            Self::write_u64(base, off, self.large_head);
+            Self::write_u64(base, off + 8, rounded as u64);
+            self.large_head = off;
+        }
+    }
+
+    /// Bytes still available at the bump frontier (free-list contents not
+    /// included).
+    pub fn remaining(&self) -> u64 {
+        self.end - self.bump
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            live_bytes: self.live_bytes,
+            live_allocs: self.live_allocs,
+            alloc_calls: self.alloc_calls,
+            free_calls: self.free_calls,
+            bump: self.bump,
+            end: self.end,
+        }
+    }
+
+    /// Cheap structural sanity check of free lists (used after reopening a
+    /// persisted image). Walks each list and verifies every link stays in
+    /// bounds and 16-aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadImage`] describing the first broken invariant found.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be the base of the mapped region containing `self`.
+    pub unsafe fn check(&self, base: usize, data_start: u64) -> Result<()> {
+        if self.bump > self.end || self.bump < data_start {
+            return Err(NvError::BadImage(format!(
+                "bump {} outside [{}, {}]",
+                self.bump, data_start, self.end
+            )));
+        }
+        let in_bounds = |off: u64| off >= data_start && off < self.end && off.is_multiple_of(16);
+        for (class, &head) in self.free_heads.iter().enumerate() {
+            let mut cur = head;
+            let mut steps = 0u64;
+            while cur != 0 {
+                if !in_bounds(cur) {
+                    return Err(NvError::BadImage(format!(
+                        "class {class} free list link {cur:#x} out of bounds"
+                    )));
+                }
+                cur = Self::read_u64(base, cur);
+                steps += 1;
+                if steps > self.free_calls + 1 {
+                    return Err(NvError::BadImage(format!("class {class} free list cycle")));
+                }
+            }
+        }
+        let mut cur = self.large_head;
+        let mut steps = 0u64;
+        while cur != 0 {
+            if !in_bounds(cur) {
+                return Err(NvError::BadImage(format!(
+                    "large list link {cur:#x} out of bounds"
+                )));
+            }
+            cur = Self::read_u64(base, cur);
+            steps += 1;
+            if steps > self.free_calls + 1 {
+                return Err(NvError::BadImage("large free list cycle".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A little arena standing in for a mapped region.
+    struct Arena {
+        mem: Vec<u8>,
+        hdr: AllocHeader,
+    }
+
+    impl Arena {
+        fn new(size: usize) -> Arena {
+            let mut a = Arena {
+                mem: vec![0u8; size],
+                hdr: AllocHeader {
+                    bump: 0,
+                    end: 0,
+                    free_heads: [0; NUM_CLASSES],
+                    large_head: 0,
+                    live_bytes: 0,
+                    live_allocs: 0,
+                    alloc_calls: 0,
+                    free_calls: 0,
+                },
+            };
+            a.hdr.init(16, size as u64);
+            a
+        }
+        fn base(&self) -> usize {
+            self.mem.as_ptr() as usize
+        }
+        fn alloc(&mut self, size: usize) -> Result<u64> {
+            unsafe { self.hdr.alloc(self.base(), size, 16) }
+        }
+        fn free(&mut self, off: u64, size: usize) {
+            let b = self.base();
+            unsafe { self.hdr.dealloc(b, off, size) }
+        }
+    }
+
+    #[test]
+    fn class_for_boundaries() {
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(16), Some(0));
+        assert_eq!(class_for(17), Some(1));
+        assert_eq!(class_for(4096), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for(4097), None);
+    }
+
+    #[test]
+    fn rounded_size_matches_classes() {
+        assert_eq!(AllocHeader::rounded_size(1), 16);
+        assert_eq!(AllocHeader::rounded_size(33), 48);
+        assert_eq!(AllocHeader::rounded_size(4096), 4096);
+        assert_eq!(AllocHeader::rounded_size(5000), 5008);
+    }
+
+    #[test]
+    fn bump_allocations_do_not_overlap() {
+        let mut a = Arena::new(1 << 16);
+        let mut offs = Vec::new();
+        for i in 1..=64 {
+            offs.push((a.alloc(i * 7 % 200 + 1).unwrap(), i * 7 % 200 + 1));
+        }
+        let mut spans: Vec<(u64, u64)> = offs
+            .iter()
+            .map(|&(o, s)| (o, o + AllocHeader::rounded_size(s) as u64))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let mut a = Arena::new(1 << 14);
+        let o1 = a.alloc(100).unwrap();
+        a.free(o1, 100);
+        let o2 = a.alloc(100).unwrap();
+        assert_eq!(o1, o2, "LIFO reuse of the same class block");
+    }
+
+    #[test]
+    fn different_classes_do_not_mix() {
+        let mut a = Arena::new(1 << 14);
+        let small = a.alloc(16).unwrap();
+        a.free(small, 16);
+        let big = a.alloc(1024).unwrap();
+        assert_ne!(small, big);
+    }
+
+    #[test]
+    fn large_blocks_roundtrip() {
+        let mut a = Arena::new(1 << 16);
+        let o1 = a.alloc(10_000).unwrap();
+        a.free(o1, 10_000);
+        let o2 = a.alloc(9_500).unwrap();
+        assert_eq!(o1, o2, "first fit reuses the large block");
+        // A much smaller request must not take the big block (waste cap).
+        a.free(o2, 10_000);
+        let o3 = a.alloc(4200).unwrap();
+        assert_ne!(o3, o1);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut a = Arena::new(4096);
+        let mut n = 0;
+        loop {
+            match a.alloc(4096) {
+                Ok(_) => n += 1,
+                Err(NvError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            assert!(n < 100);
+        }
+    }
+
+    #[test]
+    fn stats_track_live_allocations() {
+        let mut a = Arena::new(1 << 14);
+        let o = a.alloc(64).unwrap();
+        let s = a.hdr.stats();
+        assert_eq!(s.live_allocs, 1);
+        assert_eq!(s.live_bytes, 64);
+        assert_eq!(s.alloc_calls, 1);
+        a.free(o, 64);
+        let s = a.hdr.stats();
+        assert_eq!(s.live_allocs, 0);
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.free_calls, 1);
+    }
+
+    #[test]
+    fn check_accepts_valid_and_rejects_corrupt_lists() {
+        let mut a = Arena::new(1 << 14);
+        let o = a.alloc(64).unwrap();
+        a.free(o, 64);
+        let base = a.base();
+        unsafe { a.hdr.check(base, 16).unwrap() };
+        // Corrupt the free head to point out of bounds.
+        a.hdr.free_heads[class_for(64).unwrap()] = (1 << 20) as u64;
+        assert!(unsafe { a.hdr.check(base, 16) }.is_err());
+    }
+
+    #[test]
+    fn zero_size_alloc_panics() {
+        let mut a = Arena::new(4096);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.alloc(0)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn offsets_survive_memmove_of_the_arena() {
+        // Simulates remapping a region at a different address: the arena's
+        // bytes (including embedded free-list links) are copied verbatim and
+        // the allocator keeps functioning against the new base.
+        let mut a = Arena::new(1 << 14);
+        let o1 = a.alloc(64).unwrap();
+        let o2 = a.alloc(64).unwrap();
+        a.free(o1, 64);
+        let mut b = Arena::new(1 << 14); // fresh memory at a new address
+        b.mem.copy_from_slice(&a.mem);
+        b.hdr.bump = a.hdr.bump;
+        b.hdr.free_heads = a.hdr.free_heads;
+        b.hdr.large_head = a.hdr.large_head;
+        let o3 = b.alloc(64).unwrap();
+        assert_eq!(o3, o1, "free list link resolved against the new base");
+        let o4 = b.alloc(64).unwrap();
+        assert!(o4 != o2 && o4 != o3, "fresh bump block");
+    }
+}

@@ -1,0 +1,27 @@
+//! `nvr-inspect` — print what a region image file contains.
+//!
+//! ```text
+//! nvr_inspect <image.nvr> [...]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: nvr_inspect <image.nvr> [...]");
+        return ExitCode::from(2);
+    }
+    let mut status = ExitCode::SUCCESS;
+    for path in &args {
+        println!("=== {path}");
+        match nvmsim::inspect::inspect(path) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}

@@ -1,0 +1,261 @@
+//! Offline inspection of region images.
+//!
+//! Reads a `.nvr` file *without mapping it into the NV space* and reports
+//! what a maintainer wants to know before trusting an image: header
+//! validity, region id, size, clean/dirty state, the root directory, and
+//! allocator statistics. Used by the `nvr-inspect` binary and by tests.
+
+use crate::error::{NvError, Result};
+use crate::region::{HEADER_VERSION, MAX_ROOTS, REGION_MAGIC, ROOT_NAME_CAP};
+use std::fmt;
+use std::path::Path;
+
+/// A root-directory entry as found in an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootInfo {
+    /// Root name.
+    pub name: String,
+    /// Offset of the root target within the region.
+    pub offset: u64,
+    /// Application type tag (0 = untagged).
+    pub type_tag: u64,
+}
+
+/// Everything [`inspect`] learns about an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageReport {
+    /// Region ID recorded in the header.
+    pub rid: u32,
+    /// On-media format version.
+    pub version: u32,
+    /// Region size in bytes (equals the file length for valid images).
+    pub size: u64,
+    /// Whether the image was cleanly closed (false = crash; recovery will
+    /// run on next open if a store log is present).
+    pub clean: bool,
+    /// Application-defined header tag.
+    pub user_tag: u64,
+    /// Root directory entries.
+    pub roots: Vec<RootInfo>,
+    /// Offset of the allocation frontier.
+    pub bump: u64,
+    /// Bytes handed out and not freed.
+    pub live_bytes: u64,
+    /// Number of live allocations.
+    pub live_allocs: u64,
+}
+
+impl fmt::Display for ImageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "region id:    {}", self.rid)?;
+        writeln!(f, "format:       v{}", self.version)?;
+        writeln!(f, "size:         {} bytes", self.size)?;
+        writeln!(
+            f,
+            "state:        {}",
+            if self.clean {
+                "clean"
+            } else {
+                "DIRTY (crashed)"
+            }
+        )?;
+        writeln!(f, "user tag:     {:#x}", self.user_tag)?;
+        writeln!(
+            f,
+            "allocator:    {} live allocs, {} live bytes, bump at {:#x} ({}% of region)",
+            self.live_allocs,
+            self.live_bytes,
+            self.bump,
+            self.bump * 100 / self.size.max(1)
+        )?;
+        writeln!(f, "roots:        {}", self.roots.len())?;
+        for r in &self.roots {
+            let tag = if r.type_tag == 0 {
+                String::from("untyped")
+            } else {
+                match std::str::from_utf8(&r.type_tag.to_le_bytes()) {
+                    Ok(s) if s.bytes().all(|b| b.is_ascii_graphic()) => format!("tag {s:?}"),
+                    _ => format!("tag {:#x}", r.type_tag),
+                }
+            };
+            writeln!(f, "  {:<24} @ {:#010x}  ({tag})", r.name, r.offset)?;
+        }
+        Ok(())
+    }
+}
+
+fn read_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().unwrap())
+}
+
+fn read_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+/// Byte offsets of `RegionHeader` fields (repr(C), see `region.rs`).
+mod offsets {
+    pub const MAGIC: usize = 0;
+    pub const VERSION: usize = 8;
+    pub const RID: usize = 12;
+    pub const SIZE: usize = 16;
+    pub const FLAGS: usize = 24;
+    pub const USER_TAG: usize = 32;
+    pub const ROOTS: usize = 40;
+    pub const ROOT_ENTRY_SIZE: usize = 48; // 32 name + 8 offset + 8 tag
+    pub const ROOT_OFFSET_IN_ENTRY: usize = 32;
+    pub const ROOT_TAG_IN_ENTRY: usize = 40;
+    // AllocHeader follows the root array.
+    pub const ALLOC_BUMP_REL: usize = 0;
+    pub const ALLOC_LIVE_BYTES_REL: usize = 8 + 8 + 16 * 8 + 8; // bump,end,free_heads,large
+}
+
+/// Parses and validates a region image file without opening it as a
+/// region.
+///
+/// # Errors
+///
+/// [`NvError::BadImage`] for invalid/truncated images, [`NvError::Io`] on
+/// read failures.
+pub fn inspect<P: AsRef<Path>>(path: P) -> Result<ImageReport> {
+    let bytes = std::fs::read(path.as_ref())?;
+    inspect_bytes(&bytes)
+}
+
+/// [`inspect`] over in-memory image bytes.
+///
+/// # Errors
+///
+/// As [`inspect`].
+pub fn inspect_bytes(bytes: &[u8]) -> Result<ImageReport> {
+    use offsets::*;
+    let min = ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE + 256;
+    if bytes.len() < min {
+        return Err(NvError::BadImage(format!(
+            "file of {} bytes is too small for a region header",
+            bytes.len()
+        )));
+    }
+    if read_u64(bytes, MAGIC) != REGION_MAGIC {
+        return Err(NvError::BadImage(format!(
+            "bad magic {:#x}",
+            read_u64(bytes, MAGIC)
+        )));
+    }
+    let version = read_u32(bytes, VERSION);
+    if version != HEADER_VERSION {
+        return Err(NvError::BadImage(format!("unsupported version {version}")));
+    }
+    let size = read_u64(bytes, SIZE);
+    if size != bytes.len() as u64 {
+        return Err(NvError::BadImage(format!(
+            "header size {size} != file length {}",
+            bytes.len()
+        )));
+    }
+    let mut roots = Vec::new();
+    for i in 0..MAX_ROOTS {
+        let entry = ROOTS + i * ROOT_ENTRY_SIZE;
+        let name_bytes = &bytes[entry..entry + ROOT_NAME_CAP + 1];
+        if name_bytes[0] == 0 {
+            continue;
+        }
+        let len = name_bytes
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(name_bytes.len());
+        roots.push(RootInfo {
+            name: String::from_utf8_lossy(&name_bytes[..len]).into_owned(),
+            offset: read_u64(bytes, entry + ROOT_OFFSET_IN_ENTRY),
+            type_tag: read_u64(bytes, entry + ROOT_TAG_IN_ENTRY),
+        });
+    }
+    let alloc = ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE;
+    Ok(ImageReport {
+        rid: read_u32(bytes, RID),
+        version,
+        size,
+        clean: read_u64(bytes, FLAGS) & 1 == 0,
+        user_tag: read_u64(bytes, USER_TAG),
+        roots,
+        bump: read_u64(bytes, alloc + ALLOC_BUMP_REL),
+        live_bytes: read_u64(bytes, alloc + ALLOC_LIVE_BYTES_REL),
+        live_allocs: read_u64(bytes, alloc + ALLOC_LIVE_BYTES_REL + 8),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+
+    #[test]
+    fn field_offsets_match_the_real_header() {
+        // Guard against silent layout drift between RegionHeader and the
+        // offline parser: build a real region and cross-check every field.
+        let dir = std::env::temp_dir().join(format!("nvm-inspect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.nvr");
+        let (rid, live);
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            rid = r.rid();
+            let a = r.alloc(100, 8).unwrap();
+            let _b = r.alloc(200, 8).unwrap();
+            r.set_root_tagged(
+                "alpha",
+                a.as_ptr() as usize,
+                u64::from_le_bytes(*b"TAGALPHA"),
+            )
+            .unwrap();
+            r.set_user_tag(0xDEAD_BEEF);
+            live = r.stats().live_allocs;
+            r.close().unwrap();
+        }
+        let report = inspect(&path).unwrap();
+        assert_eq!(report.rid, rid);
+        assert_eq!(report.version, HEADER_VERSION);
+        assert_eq!(report.size, 1 << 20);
+        assert!(report.clean);
+        assert_eq!(report.user_tag, 0xDEAD_BEEF);
+        assert_eq!(report.live_allocs, live);
+        assert!(report.live_bytes >= 300);
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "alpha");
+        assert_eq!(report.roots[0].type_tag, u64::from_le_bytes(*b"TAGALPHA"));
+        assert!(report.bump > 0);
+        let shown = report.to_string();
+        assert!(shown.contains("alpha") && shown.contains("clean"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_images_are_reported_dirty() {
+        let dir = std::env::temp_dir().join(format!("nvm-inspect-d-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crash.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            r.sync().unwrap();
+            r.crash();
+        }
+        let report = inspect(&path).unwrap();
+        assert!(!report.clean);
+        assert!(report.to_string().contains("DIRTY"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(
+            inspect_bytes(&[0u8; 64]),
+            Err(NvError::BadImage(_))
+        ));
+        let mut big = vec![0u8; 1 << 16];
+        assert!(matches!(inspect_bytes(&big), Err(NvError::BadImage(_))));
+        // Right magic, wrong size field.
+        big[..8].copy_from_slice(&REGION_MAGIC.to_le_bytes());
+        big[8..12].copy_from_slice(&HEADER_VERSION.to_le_bytes());
+        big[16..24].copy_from_slice(&999u64.to_le_bytes());
+        assert!(matches!(inspect_bytes(&big), Err(NvError::BadImage(_))));
+    }
+}

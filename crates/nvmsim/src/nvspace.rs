@@ -1,0 +1,508 @@
+//! The NV space: a reserved address range holding the two direct-mapped
+//! lookup tables and the data area of NV segments.
+//!
+//! This is the runtime materialization of the paper's Figure 7. The three
+//! areas live at fixed offsets inside one contiguous reservation:
+//!
+//! ```text
+//! +-------------+--------------+--- gap ---+----------------------------+
+//! |  RID table  |  base table  |           |  data area (2^l2 segments) |
+//! +-------------+--------------+-----------+----------------------------+
+//! ^ reservation base                       ^ aligned to 2^l3
+//! ```
+//!
+//! * The **RID table** has one 4-byte entry per segment; entry `s` holds the
+//!   region ID mapped at segment `s` (0 = none). Given any address inside a
+//!   region, the entry address is `rid_table + ((addr - data_base) >> l3)*4`
+//!   — the paper's "several bit transformations".
+//! * The **base table** has one 8-byte entry per region ID; entry `r` holds
+//!   the absolute segment base of region `r` (0 = region not open), so
+//!   `ID2Addr` is a single shifted load.
+//!
+//! Table entries are written under a lock when regions open and close, but
+//! read lock-free on the pointer-dereference fast path via relaxed atomic
+//! loads, which compile to plain `mov`s.
+
+use crate::error::{NvError, Result};
+use crate::layout::Layout;
+use crate::mem::{align_up, page_size, Reservation};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Index of a segment in the data area. Segment 0 is reserved (never
+/// handed out) so that a base-table entry of 0 means "region not open".
+pub type SegIndex = u32;
+
+/// A process-wide simulated NV space.
+///
+/// Most programs use the process-global instance via [`NvSpace::global`];
+/// constructing additional spaces is possible for tests but pointers from
+/// different spaces must not be mixed.
+pub struct NvSpace {
+    layout: Layout,
+    reservation: Reservation,
+    rid_table: usize,
+    base_table: usize,
+    data_base: usize,
+    pool: Mutex<SegmentPool>,
+}
+
+impl std::fmt::Debug for NvSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvSpace")
+            .field("layout", &self.layout)
+            .field("data_base", &format_args!("{:#x}", self.data_base))
+            .field("free_segments", &self.free_segments())
+            .finish()
+    }
+}
+
+struct SegmentPool {
+    used: Vec<bool>,
+    free: usize,
+    rng: u64,
+}
+
+impl SegmentPool {
+    fn new(count: usize) -> SegmentPool {
+        let mut used = vec![false; count];
+        used[0] = true; // segment 0 is reserved
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15)
+            | 1;
+        SegmentPool {
+            used,
+            free: count - 1,
+            rng: seed,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: quality is irrelevant, we only want segment bases to
+        // vary across runs the way address-space randomization would.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn acquire_random(&mut self) -> Option<SegIndex> {
+        if self.free == 0 {
+            return None;
+        }
+        let n = self.used.len();
+        let mut idx = (self.next_rand() as usize) % n;
+        for _ in 0..n {
+            if !self.used[idx] {
+                self.used[idx] = true;
+                self.free -= 1;
+                return Some(idx as SegIndex);
+            }
+            idx = (idx + 1) % n;
+        }
+        None
+    }
+
+    fn acquire_at(&mut self, idx: usize) -> bool {
+        if idx == 0 || idx >= self.used.len() || self.used[idx] {
+            return false;
+        }
+        self.used[idx] = true;
+        self.free -= 1;
+        true
+    }
+
+    fn release(&mut self, idx: usize) {
+        debug_assert!(idx != 0 && self.used[idx]);
+        if self.used[idx] {
+            self.used[idx] = false;
+            self.free += 1;
+        }
+    }
+}
+
+static GLOBAL: OnceLock<NvSpace> = OnceLock::new();
+
+impl NvSpace {
+    /// Creates a new NV space with the given layout.
+    ///
+    /// Reserves `2^(l2+l3)` bytes of virtual address space for the data area
+    /// plus committed memory for the two tables. Only the tables consume
+    /// physical memory up front.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadLayout`] for invalid layouts, [`NvError::Io`] if the
+    /// reservation fails.
+    pub fn new(layout: Layout) -> Result<NvSpace> {
+        layout.validate()?;
+        let page = page_size();
+        let rid_size = align_up(layout.rid_table_size(), page);
+        let base_size = align_up(layout.base_table_size(), page);
+        let table_total = rid_size + base_size;
+        // Over-reserve by one segment so the data base can be aligned.
+        let total = table_total + layout.data_area_size() + layout.segment_size();
+        let reservation = Reservation::new(total)?;
+        let rid_table = reservation.base();
+        let base_table = rid_table + rid_size;
+        let data_base = align_up(base_table + base_size, layout.segment_size());
+        reservation.commit_anon(rid_table, table_total)?;
+        Ok(NvSpace {
+            layout,
+            reservation,
+            rid_table,
+            base_table,
+            data_base,
+            pool: Mutex::new(SegmentPool::new(layout.segment_count())),
+        })
+    }
+
+    /// Returns the process-global NV space, creating it with
+    /// [`Layout::DEFAULT`] on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial reservation fails (the process cannot do
+    /// anything useful without an NV space).
+    #[inline]
+    pub fn global() -> &'static NvSpace {
+        GLOBAL.get_or_init(|| {
+            NvSpace::new(Layout::DEFAULT).expect("failed to reserve the global NV space")
+        })
+    }
+
+    /// The layout this space was built with.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Base address of the data area (segment 0).
+    #[inline]
+    pub fn data_base(&self) -> usize {
+        self.data_base
+    }
+
+    /// Number of segments currently available.
+    pub fn free_segments(&self) -> usize {
+        self.pool.lock().free
+    }
+
+    /// Base address of segment `idx`.
+    pub fn segment_base(&self, idx: SegIndex) -> usize {
+        debug_assert!((idx as usize) < self.layout.segment_count());
+        self.data_base + ((idx as usize) << self.layout.l3)
+    }
+
+    /// Whether `addr` falls inside the data area.
+    pub fn contains(&self, addr: usize) -> bool {
+        addr >= self.data_base && addr < self.data_base + self.layout.data_area_size()
+    }
+
+    /// Segment index containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::AddressOutOfRange`] if `addr` is outside the data area.
+    pub fn segment_of(&self, addr: usize) -> Result<SegIndex> {
+        if !self.contains(addr) {
+            return Err(NvError::AddressOutOfRange { addr });
+        }
+        Ok(((addr - self.data_base) >> self.layout.l3) as SegIndex)
+    }
+
+    /// Acquires a random free segment, simulating address-space
+    /// randomization: reopening a region lands it somewhere new.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::NoFreeSegment`] when the space is full.
+    pub fn acquire_segment(&self) -> Result<SegIndex> {
+        self.pool
+            .lock()
+            .acquire_random()
+            .ok_or(NvError::NoFreeSegment)
+    }
+
+    /// Acquires a specific segment (used by tests that need determinism).
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::NoFreeSegment`] if the segment is reserved, in use, or out
+    /// of range.
+    pub fn acquire_segment_at(&self, idx: SegIndex) -> Result<SegIndex> {
+        if self.pool.lock().acquire_at(idx as usize) {
+            Ok(idx)
+        } else {
+            Err(NvError::NoFreeSegment)
+        }
+    }
+
+    /// Returns a segment to the pool. The caller must have decommitted (or
+    /// never committed) its memory.
+    pub fn release_segment(&self, idx: SegIndex) {
+        self.pool.lock().release(idx as usize);
+    }
+
+    /// Commits `len` bytes of zeroed anonymous memory at the start of
+    /// segment `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservation errors.
+    pub fn commit_segment_anon(&self, idx: SegIndex, len: usize) -> Result<()> {
+        let len = align_up(len.min(self.layout.segment_size()), page_size());
+        self.reservation.commit_anon(self.segment_base(idx), len)
+    }
+
+    /// Commits `len` bytes of file-backed memory at the start of segment
+    /// `idx`. See [`Reservation::commit_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservation errors.
+    pub fn commit_segment_file(
+        &self,
+        idx: SegIndex,
+        len: usize,
+        file: &File,
+        shared: bool,
+    ) -> Result<()> {
+        let len = align_up(len.min(self.layout.segment_size()), page_size());
+        self.reservation
+            .commit_file(self.segment_base(idx), len, file, 0, shared)
+    }
+
+    /// Decommits the first `len` bytes of segment `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservation errors.
+    pub fn decommit_segment(&self, idx: SegIndex, len: usize) -> Result<()> {
+        let len = align_up(len.min(self.layout.segment_size()), page_size());
+        self.reservation.decommit(self.segment_base(idx), len)
+    }
+
+    /// Flushes the first `len` bytes of a file-backed segment to its file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reservation errors.
+    pub fn sync_segment(&self, idx: SegIndex, len: usize) -> Result<()> {
+        let len = align_up(len.min(self.layout.segment_size()), page_size());
+        self.reservation.sync(self.segment_base(idx), len)
+    }
+
+    // -- table maintenance (region open/close path, locked by callers) -----
+
+    fn rid_entry(&self, seg: SegIndex) -> *const AtomicU32 {
+        debug_assert!((seg as usize) < self.layout.segment_count());
+        (self.rid_table + (seg as usize) * 4) as *const AtomicU32
+    }
+
+    fn base_entry(&self, rid: u32) -> *const AtomicUsize {
+        debug_assert!(rid as u64 <= self.layout.max_rid() as u64);
+        (self.base_table + (rid as usize) * 8) as *const AtomicUsize
+    }
+
+    /// Publishes the `rid <-> segment` association in both tables.
+    ///
+    /// Called by the region manager when a region is opened into a segment.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::InvalidRid`] if `rid` is out of range or already bound.
+    pub fn bind(&self, rid: u32, seg: SegIndex) -> Result<()> {
+        if !self.layout.rid_in_range(rid) {
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "out of range for layout",
+            });
+        }
+        // SAFETY: entry pointers are inside the committed table area.
+        unsafe {
+            if (*self.base_entry(rid)).load(Ordering::Relaxed) != 0 {
+                return Err(NvError::InvalidRid {
+                    rid,
+                    reason: "already bound",
+                });
+            }
+            (*self.base_entry(rid)).store(self.segment_base(seg), Ordering::Release);
+            (*self.rid_entry(seg)).store(rid, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Removes the `rid <-> segment` association from both tables.
+    pub fn unbind(&self, rid: u32, seg: SegIndex) {
+        // SAFETY: entry pointers are inside the committed table area.
+        unsafe {
+            (*self.rid_entry(seg)).store(0, Ordering::Release);
+            (*self.base_entry(rid)).store(0, Ordering::Release);
+        }
+    }
+
+    // -- hot path: the paper's conversion functions -------------------------
+
+    /// `Addr2ID` (Figure 5 (c)): region ID of the region containing `addr`.
+    ///
+    /// Returns 0 if no region is mapped at `addr`'s segment. Cost: two bit
+    /// transformations and one dependent load.
+    #[inline]
+    pub fn rid_of_addr(&self, addr: usize) -> u32 {
+        let seg = (addr.wrapping_sub(self.data_base)) >> self.layout.l3;
+        debug_assert!(seg < self.layout.segment_count(), "addr outside data area");
+        // SAFETY: seg indexes the committed RID table (debug-asserted above;
+        // callers on the fast path guarantee addr is an NV address).
+        unsafe { (*self.rid_entry(seg as SegIndex)).load(Ordering::Relaxed) }
+    }
+
+    /// Checked variant of [`NvSpace::rid_of_addr`]: returns `None` when
+    /// `addr` is outside the data area or its segment has no region bound.
+    pub fn try_rid_of_addr(&self, addr: usize) -> Option<u32> {
+        if !self.contains(addr) {
+            return None;
+        }
+        match self.rid_of_addr(addr) {
+            0 => None,
+            rid => Some(rid),
+        }
+    }
+
+    /// `ID2Addr` (Figure 5 (b)): base address of the region with id `rid`.
+    ///
+    /// Returns 0 if the region is not open — callers that cannot tolerate
+    /// that must check [`NvSpace::is_bound`] first. Cost: one shifted load.
+    #[inline]
+    pub fn base_of_rid(&self, rid: u32) -> usize {
+        // SAFETY: rid indexes the committed base table; out-of-range rids
+        // are excluded by construction of RIV values (l4-bit field).
+        unsafe { (*self.base_entry(rid)).load(Ordering::Relaxed) }
+    }
+
+    /// `getBase` (Figure 5 (c)): the segment base of `addr`, by masking the
+    /// low `l3` bits. Valid because segments are `2^l3`-aligned absolutely.
+    #[inline]
+    pub fn base_of_addr(&self, addr: usize) -> usize {
+        addr & !self.layout.offset_mask()
+    }
+
+    /// Whether region `rid` currently has a segment bound.
+    pub fn is_bound(&self, rid: u32) -> bool {
+        if !self.layout.rid_in_range(rid) {
+            return false;
+        }
+        // SAFETY: in-range rid indexes the committed base table.
+        unsafe { (*self.base_entry(rid)).load(Ordering::Relaxed) != 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> NvSpace {
+        // 16 segments of 1 MiB, 6-bit rids.
+        NvSpace::new(Layout::new(4, 20, 6).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn data_base_is_segment_aligned() {
+        let s = small_space();
+        assert_eq!(s.data_base() % s.layout().segment_size(), 0);
+    }
+
+    #[test]
+    fn segment_zero_is_reserved() {
+        let s = small_space();
+        assert!(s.acquire_segment_at(0).is_err());
+        for _ in 0..15 {
+            assert_ne!(s.acquire_segment().unwrap(), 0);
+        }
+        assert!(matches!(s.acquire_segment(), Err(NvError::NoFreeSegment)));
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let s = small_space();
+        let a = s.acquire_segment().unwrap();
+        let before = s.free_segments();
+        s.release_segment(a);
+        assert_eq!(s.free_segments(), before + 1);
+        // Can re-acquire deterministically.
+        assert_eq!(s.acquire_segment_at(a).unwrap(), a);
+    }
+
+    #[test]
+    fn bind_publishes_both_tables() {
+        let s = small_space();
+        let seg = s.acquire_segment().unwrap();
+        s.bind(5, seg).unwrap();
+        assert!(s.is_bound(5));
+        let base = s.segment_base(seg);
+        assert_eq!(s.rid_of_addr(base), 5);
+        assert_eq!(s.rid_of_addr(base + 12345), 5);
+        assert_eq!(s.base_of_rid(5), base);
+        assert_eq!(s.base_of_addr(base + 12345), base);
+        s.unbind(5, seg);
+        assert!(!s.is_bound(5));
+        assert_eq!(s.rid_of_addr(base), 0);
+        s.release_segment(seg);
+    }
+
+    #[test]
+    fn bind_rejects_bad_rids() {
+        let s = small_space();
+        let seg = s.acquire_segment().unwrap();
+        assert!(s.bind(0, seg).is_err());
+        assert!(s.bind(64, seg).is_err(), "l4 = 6 allows rids 1..=63");
+        s.bind(63, seg).unwrap();
+        let seg2 = s.acquire_segment().unwrap();
+        assert!(s.bind(63, seg2).is_err(), "double bind rejected");
+        s.unbind(63, seg);
+    }
+
+    #[test]
+    fn commit_segment_and_write() {
+        let s = small_space();
+        let seg = s.acquire_segment().unwrap();
+        s.commit_segment_anon(seg, 8192).unwrap();
+        let base = s.segment_base(seg) as *mut u64;
+        unsafe {
+            base.write(0xdeadbeef);
+            assert_eq!(base.read(), 0xdeadbeef);
+        }
+        s.decommit_segment(seg, 8192).unwrap();
+        s.release_segment(seg);
+    }
+
+    #[test]
+    fn segment_of_checks_range() {
+        let s = small_space();
+        assert!(s.segment_of(0x1000).is_err());
+        let seg = s.acquire_segment().unwrap();
+        assert_eq!(s.segment_of(s.segment_base(seg) + 5).unwrap(), seg);
+        s.release_segment(seg);
+    }
+
+    #[test]
+    fn global_space_initializes_once() {
+        let a = NvSpace::global() as *const _;
+        let b = NvSpace::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_acquisition_varies_segments() {
+        let s = small_space();
+        let a = s.acquire_segment().unwrap();
+        let b = s.acquire_segment().unwrap();
+        assert_ne!(a, b);
+    }
+}

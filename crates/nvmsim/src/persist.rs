@@ -1,0 +1,230 @@
+//! Region pools: directories of persistent region images.
+//!
+//! A [`RegionPool`] manages a directory holding one file per region
+//! (`region_<rid>.nvr`), giving applications a simple namespace for their
+//! durable regions, and giving tests a convenient way to snapshot images
+//! for crash-injection scenarios.
+
+use crate::error::{NvError, Result};
+use crate::region::Region;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A directory of durable region images.
+#[derive(Debug, Clone)]
+pub struct RegionPool {
+    dir: PathBuf,
+}
+
+impl RegionPool {
+    /// Opens (creating if needed) a pool rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new<P: AsRef<Path>>(dir: P) -> Result<RegionPool> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(RegionPool {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// A temporary pool under the system temp directory, unique to this
+    /// process and the given label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn temp(label: &str) -> Result<RegionPool> {
+        let dir = std::env::temp_dir().join(format!("nvm-pi-pool-{label}-{}", std::process::id()));
+        RegionPool::new(dir)
+    }
+
+    /// The pool's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the image file for region `rid`.
+    pub fn path_for(&self, rid: u32) -> PathBuf {
+        self.dir.join(format!("region_{rid}.nvr"))
+    }
+
+    /// Creates a new durable region of `size` bytes with an explicit id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create_file_with_rid`]; additionally fails if the image
+    /// already exists.
+    pub fn create(&self, rid: u32, size: usize) -> Result<Region> {
+        let path = self.path_for(rid);
+        if path.exists() {
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "image already exists in pool",
+            });
+        }
+        Region::create_file_with_rid(path, rid, size)
+    }
+
+    /// Opens the region image for `rid` writably.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::open_file`].
+    pub fn open(&self, rid: u32) -> Result<Region> {
+        Region::open_file(self.path_for(rid))
+    }
+
+    /// Opens the region image for `rid` copy-on-write.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::open_file_cow`].
+    pub fn open_cow(&self, rid: u32) -> Result<Region> {
+        Region::open_file_cow(self.path_for(rid))
+    }
+
+    /// Opens the image if it exists, otherwise creates it.
+    ///
+    /// # Errors
+    ///
+    /// As [`RegionPool::open`] / [`RegionPool::create`].
+    pub fn open_or_create(&self, rid: u32, size: usize) -> Result<Region> {
+        if self.path_for(rid).exists() {
+            self.open(rid)
+        } else {
+            self.create(rid, size)
+        }
+    }
+
+    /// Region ids with an image present in the pool.
+    pub fn list(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if let Some(num) = name
+                        .strip_prefix("region_")
+                        .and_then(|s| s.strip_suffix(".nvr"))
+                    {
+                        if let Ok(rid) = num.parse() {
+                            out.push(rid);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Deletes the image for `rid`. Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates removal failures other than "not found".
+    pub fn delete(&self, rid: u32) -> Result<bool> {
+        match fs::remove_file(self.path_for(rid)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Copies the image for `rid` to an arbitrary path — used by crash
+    /// tests to snapshot a mid-transaction state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates copy failures.
+    pub fn snapshot(&self, rid: u32, to: &Path) -> Result<()> {
+        fs::copy(self.path_for(rid), to)?;
+        Ok(())
+    }
+
+    /// Restores a snapshot taken with [`RegionPool::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates copy failures.
+    pub fn restore(&self, rid: u32, from: &Path) -> Result<()> {
+        fs::copy(from, self.path_for(rid))?;
+        Ok(())
+    }
+
+    /// Removes the pool directory and everything in it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates removal failures.
+    pub fn destroy(self) -> Result<()> {
+        fs::remove_dir_all(&self.dir)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_create_open_list_delete() {
+        let pool = RegionPool::temp("basic").unwrap();
+        let r = pool.create(40_001, 1 << 20).unwrap();
+        let p = r.alloc(64, 8).unwrap();
+        unsafe { (p.as_ptr() as *mut u64).write(7) };
+        r.set_root("x", p.as_ptr() as usize).unwrap();
+        r.close().unwrap();
+
+        assert_eq!(pool.list(), vec![40_001]);
+        let r = pool.open(40_001).unwrap();
+        let x = r.root("x").unwrap();
+        assert_eq!(unsafe { *(x as *const u64) }, 7);
+        r.close().unwrap();
+
+        assert!(pool.delete(40_001).unwrap());
+        assert!(!pool.delete(40_001).unwrap());
+        assert!(pool.list().is_empty());
+        pool.destroy().unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_image() {
+        let pool = RegionPool::temp("dup").unwrap();
+        pool.create(40_002, 1 << 20).unwrap().close().unwrap();
+        assert!(pool.create(40_002, 1 << 20).is_err());
+        pool.destroy().unwrap();
+    }
+
+    #[test]
+    fn open_or_create_does_both() {
+        let pool = RegionPool::temp("ooc").unwrap();
+        let r = pool.open_or_create(40_003, 1 << 20).unwrap();
+        r.set_user_tag(5);
+        r.close().unwrap();
+        let r = pool.open_or_create(40_003, 1 << 20).unwrap();
+        assert_eq!(r.user_tag(), 5, "second call opened the existing image");
+        r.close().unwrap();
+        pool.destroy().unwrap();
+    }
+
+    #[test]
+    fn snapshot_and_restore() {
+        let pool = RegionPool::temp("snap").unwrap();
+        let r = pool.create(40_004, 1 << 20).unwrap();
+        r.set_user_tag(1);
+        r.sync().unwrap();
+        let snap = pool.dir().join("snap.bak");
+        // Snapshot while open (after sync) — mirrors a crash-time copy.
+        pool.snapshot(40_004, &snap).unwrap();
+        r.set_user_tag(2);
+        r.close().unwrap();
+
+        pool.restore(40_004, &snap).unwrap();
+        let r = pool.open(40_004).unwrap();
+        assert_eq!(r.user_tag(), 1, "restored pre-mutation snapshot");
+        r.close().unwrap();
+        pool.destroy().unwrap();
+    }
+}

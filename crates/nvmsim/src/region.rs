@@ -1,0 +1,960 @@
+//! NVRegions: the loading unit of the simulated NVM (Section 2.2).
+//!
+//! A region is a contiguous chunk of memory mapped into one NV segment. Its
+//! first bytes hold a [`RegionHeader`] — magic, version, region ID, the
+//! named-root directory, and the embedded allocator state — all expressed
+//! position-independently (offsets only), so a persisted image can be
+//! remapped at *any* segment base in a later run. Reopening a file-backed
+//! region picks a random free segment, which is how the experiments exercise
+//! position independence: every reopen lands the data somewhere new, exactly
+//! like address-space randomization would.
+
+use crate::alloc::{AllocHeader, AllocStats};
+use crate::error::{NvError, Result};
+use crate::mem::align_up;
+use crate::nvspace::{NvSpace, SegIndex};
+use crate::registry;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Magic number identifying a region image ("NVPIRGN1").
+pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"NVPIRGN1");
+/// Current on-media format version.
+pub const HEADER_VERSION: u32 = 1;
+/// Maximum number of named roots per region.
+pub const MAX_ROOTS: usize = 16;
+/// Maximum root name length in bytes (NUL-padded storage).
+pub const ROOT_NAME_CAP: usize = 31;
+
+const FLAG_DIRTY: u64 = 1;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct RootEntry {
+    name: [u8; ROOT_NAME_CAP + 1],
+    offset: u64,
+    type_tag: u64,
+}
+
+/// On-media region header. Lives at offset 0 of the mapped segment.
+#[repr(C)]
+#[derive(Debug)]
+pub struct RegionHeader {
+    magic: u64,
+    version: u32,
+    rid: u32,
+    size: u64,
+    flags: u64,
+    user_tag: u64,
+    roots: [RootEntry; MAX_ROOTS],
+    alloc: AllocHeader,
+}
+
+impl RegionHeader {
+    /// Offset of the first allocatable byte in a region.
+    pub fn data_start() -> u64 {
+        align_up(std::mem::size_of::<RegionHeader>(), 64) as u64
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    Anonymous,
+    File {
+        file: File,
+        path: PathBuf,
+        shared: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    space: &'static NvSpace,
+    rid: u32,
+    seg: SegIndex,
+    base: usize,
+    size: usize,
+    was_dirty: bool,
+    backing: Backing,
+    alloc_lock: Mutex<()>,
+    closed: AtomicBool,
+}
+
+/// Handle to an open NVRegion.
+///
+/// Cloning the handle is cheap (it is an `Arc`); the region closes when
+/// [`Region::close`] is called or the last handle drops.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), nvmsim::NvError> {
+/// use nvmsim::Region;
+///
+/// let region = Region::create(1 << 20)?;
+/// let p = region.alloc(64, 8)?;
+/// region.set_root("head", p.as_ptr() as usize)?;
+/// assert_eq!(region.root("head").unwrap(), p.as_ptr() as usize);
+/// region.close()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Region {
+    inner: Arc<Inner>,
+}
+
+impl Region {
+    /// Creates an anonymous (non-durable) region of `size` bytes with an
+    /// automatically assigned region ID.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no segment or region ID is available, or `size` exceeds the
+    /// segment size.
+    pub fn create(size: usize) -> Result<Region> {
+        let space = NvSpace::global();
+        let rid = auto_rid(space)?;
+        Self::build(space, rid, size, None)
+    }
+
+    /// Creates an anonymous region with an explicit region ID.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create`]; additionally [`NvError::InvalidRid`] if `rid`
+    /// is out of range or already open.
+    pub fn create_with_rid(rid: u32, size: usize) -> Result<Region> {
+        Self::build(NvSpace::global(), rid, size, None)
+    }
+
+    /// Creates a durable, file-backed region of `size` bytes at `path`.
+    /// The file is created (truncated if it exists) and sized immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create`], plus I/O errors creating the file.
+    pub fn create_file<P: AsRef<Path>>(path: P, size: usize) -> Result<Region> {
+        let space = NvSpace::global();
+        let rid = auto_rid(space)?;
+        Self::create_file_with_rid(path, rid, size)
+    }
+
+    /// Creates a durable, file-backed region with an explicit region ID.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create_file`].
+    pub fn create_file_with_rid<P: AsRef<Path>>(path: P, rid: u32, size: usize) -> Result<Region> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        file.set_len(size as u64)?;
+        let backing = Backing::File {
+            file,
+            path: path.as_ref().to_path_buf(),
+            shared: true,
+        };
+        Self::build(NvSpace::global(), rid, size, Some(backing))
+    }
+
+    fn build(
+        space: &'static NvSpace,
+        rid: u32,
+        size: usize,
+        backing: Option<Backing>,
+    ) -> Result<Region> {
+        let layout = space.layout();
+        if !layout.rid_in_range(rid) {
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "out of range for layout",
+            });
+        }
+        if size < RegionHeader::data_start() as usize + 64 || size > layout.segment_size() {
+            return Err(NvError::BadImage(format!(
+                "region size {size} outside [{}, {}]",
+                RegionHeader::data_start() as usize + 64,
+                layout.segment_size()
+            )));
+        }
+        let seg = space.acquire_segment()?;
+        let commit = match &backing {
+            Some(Backing::File { file, shared, .. }) => {
+                space.commit_segment_file(seg, size, file, *shared)
+            }
+            _ => space.commit_segment_anon(seg, size),
+        };
+        if let Err(e) = commit {
+            space.release_segment(seg);
+            return Err(e);
+        }
+        if let Err(e) = space.bind(rid, seg) {
+            let _ = space.decommit_segment(seg, size);
+            space.release_segment(seg);
+            return Err(e);
+        }
+        let base = space.segment_base(seg);
+        // SAFETY: the segment is committed read/write and at least `size`
+        // bytes; we own it exclusively until the handle is shared.
+        unsafe {
+            let hdr = &mut *(base as *mut RegionHeader);
+            hdr.magic = REGION_MAGIC;
+            hdr.version = HEADER_VERSION;
+            hdr.rid = rid;
+            hdr.size = size as u64;
+            hdr.flags = FLAG_DIRTY;
+            hdr.user_tag = 0;
+            hdr.roots = [RootEntry {
+                name: [0; ROOT_NAME_CAP + 1],
+                offset: 0,
+                type_tag: 0,
+            }; MAX_ROOTS];
+            hdr.alloc.init(RegionHeader::data_start(), size as u64);
+        }
+        let inner = Inner {
+            space,
+            rid,
+            seg,
+            base,
+            size,
+            was_dirty: false,
+            backing: backing.unwrap_or(Backing::Anonymous),
+            alloc_lock: Mutex::new(()),
+            closed: AtomicBool::new(false),
+        };
+        registry::register(rid, base, size);
+        Ok(Region {
+            inner: Arc::new(inner),
+        })
+    }
+
+    /// Opens an existing region image, mapping it writably (`MAP_SHARED`)
+    /// at a fresh random segment.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadImage`] if validation fails, [`NvError::InvalidRid`] if
+    /// the image's region ID is already open, plus I/O errors.
+    pub fn open_file<P: AsRef<Path>>(path: P) -> Result<Region> {
+        Self::open_impl(path.as_ref(), true)
+    }
+
+    /// Opens an existing region image copy-on-write (`MAP_PRIVATE`): all
+    /// modifications stay in this session and the file is untouched. Useful
+    /// for read-mostly consumers and repeated benchmark runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::open_file`].
+    pub fn open_file_cow<P: AsRef<Path>>(path: P) -> Result<Region> {
+        Self::open_impl(path.as_ref(), false)
+    }
+
+    fn open_impl(path: &Path, shared: bool) -> Result<Region> {
+        let space = NvSpace::global();
+        let layout = space.layout();
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let flen = file.metadata()?.len();
+
+        // Pre-validate the header from the file before mapping.
+        let mut head = [0u8; 32];
+        file.read_exact(&mut head)?;
+        let magic = u64::from_le_bytes(head[0..8].try_into().unwrap());
+        let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+        let rid = u32::from_le_bytes(head[12..16].try_into().unwrap());
+        let size = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        let flags = u64::from_le_bytes(head[24..32].try_into().unwrap());
+        if magic != REGION_MAGIC {
+            return Err(NvError::BadImage(format!("bad magic {magic:#x}")));
+        }
+        if version != HEADER_VERSION {
+            return Err(NvError::BadImage(format!("unsupported version {version}")));
+        }
+        if size != flen {
+            return Err(NvError::BadImage(format!(
+                "header size {size} != file length {flen}"
+            )));
+        }
+        if size as usize > layout.segment_size() {
+            return Err(NvError::BadImage(format!(
+                "region of {size} bytes exceeds segment size {}",
+                layout.segment_size()
+            )));
+        }
+        if !layout.rid_in_range(rid) {
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "out of range for layout",
+            });
+        }
+        if space.is_bound(rid) {
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "already open in this process",
+            });
+        }
+
+        let size = size as usize;
+        let seg = space.acquire_segment()?;
+        let cleanup = |seg| {
+            let _ = space.decommit_segment(seg, size);
+            space.release_segment(seg);
+        };
+        if let Err(e) = space.commit_segment_file(seg, size, &file, shared) {
+            space.release_segment(seg);
+            return Err(e);
+        }
+        let base = space.segment_base(seg);
+        // Validate the embedded allocator metadata before trusting it.
+        // SAFETY: the image is mapped and at least `size` bytes long.
+        let check = unsafe {
+            let hdr = &*(base as *const RegionHeader);
+            hdr.alloc.check(base, RegionHeader::data_start())
+        };
+        if let Err(e) = check {
+            cleanup(seg);
+            return Err(e);
+        }
+        if let Err(e) = space.bind(rid, seg) {
+            cleanup(seg);
+            return Err(e);
+        }
+        let was_dirty = flags & FLAG_DIRTY != 0;
+        // Mark dirty for the duration of this writable session.
+        // SAFETY: header is mapped read/write.
+        unsafe {
+            (*(base as *mut RegionHeader)).flags |= FLAG_DIRTY;
+        }
+        let inner = Inner {
+            space,
+            rid,
+            seg,
+            base,
+            size,
+            was_dirty,
+            backing: Backing::File {
+                file,
+                path: path.to_path_buf(),
+                shared,
+            },
+            alloc_lock: Mutex::new(()),
+            closed: AtomicBool::new(false),
+        };
+        registry::register(rid, base, size);
+        Ok(Region {
+            inner: Arc::new(inner),
+        })
+    }
+
+    /// This region's ID.
+    pub fn rid(&self) -> u32 {
+        self.inner.rid
+    }
+
+    /// Current base address of the mapping.
+    pub fn base(&self) -> usize {
+        self.inner.base
+    }
+
+    /// Region size in bytes.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Whether the image was not cleanly closed before this open — i.e. a
+    /// crash (real or simulated) happened. Recovery layers (see `pstore`)
+    /// consult this.
+    pub fn was_dirty(&self) -> bool {
+        self.inner.was_dirty
+    }
+
+    /// Whether `addr` falls inside this region's current mapping.
+    pub fn contains(&self, addr: usize) -> bool {
+        addr >= self.inner.base && addr < self.inner.base + self.inner.size
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(NvError::RegionClosed {
+                rid: self.inner.rid,
+            });
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn header_mut(&self) -> &mut RegionHeader {
+        &mut *(self.inner.base as *mut RegionHeader)
+    }
+
+    fn header(&self) -> &RegionHeader {
+        // SAFETY: the header is mapped for the lifetime of the handle.
+        unsafe { &*(self.inner.base as *const RegionHeader) }
+    }
+
+    /// Allocates `size` bytes (alignment `align`, at most 16) inside the
+    /// region and returns its absolute address for this session.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::OutOfMemory`] when the region is full,
+    /// [`NvError::RegionClosed`] after close.
+    pub fn alloc(&self, size: usize, align: usize) -> Result<NonNull<u8>> {
+        let off = self.alloc_off(size, align)?;
+        // SAFETY: the offset is inside the mapped region and nonzero.
+        Ok(unsafe { NonNull::new_unchecked((self.inner.base + off as usize) as *mut u8) })
+    }
+
+    /// Like [`Region::alloc`] but returns the position-independent offset.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::alloc`].
+    pub fn alloc_off(&self, size: usize, align: usize) -> Result<u64> {
+        self.check_open()?;
+        let _g = self.inner.alloc_lock.lock();
+        // SAFETY: base is this region's base; the region stays mapped while
+        // the handle exists.
+        unsafe { self.header_mut().alloc.alloc(self.inner.base, size, align) }.map_err(
+            |e| match e {
+                NvError::OutOfMemory { requested, .. } => NvError::OutOfMemory {
+                    region: self.inner.rid,
+                    requested,
+                },
+                other => other,
+            },
+        )
+    }
+
+    /// Returns a block to the allocator.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`Region::alloc`] on this region with the same
+    /// `size`, must not have been freed already, and no live references into
+    /// the block may remain.
+    pub unsafe fn dealloc(&self, ptr: NonNull<u8>, size: usize) {
+        let off = (ptr.as_ptr() as usize - self.inner.base) as u64;
+        let _g = self.inner.alloc_lock.lock();
+        self.header_mut().alloc.dealloc(self.inner.base, off, size);
+    }
+
+    /// Converts an absolute address inside this region to its offset.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::AddressOutOfRange`] if `addr` is outside the region.
+    pub fn offset_of(&self, addr: usize) -> Result<u64> {
+        if !self.contains(addr) {
+            return Err(NvError::AddressOutOfRange { addr });
+        }
+        Ok((addr - self.inner.base) as u64)
+    }
+
+    /// Converts a region offset to the absolute address in this session.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the offset is within the region.
+    pub fn ptr_at(&self, off: u64) -> usize {
+        debug_assert!((off as usize) < self.inner.size);
+        self.inner.base + off as usize
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        let _g = self.inner.alloc_lock.lock();
+        self.header().alloc.stats()
+    }
+
+    /// An application-defined tag stored in the header (e.g. a schema id).
+    pub fn user_tag(&self) -> u64 {
+        self.header().user_tag
+    }
+
+    /// Sets the application-defined header tag.
+    pub fn set_user_tag(&self, tag: u64) {
+        // SAFETY: plain u64 store into the mapped header.
+        unsafe { self.header_mut().user_tag = tag }
+    }
+
+    // -- roots ---------------------------------------------------------------
+
+    /// Registers (or updates) a named root pointing at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::RootNameTooLong`], [`NvError::RootDirectoryFull`], or
+    /// [`NvError::AddressOutOfRange`] if `addr` is outside the region.
+    pub fn set_root(&self, name: &str, addr: usize) -> Result<()> {
+        let off = self.offset_of(addr)?;
+        self.set_root_off(name, off)
+    }
+
+    /// Registers (or updates) a named root with an application-defined
+    /// type tag, letting consumers validate what kind of structure the
+    /// root leads before dereferencing it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::set_root`].
+    pub fn set_root_tagged(&self, name: &str, addr: usize, type_tag: u64) -> Result<()> {
+        let off = self.offset_of(addr)?;
+        self.set_root_off(name, off)?;
+        let _g = self.inner.alloc_lock.lock();
+        // SAFETY: header mapped; serialized by alloc_lock.
+        let hdr = unsafe { self.header_mut() };
+        for entry in hdr.roots.iter_mut() {
+            if entry.name[0] != 0 && root_name(entry) == name {
+                entry.type_tag = type_tag;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The type tag recorded for a named root (0 if untagged).
+    pub fn root_tag(&self, name: &str) -> Option<u64> {
+        self.header()
+            .roots
+            .iter()
+            .find(|e| e.name[0] != 0 && root_name(e) == name)
+            .map(|e| e.type_tag)
+    }
+
+    /// Looks up a root and validates its type tag, returning the absolute
+    /// address only when the tag matches.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::RootNotFound`] when absent; [`NvError::BadImage`] when
+    /// the tag differs from `expected_tag`.
+    pub fn root_checked(&self, name: &str, expected_tag: u64) -> Result<usize> {
+        let addr = self
+            .root(name)
+            .ok_or_else(|| NvError::RootNotFound(name.to_string()))?;
+        let tag = self.root_tag(name).unwrap_or(0);
+        if tag != expected_tag {
+            return Err(NvError::BadImage(format!(
+                "root {name:?} has type tag {tag:#x}, expected {expected_tag:#x}"
+            )));
+        }
+        Ok(addr)
+    }
+
+    /// Registers (or updates) a named root by offset.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::set_root`].
+    pub fn set_root_off(&self, name: &str, off: u64) -> Result<()> {
+        self.check_open()?;
+        if name.len() > ROOT_NAME_CAP || name.is_empty() {
+            return Err(NvError::RootNameTooLong(name.to_string()));
+        }
+        let _g = self.inner.alloc_lock.lock();
+        // SAFETY: header is mapped; mutation serialized by alloc_lock.
+        let hdr = unsafe { self.header_mut() };
+        let mut free_slot = None;
+        for (i, entry) in hdr.roots.iter().enumerate() {
+            if entry.name[0] == 0 {
+                free_slot.get_or_insert(i);
+            } else if root_name(entry) == name {
+                hdr.roots[i].offset = off;
+                return Ok(());
+            }
+        }
+        let slot = free_slot.ok_or(NvError::RootDirectoryFull)?;
+        let entry = &mut hdr.roots[slot];
+        entry.name = [0; ROOT_NAME_CAP + 1];
+        entry.name[..name.len()].copy_from_slice(name.as_bytes());
+        entry.offset = off;
+        entry.type_tag = 0;
+        Ok(())
+    }
+
+    /// Absolute address of the named root in this session, if present.
+    pub fn root(&self, name: &str) -> Option<usize> {
+        self.root_off(name)
+            .map(|off| self.inner.base + off as usize)
+    }
+
+    /// Offset of the named root, if present.
+    pub fn root_off(&self, name: &str) -> Option<u64> {
+        let hdr = self.header();
+        hdr.roots
+            .iter()
+            .find(|e| e.name[0] != 0 && root_name(e) == name)
+            .map(|e| e.offset)
+    }
+
+    /// Removes a named root. Returns whether it existed.
+    pub fn remove_root(&self, name: &str) -> bool {
+        let _g = self.inner.alloc_lock.lock();
+        // SAFETY: serialized mutation of the mapped header.
+        let hdr = unsafe { self.header_mut() };
+        for entry in hdr.roots.iter_mut() {
+            if entry.name[0] != 0 && root_name(entry) == name {
+                entry.name = [0; ROOT_NAME_CAP + 1];
+                entry.offset = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Names of all registered roots.
+    pub fn roots(&self) -> Vec<String> {
+        self.header()
+            .roots
+            .iter()
+            .filter(|e| e.name[0] != 0)
+            .map(|e| root_name(e).to_string())
+            .collect()
+    }
+
+    // -- durability ----------------------------------------------------------
+
+    /// Flushes a file-backed region's bytes to its image file. No-op for
+    /// anonymous regions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `msync` failures.
+    pub fn sync(&self) -> Result<()> {
+        self.check_open()?;
+        if let Backing::File { shared: true, .. } = self.inner.backing {
+            self.inner
+                .space
+                .sync_segment(self.inner.seg, self.inner.size)?;
+        }
+        Ok(())
+    }
+
+    /// Cleanly closes the region: clears the dirty flag, flushes (if
+    /// durable), unmaps, and releases the segment and registry entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/unmap failures; the region is unregistered either
+    /// way.
+    pub fn close(self) -> Result<()> {
+        self.inner.teardown(true)
+    }
+
+    /// Simulates a crash: the mapping is torn down *without* clearing the
+    /// dirty flag or issuing a final flush. A subsequent [`Region::open_file`]
+    /// will report [`Region::was_dirty`] so recovery can run.
+    pub fn crash(self) {
+        let _ = self.inner.teardown(false);
+    }
+
+    /// Path of the backing file, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.inner.backing {
+            Backing::File { path, .. } => Some(path),
+            Backing::Anonymous => None,
+        }
+    }
+}
+
+fn root_name(entry: &RootEntry) -> &str {
+    let len = entry
+        .name
+        .iter()
+        .position(|&b| b == 0)
+        .unwrap_or(entry.name.len());
+    std::str::from_utf8(&entry.name[..len]).unwrap_or("")
+}
+
+impl Inner {
+    fn teardown(&self, clean: bool) -> Result<()> {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let mut result = Ok(());
+        if clean {
+            // SAFETY: still mapped; we are the unique closer.
+            unsafe {
+                (*(self.base as *mut RegionHeader)).flags &= !FLAG_DIRTY;
+            }
+            if let Backing::File { shared: true, .. } = self.backing {
+                result = self.space.sync_segment(self.seg, self.size);
+            }
+        }
+        registry::unregister(self.rid);
+        self.space.unbind(self.rid, self.seg);
+        let d = self.space.decommit_segment(self.seg, self.size);
+        self.space.release_segment(self.seg);
+        result.and(d)
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        let _ = self.teardown(true);
+    }
+}
+
+fn auto_rid(space: &NvSpace) -> Result<u32> {
+    registry::alloc_rid(space.layout().max_rid(), |rid| space.is_bound(rid))
+        .ok_or(NvError::NoFreeSegment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "nvmsim-region-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn create_alloc_write_read() {
+        let r = Region::create(1 << 20).unwrap();
+        let p = r.alloc(128, 8).unwrap();
+        unsafe {
+            std::ptr::write_bytes(p.as_ptr(), 0x5A, 128);
+            assert_eq!(*p.as_ptr().add(127), 0x5A);
+        }
+        assert!(r.contains(p.as_ptr() as usize));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn rid_is_discoverable_from_any_inner_address() {
+        let r = Region::create(1 << 20).unwrap();
+        let p = r.alloc(64, 8).unwrap();
+        let space = NvSpace::global();
+        assert_eq!(space.rid_of_addr(p.as_ptr() as usize), r.rid());
+        assert_eq!(space.base_of_rid(r.rid()), r.base());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn roots_roundtrip_and_update() {
+        let r = Region::create(1 << 20).unwrap();
+        let a = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        let b = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        r.set_root("head", a).unwrap();
+        assert_eq!(r.root("head"), Some(a));
+        r.set_root("head", b).unwrap();
+        assert_eq!(r.root("head"), Some(b));
+        assert_eq!(r.root("tail"), None);
+        assert_eq!(r.roots(), vec!["head".to_string()]);
+        assert!(r.remove_root("head"));
+        assert!(!r.remove_root("head"));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn tagged_roots_validate_type() {
+        let r = Region::create(1 << 20).unwrap();
+        let a = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        r.set_root_tagged("list", a, 0x4c495354).unwrap();
+        assert_eq!(r.root_tag("list"), Some(0x4c495354));
+        assert_eq!(r.root_checked("list", 0x4c495354).unwrap(), a);
+        assert!(matches!(
+            r.root_checked("list", 0x54524545),
+            Err(NvError::BadImage(_))
+        ));
+        assert!(matches!(
+            r.root_checked("absent", 1),
+            Err(NvError::RootNotFound(_))
+        ));
+        // Untagged roots report tag 0.
+        r.set_root("plain", a).unwrap();
+        assert_eq!(r.root_tag("plain"), Some(0));
+        assert_eq!(r.root_tag("absent"), None);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn tagged_root_survives_reopen() {
+        let path = tmpdir().join("tagged.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            let a = r.alloc(64, 8).unwrap().as_ptr() as usize;
+            r.set_root_tagged("x", a, 77).unwrap();
+            r.close().unwrap();
+        }
+        let r = Region::open_file(&path).unwrap();
+        assert_eq!(r.root_tag("x"), Some(77));
+        r.root_checked("x", 77).unwrap();
+        r.close().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn root_directory_limits() {
+        let r = Region::create(1 << 20).unwrap();
+        let a = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        assert!(matches!(
+            r.set_root(&"x".repeat(32), a),
+            Err(NvError::RootNameTooLong(_))
+        ));
+        for i in 0..MAX_ROOTS {
+            r.set_root(&format!("r{i}"), a).unwrap();
+        }
+        assert!(matches!(
+            r.set_root("overflow", a),
+            Err(NvError::RootDirectoryFull)
+        ));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn file_region_persists_and_reopens_at_new_address() {
+        let path = tmpdir().join("persist.nvr");
+        let (rid, old_base, off);
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            rid = r.rid();
+            old_base = r.base();
+            let p = r.alloc(64, 8).unwrap();
+            unsafe { (p.as_ptr() as *mut u64).write(0xfeed_f00d) };
+            off = r.offset_of(p.as_ptr() as usize).unwrap();
+            r.set_root("value", p.as_ptr() as usize).unwrap();
+            r.close().unwrap();
+        }
+        let r = Region::open_file(&path).unwrap();
+        assert_eq!(r.rid(), rid);
+        assert!(!r.was_dirty(), "clean close recorded");
+        // With 255 free segments the odds of landing on the same base are
+        // 1/255; retry once if it happens.
+        if r.base() == old_base {
+            let p2 = r.root("value").unwrap();
+            assert_eq!(unsafe { *(p2 as *const u64) }, 0xfeed_f00d);
+            r.close().unwrap();
+            let r2 = Region::open_file(&path).unwrap();
+            assert_eq!(r2.root_off("value").unwrap(), off);
+            r2.close().unwrap();
+        } else {
+            assert_eq!(r.root_off("value").unwrap(), off);
+            let p2 = r.root("value").unwrap();
+            assert_eq!(unsafe { *(p2 as *const u64) }, 0xfeed_f00d);
+            r.close().unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crash_leaves_dirty_flag() {
+        let path = tmpdir().join("crash.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            r.sync().unwrap();
+            r.crash();
+        }
+        let r = Region::open_file(&path).unwrap();
+        assert!(r.was_dirty());
+        r.close().unwrap();
+        let r = Region::open_file(&path).unwrap();
+        assert!(!r.was_dirty(), "clean close resets the flag");
+        r.close().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn double_open_same_rid_rejected() {
+        let path = tmpdir().join("dup.nvr");
+        let r = Region::create_file(&path, 1 << 20).unwrap();
+        let err = Region::open_file(&path).unwrap_err();
+        assert!(matches!(err, NvError::InvalidRid { .. }));
+        r.close().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_image() {
+        let path = tmpdir().join("garbage.nvr");
+        std::fs::write(&path, vec![0u8; 4096]).unwrap();
+        assert!(matches!(
+            Region::open_file(&path),
+            Err(NvError::BadImage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cow_open_does_not_touch_file() {
+        let path = tmpdir().join("cow.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            let p = r.alloc(64, 8).unwrap();
+            unsafe { (p.as_ptr() as *mut u64).write(111) };
+            r.set_root("v", p.as_ptr() as usize).unwrap();
+            r.close().unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        {
+            let r = Region::open_file_cow(&path).unwrap();
+            let v = r.root("v").unwrap();
+            unsafe { (v as *mut u64).write(222) };
+            r.close().unwrap();
+        }
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(
+            before, after,
+            "MAP_PRIVATE session must not modify the image"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn closed_region_rejects_operations() {
+        let r = Region::create(1 << 20).unwrap();
+        let r2 = r.clone();
+        r.close().unwrap();
+        assert!(matches!(r2.alloc(64, 8), Err(NvError::RegionClosed { .. })));
+    }
+
+    #[test]
+    fn alloc_too_big_for_region_fails() {
+        let r = Region::create(1 << 16).unwrap();
+        assert!(matches!(
+            r.alloc(1 << 17, 8),
+            Err(NvError::OutOfMemory { .. })
+        ));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn dealloc_recycles_memory() {
+        let r = Region::create(1 << 20).unwrap();
+        let p1 = r.alloc(256, 8).unwrap();
+        unsafe { r.dealloc(p1, 256) };
+        let p2 = r.alloc(256, 8).unwrap();
+        assert_eq!(p1, p2);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn user_tag_roundtrips_through_file() {
+        let path = tmpdir().join("tag.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            r.set_user_tag(0xC0FFEE);
+            r.close().unwrap();
+        }
+        let r = Region::open_file(&path).unwrap();
+        assert_eq!(r.user_tag(), 0xC0FFEE);
+        r.close().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,354 @@
+//! Process-global registry of open regions, plus the runtime structures the
+//! *baseline* pointer representations depend on:
+//!
+//! * a **hashtable** mapping region ID → base address — the lookup a fat
+//!   pointer performs on every dereference (Section 5, "Fat Pointer");
+//! * the **`lastID`/`lastAddr` cache** used by the "fat pointer with cache"
+//!   variant (Section 6.3);
+//! * an auto-incrementing region-ID allocator.
+//!
+//! The hashtable mirrors PMDK, whose `pmemobj_direct` resolves the oid's
+//! pool id through a cuckoo hashtable behind a library-call boundary —
+//! reproducing the cost profile the paper measures for PMEM.IO-style fat
+//! pointers. Lookups are lock-free; mutations take a mutex.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of slots in the fat-pointer cuckoo table (power of two).
+const FAT_SLOTS: usize = 1024;
+
+/// One slot of the cuckoo table. `rid == 0` means empty.
+struct FatSlot {
+    rid: AtomicU32,
+    base: AtomicUsize,
+}
+
+/// The region-ID -> base hashtable that fat pointers resolve through.
+///
+/// Modeled on PMDK's `pmemobj_direct` path, which looks the pool up in a
+/// cuckoo hashtable by the oid's pool id: two hash positions per key, a
+/// (non-inlined) probe of each. Mutations (region open/close) take a lock
+/// and relocate entries cuckoo-style; lookups are lock-free.
+struct FatTable {
+    slots: [FatSlot; FAT_SLOTS],
+    write_lock: Mutex<()>,
+}
+
+/// 64-bit avalanche mix (the murmur3/xxhash finalizer), matching the
+/// weight of the hashing PMDK applies to a pool uuid per lookup.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+#[inline]
+fn fat_h1(rid: u32) -> usize {
+    mix64(mix64(rid as u64)) as usize & (FAT_SLOTS - 1)
+}
+
+#[inline]
+fn fat_h2(rid: u32) -> usize {
+    mix64(mix64(rid as u64 ^ 0x9E37_79B9_7F4A_7C15)) as usize & (FAT_SLOTS - 1)
+}
+
+impl FatTable {
+    const fn new() -> FatTable {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: FatSlot = FatSlot {
+            rid: AtomicU32::new(0),
+            base: AtomicUsize::new(0),
+        };
+        FatTable {
+            slots: [EMPTY; FAT_SLOTS],
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// The fat-pointer dereference path. Deliberately not inlined: PMDK's
+    /// equivalent is a library call, and the call boundary is part of the
+    /// cost the paper measures.
+    #[inline(never)]
+    fn lookup(&self, rid: u32) -> Option<usize> {
+        let s1 = &self.slots[fat_h1(rid)];
+        if s1.rid.load(Ordering::Acquire) == rid {
+            let base = s1.base.load(Ordering::Acquire);
+            if base != 0 {
+                return Some(base);
+            }
+        }
+        let s2 = &self.slots[fat_h2(rid)];
+        if s2.rid.load(Ordering::Acquire) == rid {
+            let base = s2.base.load(Ordering::Acquire);
+            if base != 0 {
+                return Some(base);
+            }
+        }
+        None
+    }
+
+    fn insert(&self, rid: u32, base: usize) {
+        let _g = self.write_lock.lock();
+        self.insert_locked(rid, base);
+    }
+
+    fn insert_locked(&self, mut rid: u32, mut base: usize) {
+        // Update in place if the key is already present.
+        for h in [fat_h1(rid), fat_h2(rid)] {
+            let slot = &self.slots[h];
+            if slot.rid.load(Ordering::Acquire) == rid {
+                slot.base.store(base, Ordering::Release);
+                return;
+            }
+        }
+        // Classic cuckoo placement: claim a position, evicting and
+        // relocating occupants to their alternate position as needed.
+        let mut idx = fat_h1(rid);
+        for _ in 0..FAT_SLOTS {
+            let slot = &self.slots[idx];
+            let occupant = slot.rid.load(Ordering::Acquire);
+            if occupant == 0 {
+                // Publish base before rid so lookups never see a fresh rid
+                // with a stale base.
+                slot.base.store(base, Ordering::Release);
+                slot.rid.store(rid, Ordering::Release);
+                return;
+            }
+            let obase = slot.base.load(Ordering::Acquire);
+            slot.base.store(base, Ordering::Release);
+            slot.rid.store(rid, Ordering::Release);
+            rid = occupant;
+            base = obase;
+            idx = if fat_h1(rid) == idx {
+                fat_h2(rid)
+            } else {
+                fat_h1(rid)
+            };
+        }
+        panic!("fat table full: too many open regions");
+    }
+
+    fn remove(&self, rid: u32) {
+        let _g = self.write_lock.lock();
+        for h in [fat_h1(rid), fat_h2(rid)] {
+            let slot = &self.slots[h];
+            if slot.rid.load(Ordering::Acquire) == rid {
+                slot.base.store(0, Ordering::Release);
+                slot.rid.store(0, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+static FAT: FatTable = FatTable::new();
+
+/// Looks up the base address of region `rid` through the fat-pointer
+/// hashtable. This is the per-dereference cost of the fat-pointer baseline.
+#[inline]
+pub fn fat_lookup(rid: u32) -> Option<usize> {
+    FAT.lookup(rid)
+}
+
+// -- lastID / lastAddr cache (fat pointer with cache) -----------------------
+
+static LAST_ID: AtomicU32 = AtomicU32::new(0);
+static LAST_BASE: AtomicUsize = AtomicUsize::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static COUNT_CACHE: AtomicBool = AtomicBool::new(false);
+
+/// Looks up region `rid`, consulting the `lastID`/`lastAddr` cache first —
+/// the paper's "fat pointer with cache" dereference path.
+#[inline]
+pub fn fat_lookup_cached(rid: u32) -> Option<usize> {
+    if LAST_ID.load(Ordering::Relaxed) == rid {
+        let base = LAST_BASE.load(Ordering::Relaxed);
+        if base != 0 {
+            if COUNT_CACHE.load(Ordering::Relaxed) {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(base);
+        }
+    }
+    if COUNT_CACHE.load(Ordering::Relaxed) {
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    let base = FAT.lookup(rid)?;
+    LAST_BASE.store(base, Ordering::Relaxed);
+    LAST_ID.store(rid, Ordering::Relaxed);
+    Some(base)
+}
+
+/// Enables or disables cache hit/miss counting (for the ABL-CACHE
+/// ablation). Returns the previous setting.
+pub fn set_cache_counting(on: bool) -> bool {
+    COUNT_CACHE.swap(on, Ordering::Relaxed)
+}
+
+/// Returns `(hits, misses)` accumulated while counting was enabled.
+pub fn cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets cache statistics and invalidates the cache entry.
+pub fn reset_cache() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+    LAST_ID.store(0, Ordering::Relaxed);
+    LAST_BASE.store(0, Ordering::Relaxed);
+}
+
+// -- open-region registry ----------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Summary of an open region, as recorded in the registry.
+pub struct RegionInfo {
+    /// Region ID.
+    pub rid: u32,
+    /// Current base address.
+    pub base: usize,
+    /// Region size in bytes.
+    pub size: usize,
+}
+
+static OPEN: Mutex<Vec<RegionInfo>> = Mutex::new(Vec::new());
+static NEXT_RID: AtomicU32 = AtomicU32::new(1);
+
+/// Records an open region and publishes it to the fat-pointer table.
+pub(crate) fn register(rid: u32, base: usize, size: usize) {
+    FAT.insert(rid, base);
+    let mut open = OPEN.lock();
+    open.retain(|r| r.rid != rid);
+    open.push(RegionInfo { rid, base, size });
+}
+
+/// Removes a region from the registry and the fat-pointer table, and
+/// invalidates the last-region cache if it points at it.
+pub(crate) fn unregister(rid: u32) {
+    FAT.remove(rid);
+    if LAST_ID.load(Ordering::Relaxed) == rid {
+        LAST_BASE.store(0, Ordering::Relaxed);
+        LAST_ID.store(0, Ordering::Relaxed);
+    }
+    OPEN.lock().retain(|r| r.rid != rid);
+}
+
+/// Allocates a fresh region ID, never reusing one handed out before in this
+/// process and skipping any id in `avoid`.
+pub fn alloc_rid(max_rid: u32, avoid: impl Fn(u32) -> bool) -> Option<u32> {
+    loop {
+        let rid = NEXT_RID.fetch_add(1, Ordering::Relaxed);
+        if rid > max_rid {
+            return None;
+        }
+        if !avoid(rid) {
+            return Some(rid);
+        }
+    }
+}
+
+/// Snapshot of the regions currently open in this process.
+pub fn open_regions() -> Vec<RegionInfo> {
+    OPEN.lock().clone()
+}
+
+/// Looks up an open region's info by id.
+pub fn region_info(rid: u32) -> Option<RegionInfo> {
+    OPEN.lock().iter().find(|r| r.rid == rid).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry state is process-global; tests use rids in a high band to
+    // avoid colliding with region tests running in the same binary.
+    const R: u32 = 60_000;
+
+    #[test]
+    fn fat_table_insert_lookup_remove() {
+        register(R, 0x1000, 64);
+        assert_eq!(fat_lookup(R), Some(0x1000));
+        unregister(R);
+        assert_eq!(fat_lookup(R), None);
+    }
+
+    #[test]
+    fn fat_table_rebind_updates_base() {
+        register(R + 1, 0x2000, 64);
+        register(R + 1, 0x3000, 64);
+        assert_eq!(fat_lookup(R + 1), Some(0x3000));
+        unregister(R + 1);
+    }
+
+    #[test]
+    fn many_rids_coexist_under_cuckoo_relocation() {
+        // Enough keys that cuckoo kicks are exercised, all must resolve.
+        let rids: Vec<u32> = (0..200).map(|i| R + 100 + i * 7).collect();
+        for (i, &rid) in rids.iter().enumerate() {
+            register(rid, 0x1_0000 + i * 16, 64);
+        }
+        for (i, &rid) in rids.iter().enumerate() {
+            assert_eq!(fat_lookup(rid), Some(0x1_0000 + i * 16), "rid {rid}");
+        }
+        for &rid in &rids {
+            unregister(rid);
+        }
+        for &rid in &rids {
+            assert_eq!(fat_lookup(rid), None);
+        }
+    }
+
+    #[test]
+    fn cached_lookup_hits_after_first_miss() {
+        register(R + 2, 0x4000, 64);
+        reset_cache();
+        set_cache_counting(true);
+        assert_eq!(fat_lookup_cached(R + 2), Some(0x4000));
+        assert_eq!(fat_lookup_cached(R + 2), Some(0x4000));
+        assert_eq!(fat_lookup_cached(R + 2), Some(0x4000));
+        set_cache_counting(false);
+        let (hits, misses) = cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+        unregister(R + 2);
+        assert_eq!(
+            fat_lookup_cached(R + 2),
+            None,
+            "unregister invalidates cache"
+        );
+    }
+
+    #[test]
+    fn alloc_rid_skips_avoided() {
+        let a = alloc_rid(u32::MAX, |_| false).unwrap();
+        let b = alloc_rid(u32::MAX, |r| r == a + 1).unwrap();
+        assert!(b > a && b != a + 1);
+    }
+
+    #[test]
+    fn open_regions_lists_registered() {
+        register(R + 3, 0x5000, 128);
+        let info = region_info(R + 3).unwrap();
+        assert_eq!(
+            info,
+            RegionInfo {
+                rid: R + 3,
+                base: 0x5000,
+                size: 128
+            }
+        );
+        assert!(open_regions().iter().any(|r| r.rid == R + 3));
+        unregister(R + 3);
+        assert!(region_info(R + 3).is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Two-level NVRegions (paper Section 4.3, "Discussions").
+//!
+//! "To allow more flexibility in region size, one could support in a
+//! single system two levels of NVRegions, small and large, using one extra
+//! bit (represented with L0) to distinguish them."
+//!
+//! This module models that design: a [`TwoLevelLayout`] carries two
+//! [`ExactLayout`]-style parameter sets sharing the leading-ones prefix,
+//! with the bit right below the prefix (`L0`) selecting the level. All
+//! address encodings/decodings and the disjointness guarantees are
+//! property-tested; the runtime simulator keeps single-level regions (the
+//! evaluation only needs those), so this is an arithmetic model like
+//! [`crate::layout::ExactLayout`].
+//!
+//! Note: the example parameters printed in the paper
+//! (`{L0=1; L1=2; L2=28; L3=34; L4=57}`) sum to 65 bits, which cannot be —
+//! the provided text appears garbled there. We use self-consistent
+//! parameters with the same advertised capacities (16 GiB small regions,
+//! 1 TiB large regions).
+
+use crate::error::{NvError, Result};
+use crate::layout::ExactLayout;
+
+/// Which of the two region levels an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Small regions (L0 bit clear).
+    Small,
+    /// Large regions (L0 bit set).
+    Large,
+}
+
+/// A two-level NV-space layout: one `L0` selector bit below the shared
+/// `l1` leading-ones prefix, then per-level `{l2, l3, l4}` splits of the
+/// remaining `64 - l1 - 1` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelLayout {
+    /// Shared leading-ones prefix width.
+    pub l1: u32,
+    /// Parameters of the small level (interpreted over `64 - l1 - 1` bits).
+    pub small: LevelParams,
+    /// Parameters of the large level.
+    pub large: LevelParams,
+}
+
+/// Per-level `{l2, l3, l4}` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelParams {
+    /// Segment-index bits.
+    pub l2: u32,
+    /// Within-segment offset bits.
+    pub l3: u32,
+    /// Region-ID bits.
+    pub l4: u32,
+}
+
+impl TwoLevelLayout {
+    /// A self-consistent configuration with the paper's advertised
+    /// capacities: small regions up to 16 GiB, large regions up to 1 TiB.
+    pub const PAPER_CAPACITIES: TwoLevelLayout = TwoLevelLayout {
+        l1: 2,
+        small: LevelParams {
+            l2: 27,
+            l3: 34,
+            l4: 57,
+        },
+        large: LevelParams {
+            l2: 21,
+            l3: 40,
+            l4: 57,
+        },
+    };
+
+    fn level_bits(&self) -> u32 {
+        64 - self.l1 - 1
+    }
+
+    /// Position of the `L0` selector bit.
+    pub fn l0_bit(&self) -> u32 {
+        self.level_bits()
+    }
+
+    fn as_exact(&self, level: Level) -> ExactLayout {
+        // Within a level, addresses look like a (64 - l1 - 1)-bit space;
+        // model it as an ExactLayout whose "prefix" is l1 ones + the L0
+        // bit value. ExactLayout wants l1+l2+l3 = 64, so extend the prefix.
+        let p = self.params(level);
+        ExactLayout {
+            l1: self.l1 + 1,
+            l2: p.l2,
+            l3: p.l3,
+            l4: p.l4,
+        }
+    }
+
+    /// The parameters of a level.
+    pub fn params(&self, level: Level) -> LevelParams {
+        match level {
+            Level::Small => self.small,
+            Level::Large => self.large,
+        }
+    }
+
+    /// Validates both levels' constraints (Section 4.3) plus the bit
+    /// budget `l2 + l3 = 64 - l1 - 1` per level.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadLayout`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [("small", self.small), ("large", self.large)] {
+            if p.l2 + p.l3 != self.level_bits() {
+                return Err(NvError::BadLayout(format!(
+                    "{name}: l2 + l3 ({} + {}) must equal 64 - l1 - 1 ({})",
+                    p.l2,
+                    p.l3,
+                    self.level_bits()
+                )));
+            }
+            self.as_exact(if name == "small" {
+                Level::Small
+            } else {
+                Level::Large
+            })
+            .validate()
+            .map_err(|e| NvError::BadLayout(format!("{name}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// The leading-ones prefix shared by both levels.
+    pub fn prefix(&self) -> u64 {
+        if self.l1 == 0 {
+            0
+        } else {
+            !0u64 << (64 - self.l1)
+        }
+    }
+
+    /// Classifies an address's level by its `L0` bit.
+    ///
+    /// Returns `None` for addresses outside the NV space.
+    pub fn level_of(&self, addr: u64) -> Option<Level> {
+        if self.l1 > 0 && addr >> (64 - self.l1) != (!0u64 >> (64 - self.l1)) {
+            return None;
+        }
+        Some(if addr & (1u64 << self.l0_bit()) != 0 {
+            Level::Large
+        } else {
+            Level::Small
+        })
+    }
+
+    /// Lowest `nvbase` whose flagging bit is set (usable for data).
+    pub fn first_usable_nvbase(&self, level: Level) -> u64 {
+        1u64 << (self.params(level).l2 - 1)
+    }
+
+    /// Composes a data address in the given level:
+    /// `[l1 ones][L0][nvbase][offset]`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `nvbase` has its flag bit set and the fields fit.
+    pub fn data_addr(&self, level: Level, nvbase: u64, offset: u64) -> u64 {
+        let p = self.params(level);
+        debug_assert!(nvbase >> (p.l2 - 1) == 1, "nvbase flag bit must be set");
+        debug_assert!(offset < (1u64 << p.l3));
+        let bit = match level {
+            Level::Small => 0,
+            Level::Large => 1u64 << self.l0_bit(),
+        };
+        self.prefix() | bit | (nvbase << p.l3) | offset
+    }
+
+    /// Extracts `(level, nvbase, offset)` from a data address.
+    pub fn decompose(&self, addr: u64) -> Option<(Level, u64, u64)> {
+        let level = self.level_of(addr)?;
+        let p = self.params(level);
+        Some((
+            level,
+            (addr >> p.l3) & ((1u64 << p.l2) - 1),
+            addr & ((1u64 << p.l3) - 1),
+        ))
+    }
+
+    /// `getBase` for the two-level design: mask the level's `l3` bits —
+    /// one extra branch (the L0 check) relative to the single-level design,
+    /// as the paper's discussion implies.
+    pub fn get_base(&self, addr: u64) -> Option<u64> {
+        let level = self.level_of(addr)?;
+        Some(addr & !((1u64 << self.params(level).l3) - 1))
+    }
+
+    /// Maximum region size at a level, in bytes.
+    pub fn max_region_size(&self, level: Level) -> u64 {
+        1u64 << self.params(level).l3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities_validate_and_match_advertised_sizes() {
+        let t = TwoLevelLayout::PAPER_CAPACITIES;
+        t.validate().unwrap();
+        assert_eq!(
+            t.max_region_size(Level::Small),
+            16 << 30,
+            "16 GiB small regions"
+        );
+        assert_eq!(
+            t.max_region_size(Level::Large),
+            1 << 40,
+            "1 TiB large regions"
+        );
+    }
+
+    #[test]
+    fn l0_bit_selects_the_level() {
+        let t = TwoLevelLayout::PAPER_CAPACITIES;
+        let small = t.data_addr(Level::Small, t.first_usable_nvbase(Level::Small), 42);
+        let large = t.data_addr(Level::Large, t.first_usable_nvbase(Level::Large), 42);
+        assert_eq!(t.level_of(small), Some(Level::Small));
+        assert_eq!(t.level_of(large), Some(Level::Large));
+        assert_eq!(t.level_of(0x0000_7fff_0000_0000), None, "non-NV address");
+    }
+
+    #[test]
+    fn decompose_roundtrips_both_levels() {
+        let t = TwoLevelLayout::PAPER_CAPACITIES;
+        for level in [Level::Small, Level::Large] {
+            let nv = t.first_usable_nvbase(level) | 3;
+            let addr = t.data_addr(level, nv, 777);
+            let (l2, nvb, off) = t.decompose(addr).unwrap();
+            assert_eq!(l2, level);
+            assert_eq!(nvb, nv);
+            assert_eq!(off, 777);
+            assert_eq!(t.get_base(addr).unwrap(), t.data_addr(level, nv, 0));
+        }
+    }
+
+    #[test]
+    fn small_and_large_data_addresses_never_collide() {
+        let t = TwoLevelLayout::PAPER_CAPACITIES;
+        // Same nvbase/offset numerals in both levels give distinct addresses.
+        let nv_s = t.first_usable_nvbase(Level::Small) | 5;
+        let nv_l = t.first_usable_nvbase(Level::Large) | 5;
+        let a = t.data_addr(Level::Small, nv_s, 99);
+        let b = t.data_addr(Level::Large, nv_l, 99);
+        assert_ne!(a, b);
+        assert_ne!(t.level_of(a), t.level_of(b));
+    }
+
+    #[test]
+    fn validation_rejects_bit_budget_violations() {
+        let mut t = TwoLevelLayout::PAPER_CAPACITIES;
+        t.small.l3 += 1; // l2 + l3 now 62 for l1 = 2
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn per_level_region_id_spaces_are_as_big_as_the_paper_says() {
+        // "allows 2^58 total (up to 16 millions loadable at one moment)
+        // NVRegions" — our l4 = 57 per level, two levels = 2^58 total ids.
+        let t = TwoLevelLayout::PAPER_CAPACITIES;
+        assert_eq!(t.small.l4, 57);
+        assert_eq!(t.large.l4, 57);
+    }
+}

@@ -1,0 +1,280 @@
+//! Node placement: where data-structure nodes are allocated.
+//!
+//! The paper's evaluation varies two placement dimensions independently of
+//! the pointer representation:
+//!
+//! * **transactionality** — nodes come either straight from the region
+//!   allocator ("non-transactional", Section 6.2) or from a
+//!   [`pstore::ObjectStore`] where each node is wrapped with PMEM.IO-style
+//!   metadata ("transactional", Section 6.3);
+//! * **region spread** — all nodes in one NVRegion, or placed round-robin
+//!   across `k` regions (the multi-region experiments of Figure 14).
+//!
+//! [`NodeArena`] encapsulates both choices behind one `alloc` call so the
+//! data structures stay oblivious to placement.
+
+use crate::error::Result;
+use nvmsim::Region;
+use pstore::ObjectStore;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Object-store type number used for data-structure nodes.
+pub const NODE_TYPE: u32 = 0x4e4f4445; // "NODE"
+
+#[derive(Debug)]
+enum Backend {
+    /// Direct region allocation (non-transactional configuration).
+    Raw(Vec<Region>),
+    /// Wrapped allocation through object stores (transactional
+    /// configuration); one store per region.
+    Stores(Vec<ObjectStore>),
+}
+
+/// Allocation source for data-structure nodes. See the module docs.
+#[derive(Debug)]
+pub struct NodeArena {
+    backend: Backend,
+    next: AtomicUsize,
+}
+
+impl NodeArena {
+    /// Non-transactional placement in a single region.
+    pub fn raw(region: Region) -> NodeArena {
+        NodeArena {
+            backend: Backend::Raw(vec![region]),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Non-transactional placement round-robin across `regions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty.
+    pub fn raw_round_robin(regions: Vec<Region>) -> NodeArena {
+        assert!(!regions.is_empty(), "at least one region required");
+        NodeArena {
+            backend: Backend::Raw(regions),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Transactional placement in a single store.
+    pub fn transactional(store: ObjectStore) -> NodeArena {
+        NodeArena {
+            backend: Backend::Stores(vec![store]),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Transactional placement round-robin across `stores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stores` is empty.
+    pub fn transactional_round_robin(stores: Vec<ObjectStore>) -> NodeArena {
+        assert!(!stores.is_empty(), "at least one store required");
+        NodeArena {
+            backend: Backend::Stores(stores),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of regions nodes are spread over.
+    pub fn fan_out(&self) -> usize {
+        match &self.backend {
+            Backend::Raw(r) => r.len(),
+            Backend::Stores(s) => s.len(),
+        }
+    }
+
+    /// Whether nodes are wrapped through the transactional store.
+    pub fn is_transactional(&self) -> bool {
+        matches!(self.backend, Backend::Stores(_))
+    }
+
+    /// The region that holds structure headers (the first one).
+    pub fn home_region(&self) -> &Region {
+        match &self.backend {
+            Backend::Raw(r) => &r[0],
+            Backend::Stores(s) => s[0].region(),
+        }
+    }
+
+    /// All regions in placement order.
+    pub fn regions(&self) -> Vec<Region> {
+        match &self.backend {
+            Backend::Raw(r) => r.clone(),
+            Backend::Stores(s) => s.iter().map(|st| st.region().clone()).collect(),
+        }
+    }
+
+    /// Allocates `size` bytes for a node, rotating over the configured
+    /// regions.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures from the region allocator or store.
+    pub fn alloc(&self, size: usize) -> Result<NonNull<u8>> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        match &self.backend {
+            Backend::Raw(regions) => Ok(regions[i % regions.len()].alloc(size, 16)?),
+            Backend::Stores(stores) => Ok(stores[i % stores.len()].alloc(NODE_TYPE, size)?),
+        }
+    }
+
+    /// Allocates in the *home* region specifically (used for headers and
+    /// bucket arrays that must share a region with the structure root).
+    ///
+    /// # Errors
+    ///
+    /// As [`NodeArena::alloc`].
+    pub fn alloc_home(&self, size: usize) -> Result<NonNull<u8>> {
+        match &self.backend {
+            Backend::Raw(regions) => Ok(regions[0].alloc(size, 16)?),
+            Backend::Stores(stores) => Ok(stores[0].alloc(NODE_TYPE, size)?),
+        }
+    }
+
+    /// Pre-scatters the placement of the next ~`count` allocations of
+    /// `node_size` bytes: carves that many blocks out of each region and
+    /// returns them to the free lists in *shuffled* order, so subsequent
+    /// node allocations land at randomized addresses.
+    ///
+    /// Sequential bump allocation would lay a freshly built structure out
+    /// contiguously, letting the CPU's stream prefetcher hide the memory
+    /// latency that real (and PMEP-emulated) NVM pointer chasing pays.
+    /// Scattering restores the latency-bound traversal regime the paper's
+    /// measurements ran in (see DESIGN.md, substitution S2).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures (the blocks are all freed again before return).
+    pub fn scatter(&self, count: usize, node_size: usize, seed: u64) -> Result<()> {
+        let regions = self.regions();
+        let effective = if self.is_transactional() {
+            pstore::OBJ_HEADER_SIZE + node_size
+        } else {
+            node_size
+        };
+        let per_region = count.div_ceil(regions.len());
+        let mut rng = seed | 1;
+        for region in &regions {
+            let mut blocks = Vec::with_capacity(per_region);
+            for _ in 0..per_region {
+                blocks.push(region.alloc(effective, 16)?);
+            }
+            // Fisher-Yates with an inline xorshift; deterministic per seed.
+            for i in (1..blocks.len()).rev() {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                blocks.swap(i, (rng as usize) % (i + 1));
+            }
+            for b in blocks {
+                // SAFETY: each block came from this region's alloc with
+                // the same size and is freed exactly once.
+                unsafe { region.dealloc(b, effective) };
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::NvSpace;
+
+    #[test]
+    fn raw_single_allocates_in_one_region() {
+        let r = Region::create(1 << 20).unwrap();
+        let arena = NodeArena::raw(r.clone());
+        assert_eq!(arena.fan_out(), 1);
+        assert!(!arena.is_transactional());
+        for _ in 0..8 {
+            let p = arena.alloc(64).unwrap();
+            assert!(r.contains(p.as_ptr() as usize));
+        }
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn round_robin_rotates_regions() {
+        let regions: Vec<Region> = (0..3).map(|_| Region::create(1 << 20).unwrap()).collect();
+        let arena = NodeArena::raw_round_robin(regions.clone());
+        let space = NvSpace::global();
+        let rids: Vec<u32> = (0..6)
+            .map(|_| space.rid_of_addr(arena.alloc(64).unwrap().as_ptr() as usize))
+            .collect();
+        assert_eq!(rids[0], rids[3]);
+        assert_eq!(rids[1], rids[4]);
+        assert_eq!(rids[2], rids[5]);
+        assert_ne!(rids[0], rids[1]);
+        assert_ne!(rids[1], rids[2]);
+        for r in regions {
+            r.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn transactional_allocations_are_wrapped() {
+        let r = Region::create(1 << 20).unwrap();
+        let store = ObjectStore::format(&r).unwrap();
+        let arena = NodeArena::transactional(store.clone());
+        assert!(arena.is_transactional());
+        let _p = arena.alloc(32).unwrap();
+        assert_eq!(store.object_count(), 1);
+        assert_eq!(store.objects_of_type(NODE_TYPE).len(), 1);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn scatter_randomizes_allocation_order() {
+        let r = Region::create(4 << 20).unwrap();
+        let arena = NodeArena::raw(r.clone());
+        arena.scatter(256, 48, 7).unwrap();
+        let addrs: Vec<usize> = (0..256)
+            .map(|_| arena.alloc(48).unwrap().as_ptr() as usize)
+            .collect();
+        let ascending = addrs.windows(2).filter(|w| w[1] > w[0]).count();
+        // A shuffled free list yields far from monotone addresses.
+        assert!(
+            ascending < 200,
+            "addresses look sequential: {ascending}/255 ascending"
+        );
+        // All blocks distinct and in the region.
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256);
+        assert!(addrs.iter().all(|&a| r.contains(a)));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn scatter_works_transactionally() {
+        let r = Region::create(4 << 20).unwrap();
+        let store = ObjectStore::format(&r).unwrap();
+        let arena = NodeArena::transactional(store);
+        arena.scatter(64, 48, 9).unwrap();
+        let a = arena.alloc(48).unwrap();
+        let b = arena.alloc(48).unwrap();
+        assert_ne!(a, b);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn home_region_is_first() {
+        let regions: Vec<Region> = (0..2).map(|_| Region::create(1 << 20).unwrap()).collect();
+        let arena = NodeArena::raw_round_robin(regions.clone());
+        assert_eq!(arena.home_region().rid(), regions[0].rid());
+        let p = arena.alloc_home(64).unwrap();
+        assert!(regions[0].contains(p.as_ptr() as usize));
+        assert_eq!(arena.regions().len(), 2);
+        for r in regions {
+            r.close().unwrap();
+        }
+    }
+}

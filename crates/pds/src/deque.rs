@@ -1,0 +1,400 @@
+//! Persistent doubly-linked deque.
+//!
+//! The evaluation's list is singly linked; real applications also want
+//! back-links (the paper's Figure 1 "next" problem applies to `prev`
+//! pointers identically). `PDeque` keeps two representation-typed links
+//! per node and supports O(1) insertion/removal at both ends plus forward
+//! and backward traversal — doubling the pointer density and therefore
+//! the stress on the representation under test.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use pi_core::{PtrRepr, SwizzledPtr};
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const DEQUE_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSDEQ01");
+
+/// Persistent deque header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct DequeHeader<R: PtrRepr> {
+    head: R,
+    tail: R,
+    len: u64,
+}
+
+/// A deque node with links in both directions.
+#[repr(C)]
+#[derive(Debug)]
+pub struct DequeNode<R: PtrRepr> {
+    next: R,
+    prev: R,
+    value: u64,
+}
+
+/// Doubly-linked persistent deque. See the module docs.
+#[derive(Debug)]
+pub struct PDeque<R: PtrRepr> {
+    arena: NodeArena,
+    header: *mut DequeHeader<R>,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr> PDeque<R> {
+    /// Creates an empty deque whose header lives in the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn new(arena: NodeArena) -> Result<PDeque<R>> {
+        let header = arena
+            .alloc_home(std::mem::size_of::<DequeHeader<R>>())?
+            .as_ptr() as *mut DequeHeader<R>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).head = R::null();
+            (*header).tail = R::null();
+            (*header).len = 0;
+        }
+        Ok(PDeque {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty deque published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, root: &str) -> Result<PDeque<R>> {
+        let d = Self::new(arena)?;
+        d.arena
+            .home_region()
+            .set_root_tagged(root, d.header as usize, DEQUE_ROOT_TAG)?;
+        Ok(d)
+    }
+
+    /// Attaches to a previously persisted deque by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent or mistyped.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PDeque<R>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, DEQUE_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("deque header"))?;
+        Ok(PDeque {
+            arena,
+            header: addr as *mut DequeHeader<R>,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).len }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    fn new_node(&mut self, value: u64) -> Result<*mut DequeNode<R>> {
+        let node = self
+            .arena
+            .alloc(std::mem::size_of::<DequeNode<R>>())?
+            .as_ptr() as *mut DequeNode<R>;
+        // SAFETY: freshly allocated.
+        unsafe {
+            (*node).next = R::null();
+            (*node).prev = R::null();
+            (*node).value = value;
+        }
+        Ok(node)
+    }
+
+    /// Pushes a value at the front.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn push_front(&mut self, value: u64) -> Result<()> {
+        let node = self.new_node(value)?;
+        // SAFETY: in-place stores; navigation via load_at_rest.
+        unsafe {
+            let old_head = (*self.header).head.load_at_rest() as *mut DequeNode<R>;
+            if old_head.is_null() {
+                (*self.header).tail.store(node as usize);
+            } else {
+                (*old_head).prev.store(node as usize);
+                (*node).next.store(old_head as usize);
+            }
+            (*self.header).head.store(node as usize);
+            (*self.header).len += 1;
+        }
+        Ok(())
+    }
+
+    /// Pushes a value at the back.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn push_back(&mut self, value: u64) -> Result<()> {
+        let node = self.new_node(value)?;
+        // SAFETY: as in push_front.
+        unsafe {
+            let old_tail = (*self.header).tail.load_at_rest() as *mut DequeNode<R>;
+            if old_tail.is_null() {
+                (*self.header).head.store(node as usize);
+            } else {
+                (*old_tail).next.store(node as usize);
+                (*node).prev.store(old_tail as usize);
+            }
+            (*self.header).tail.store(node as usize);
+            (*self.header).len += 1;
+        }
+        Ok(())
+    }
+
+    /// Pops the front value.
+    pub fn pop_front(&mut self) -> Option<u64> {
+        // SAFETY: links maintained by push/pop; node freed exactly once.
+        unsafe {
+            let node = (*self.header).head.load_at_rest() as *mut DequeNode<R>;
+            if node.is_null() {
+                return None;
+            }
+            let value = (*node).value;
+            let next = (*node).next.load_at_rest() as *mut DequeNode<R>;
+            if next.is_null() {
+                (*self.header).head.store(0);
+                (*self.header).tail.store(0);
+            } else {
+                (*next).prev.store(0);
+                (*self.header).head.store(next as usize);
+            }
+            (*self.header).len -= 1;
+            self.free_node(node);
+            Some(value)
+        }
+    }
+
+    /// Pops the back value.
+    pub fn pop_back(&mut self) -> Option<u64> {
+        // SAFETY: as in pop_front.
+        unsafe {
+            let node = (*self.header).tail.load_at_rest() as *mut DequeNode<R>;
+            if node.is_null() {
+                return None;
+            }
+            let value = (*node).value;
+            let prev = (*node).prev.load_at_rest() as *mut DequeNode<R>;
+            if prev.is_null() {
+                (*self.header).head.store(0);
+                (*self.header).tail.store(0);
+            } else {
+                (*prev).next.store(0);
+                (*self.header).tail.store(prev as usize);
+            }
+            (*self.header).len -= 1;
+            self.free_node(node);
+            Some(value)
+        }
+    }
+
+    unsafe fn free_node(&mut self, node: *mut DequeNode<R>) {
+        let addr = node as usize;
+        for region in self.arena.regions() {
+            if region.contains(addr) {
+                region.dealloc(
+                    std::ptr::NonNull::new_unchecked(node as *mut u8),
+                    std::mem::size_of::<DequeNode<R>>(),
+                );
+                return;
+            }
+        }
+        debug_assert!(false, "node not in any arena region");
+    }
+
+    /// Values front-to-back.
+    pub fn iter_forward(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        // SAFETY: links resolve to live nodes while regions are open.
+        unsafe {
+            let mut cur = (*self.header).head.load() as *const DequeNode<R>;
+            while !cur.is_null() {
+                out.push((*cur).value);
+                cur = (*cur).next.load() as *const DequeNode<R>;
+            }
+        }
+        out
+    }
+
+    /// Values back-to-front.
+    pub fn iter_backward(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        // SAFETY: as in iter_forward.
+        unsafe {
+            let mut cur = (*self.header).tail.load() as *const DequeNode<R>;
+            while !cur.is_null() {
+                out.push((*cur).value);
+                cur = (*cur).prev.load() as *const DequeNode<R>;
+            }
+        }
+        out
+    }
+
+    /// Checks the two traversal directions agree and match `len`.
+    pub fn verify(&self) -> bool {
+        let fwd = self.iter_forward();
+        let mut bwd = self.iter_backward();
+        bwd.reverse();
+        fwd == bwd && fwd.len() as u64 == self.len()
+    }
+}
+
+impl PDeque<SwizzledPtr> {
+    /// Load-time swizzle pass over both link directions.
+    pub fn swizzle(&mut self) {
+        // SAFETY: at-rest links resolve within the region.
+        unsafe {
+            let mut cur = (*self.header).head.swizzle_in_place() as *mut DequeNode<SwizzledPtr>;
+            (*self.header).tail.swizzle_in_place();
+            while !cur.is_null() {
+                (*cur).prev.swizzle_in_place();
+                cur = (*cur).next.swizzle_in_place() as *mut DequeNode<SwizzledPtr>;
+            }
+        }
+    }
+
+    /// Store-time unswizzle pass.
+    pub fn unswizzle(&mut self) {
+        // SAFETY: absolute links valid while the region is open.
+        unsafe {
+            let mut cur = (*self.header).head.unswizzle_in_place() as *mut DequeNode<SwizzledPtr>;
+            (*self.header).tail.unswizzle_in_place();
+            while !cur.is_null() {
+                (*cur).prev.unswizzle_in_place();
+                cur = (*cur).next.unswizzle_in_place() as *mut DequeNode<SwizzledPtr>;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{NormalPtr, OffHolder, Riv};
+
+    fn arena() -> (Region, NodeArena) {
+        let r = Region::create(4 << 20).unwrap();
+        (r.clone(), NodeArena::raw(r))
+    }
+
+    fn basic<R: PtrRepr>() {
+        let (r, arena) = arena();
+        let mut d: PDeque<R> = PDeque::new(arena).unwrap();
+        d.push_back(2).unwrap();
+        d.push_front(1).unwrap();
+        d.push_back(3).unwrap();
+        assert_eq!(d.iter_forward(), vec![1, 2, 3]);
+        assert_eq!(d.iter_backward(), vec![3, 2, 1]);
+        assert!(d.verify());
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_back(), Some(3));
+        assert_eq!(d.pop_back(), Some(2));
+        assert_eq!(d.pop_back(), None);
+        assert!(d.is_empty() && d.verify());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_reprs() {
+        basic::<NormalPtr>();
+        basic::<OffHolder>();
+        basic::<Riv>();
+    }
+
+    #[test]
+    fn random_ops_match_vecdeque_model() {
+        use std::collections::VecDeque;
+        let (r, arena) = arena();
+        let mut d: PDeque<Riv> = PDeque::new(arena).unwrap();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut x = 0xfeed_beef_u64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match x % 4 {
+                0 => {
+                    d.push_front(x).unwrap();
+                    model.push_front(x);
+                }
+                1 => {
+                    d.push_back(x).unwrap();
+                    model.push_back(x);
+                }
+                2 => assert_eq!(d.pop_front(), model.pop_front()),
+                _ => assert_eq!(d.pop_back(), model.pop_back()),
+            }
+            assert_eq!(d.len(), model.len() as u64);
+        }
+        assert_eq!(d.iter_forward(), model.iter().copied().collect::<Vec<_>>());
+        assert!(d.verify());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn swizzled_deque_protocol() {
+        let (r, arena) = arena();
+        let mut d: PDeque<SwizzledPtr> = PDeque::new(arena).unwrap();
+        for i in 0..50 {
+            d.push_back(i).unwrap();
+        }
+        d.swizzle();
+        assert_eq!(d.iter_forward(), (0..50).collect::<Vec<_>>());
+        assert!(d.verify());
+        d.unswizzle();
+        d.swizzle();
+        assert!(d.verify());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen_both_directions() {
+        let dir = std::env::temp_dir().join(format!("pds-deque-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.nvr");
+        {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            let mut d: PDeque<OffHolder> =
+                PDeque::create_rooted(NodeArena::raw(region.clone()), "d").unwrap();
+            for i in 0..200 {
+                d.push_back(i).unwrap();
+            }
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let mut d: PDeque<OffHolder> = PDeque::attach(NodeArena::raw(region.clone()), "d").unwrap();
+        assert!(d.verify());
+        assert_eq!(d.pop_front(), Some(0));
+        assert_eq!(d.pop_back(), Some(199));
+        assert_eq!(d.len(), 198);
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the persistent data structures.
+
+use nvmsim::NvError;
+use pstore::StoreError;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, PdsError>;
+
+/// Errors produced by the persistent data structures.
+#[derive(Debug)]
+pub enum PdsError {
+    /// Substrate failure (allocation, mapping, roots).
+    Nv(NvError),
+    /// Transactional-store failure.
+    Store(StoreError),
+    /// The structure's persistent root was not found in the region.
+    RootMissing(&'static str),
+    /// A word exceeds the inline capacity of a trie/wordcount node.
+    WordTooLong(String),
+    /// A word contains characters outside the trie's alphabet (`a-z`).
+    BadCharacter(char),
+}
+
+impl fmt::Display for PdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdsError::Nv(e) => write!(f, "nvm error: {e}"),
+            PdsError::Store(e) => write!(f, "store error: {e}"),
+            PdsError::RootMissing(name) => write!(f, "structure root {name:?} not found"),
+            PdsError::WordTooLong(w) => write!(f, "word too long: {w}"),
+            PdsError::BadCharacter(c) => write!(f, "character {c:?} outside the trie alphabet"),
+        }
+    }
+}
+
+impl std::error::Error for PdsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PdsError::Nv(e) => Some(e),
+            PdsError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvError> for PdsError {
+    fn from(e: NvError) -> Self {
+        PdsError::Nv(e)
+    }
+}
+
+impl From<StoreError> for PdsError {
+    fn from(e: StoreError) -> Self {
+        PdsError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error as _;
+        let e: PdsError = NvError::NoFreeSegment.into();
+        assert!(e.source().is_some());
+        let e: PdsError = StoreError::NotFormatted.into();
+        assert!(e.source().is_some());
+        for e in [
+            PdsError::RootMissing("list"),
+            PdsError::WordTooLong("w".repeat(40)),
+            PdsError::BadCharacter('!'),
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
+    }
+}

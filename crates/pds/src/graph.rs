@@ -1,0 +1,398 @@
+//! Persistent directed graph (adjacency lists).
+//!
+//! The paper's Figure 2 opens with a **graph** NVSet, and graphs head the
+//! list of structures broken by position dependence. `PGraph` stores nodes
+//! in a fixed-capacity directory of pointer slots (home region) and edges
+//! as per-node linked lists; every link uses the representation `R`, so a
+//! RIV-backed graph may span NVRegions while an off-holder graph stays
+//! intra-region — same trade-off as every other structure here.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use pi_core::PtrRepr;
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const GRAPH_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSGRPH1");
+
+/// Node identifier: the index in the graph's node directory.
+pub type NodeId = u32;
+
+/// Persistent graph header (lives in the home region, immediately
+/// followed by the node directory: `cap` slots of `R`).
+#[repr(C)]
+#[derive(Debug)]
+pub struct GraphHeader {
+    dir_off: u64,
+    cap: u64,
+    node_count: u64,
+    edge_count: u64,
+}
+
+/// A graph node: its id, a weight/payload, and the edge-list head.
+#[repr(C)]
+#[derive(Debug)]
+pub struct GraphNode<R: PtrRepr> {
+    id: u32,
+    _pad: u32,
+    weight: u64,
+    edges: R,
+}
+
+/// One directed edge in a node's adjacency list.
+#[repr(C)]
+#[derive(Debug)]
+pub struct EdgeNode<R: PtrRepr> {
+    next: R,
+    target: R,
+    label: u64,
+}
+
+/// Adjacency-list persistent graph. See the module docs.
+#[derive(Debug)]
+pub struct PGraph<R: PtrRepr> {
+    arena: NodeArena,
+    header: *mut GraphHeader,
+    dir: *mut R,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr> PGraph<R> {
+    /// Creates an empty graph that can hold up to `max_nodes` nodes.
+    /// (The directory is fixed-capacity: pointer slots must not move once
+    /// written, or self-relative representations would break.)
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_nodes == 0`.
+    pub fn new(arena: NodeArena, max_nodes: u32) -> Result<PGraph<R>> {
+        assert!(max_nodes > 0);
+        let header = arena
+            .alloc_home(std::mem::size_of::<GraphHeader>())?
+            .as_ptr() as *mut GraphHeader;
+        let dir = arena
+            .alloc_home(std::mem::size_of::<R>() * max_nodes as usize)?
+            .as_ptr() as *mut R;
+        let home = arena.home_region();
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).dir_off = home.offset_of(dir as usize)?;
+            (*header).cap = max_nodes as u64;
+            (*header).node_count = 0;
+            (*header).edge_count = 0;
+            for i in 0..max_nodes as usize {
+                dir.add(i).write(R::null());
+            }
+        }
+        Ok(PGraph {
+            arena,
+            header,
+            dir,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty graph published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, max_nodes: u32, root: &str) -> Result<PGraph<R>> {
+        let g = Self::new(arena, max_nodes)?;
+        g.arena
+            .home_region()
+            .set_root_tagged(root, g.header as usize, GRAPH_ROOT_TAG)?;
+        Ok(g)
+    }
+
+    /// Attaches to a previously persisted graph by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent or mistyped.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PGraph<R>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, GRAPH_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("graph header"))?;
+        let header = addr as *mut GraphHeader;
+        // SAFETY: header written by new(); dir_off valid in this mapping.
+        let dir = unsafe { arena.home_region().ptr_at((*header).dir_off) as *mut R };
+        Ok(PGraph {
+            arena,
+            header,
+            dir,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).node_count }
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).edge_count }
+    }
+
+    /// Maximum node capacity.
+    pub fn capacity(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).cap }
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    fn node_ptr(&self, id: NodeId) -> *mut GraphNode<R> {
+        debug_assert!((id as u64) < self.node_count());
+        // SAFETY: directory slots for id < node_count were stored by
+        // add_node.
+        unsafe { (*self.dir.add(id as usize)).load() as *mut GraphNode<R> }
+    }
+
+    /// Adds a node with the given weight; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::Nv`] on allocation failure, or (wrapping an
+    /// out-of-memory error) when the fixed node directory is full.
+    pub fn add_node(&mut self, weight: u64) -> Result<NodeId> {
+        // SAFETY: header mapped; single-threaded mutation per &mut self.
+        unsafe {
+            let id = (*self.header).node_count;
+            if id >= (*self.header).cap {
+                return Err(PdsError::Nv(nvmsim::NvError::OutOfMemory {
+                    region: self.arena.home_region().rid(),
+                    requested: std::mem::size_of::<GraphNode<R>>(),
+                }));
+            }
+            let node = self
+                .arena
+                .alloc(std::mem::size_of::<GraphNode<R>>())?
+                .as_ptr() as *mut GraphNode<R>;
+            (*node).id = id as u32;
+            (*node)._pad = 0;
+            (*node).weight = weight;
+            (*node).edges = R::null();
+            (*self.dir.add(id as usize)).store(node as usize);
+            (*self.header).node_count = id + 1;
+            Ok(id as u32)
+        }
+    }
+
+    /// Adds a directed, labeled edge `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts both ids are valid.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: u64) -> Result<()> {
+        let from_node = self.node_ptr_at_rest(from);
+        let to_node = self.node_ptr_at_rest(to);
+        // SAFETY: node pointers valid; edge freshly allocated; in-place
+        // representation stores.
+        unsafe {
+            let edge = self
+                .arena
+                .alloc(std::mem::size_of::<EdgeNode<R>>())?
+                .as_ptr() as *mut EdgeNode<R>;
+            (*edge).next = R::null();
+            (*edge).target = R::null();
+            (*edge).label = label;
+            let old_head = (*from_node).edges.load_at_rest();
+            (*edge).next.store(old_head);
+            (*edge).target.store(to_node as usize);
+            (*from_node).edges.store(edge as usize);
+            (*self.header).edge_count += 1;
+        }
+        Ok(())
+    }
+
+    fn node_ptr_at_rest(&self, id: NodeId) -> *mut GraphNode<R> {
+        assert!((id as u64) < self.node_count(), "node id {id} out of range");
+        // SAFETY: slot written by add_node.
+        unsafe { (*self.dir.add(id as usize)).load_at_rest() as *mut GraphNode<R> }
+    }
+
+    /// The weight of a node.
+    pub fn weight(&self, id: NodeId) -> u64 {
+        // SAFETY: node_ptr checks id range.
+        unsafe { (*self.node_ptr(id)).weight }
+    }
+
+    /// The out-neighbors of a node, newest edge first, with labels.
+    pub fn neighbors(&self, id: NodeId) -> Vec<(NodeId, u64)> {
+        let mut out = Vec::new();
+        // SAFETY: edge links stored by add_edge resolve to live nodes.
+        unsafe {
+            let mut cur = (*self.node_ptr(id)).edges.load() as *const EdgeNode<R>;
+            while !cur.is_null() {
+                let target = (*cur).target.load() as *const GraphNode<R>;
+                out.push(((*target).id, (*cur).label));
+                cur = (*cur).next.load() as *const EdgeNode<R>;
+            }
+        }
+        out
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.neighbors(id).len()
+    }
+
+    /// Breadth-first traversal from `start`; returns visited node ids in
+    /// visit order.
+    pub fn bfs(&self, start: NodeId) -> Vec<NodeId> {
+        let n = self.node_count() as usize;
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut order = Vec::new();
+        seen[start as usize] = true;
+        queue.push_back(start);
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for (next, _) in self.neighbors(id) {
+                if !seen[next as usize] {
+                    seen[next as usize] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        order
+    }
+
+    /// Sum of `weight ^ label` over every edge — a traversal checksum
+    /// touching every edge and its target node.
+    pub fn checksum(&self) -> u64 {
+        let mut sum = 0u64;
+        for id in 0..self.node_count() as u32 {
+            // SAFETY: as in neighbors.
+            unsafe {
+                let mut cur = (*self.node_ptr(id)).edges.load() as *const EdgeNode<R>;
+                while !cur.is_null() {
+                    let target = (*cur).target.load() as *const GraphNode<R>;
+                    sum = sum
+                        .wrapping_mul(31)
+                        .wrapping_add((*target).weight ^ (*cur).label);
+                    cur = (*cur).next.load() as *const EdgeNode<R>;
+                }
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{OffHolder, Riv};
+
+    fn diamond<R: PtrRepr>(g: &mut PGraph<R>) {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        for w in [10, 20, 30, 40] {
+            g.add_node(w).unwrap();
+        }
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(0, 2, 2).unwrap();
+        g.add_edge(1, 3, 3).unwrap();
+        g.add_edge(2, 3, 4).unwrap();
+    }
+
+    #[test]
+    fn build_and_query() {
+        let r = Region::create(4 << 20).unwrap();
+        let mut g: PGraph<OffHolder> = PGraph::new(NodeArena::raw(r.clone()), 16).unwrap();
+        diamond(&mut g);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.weight(2), 30);
+        let mut n0: Vec<NodeId> = g.neighbors(0).into_iter().map(|e| e.0).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        let bfs = g.bfs(0);
+        assert_eq!(bfs.len(), 4);
+        assert_eq!(bfs[0], 0);
+        assert_eq!(*bfs.last().unwrap(), 3, "sink visited last");
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn capacity_limit_is_an_error() {
+        let r = Region::create(1 << 20).unwrap();
+        let mut g: PGraph<Riv> = PGraph::new(NodeArena::raw(r.clone()), 2).unwrap();
+        g.add_node(1).unwrap();
+        g.add_node(2).unwrap();
+        assert!(g.add_node(3).is_err());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn cross_region_graph_with_riv() {
+        // Nodes spread over three regions; directory in the home region.
+        let regions: Vec<Region> = (0..3).map(|_| Region::create(1 << 20).unwrap()).collect();
+        let mut g: PGraph<Riv> =
+            PGraph::new(NodeArena::raw_round_robin(regions.clone()), 64).unwrap();
+        for i in 0..30 {
+            g.add_node(i).unwrap();
+        }
+        for i in 0..29u32 {
+            g.add_edge(i, i + 1, i as u64).unwrap();
+        }
+        // A chain across regions: BFS reaches everything.
+        assert_eq!(g.bfs(0).len(), 30);
+        assert_ne!(g.checksum(), 0);
+        for r in regions {
+            r.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pds-graph-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.nvr");
+        let checksum = {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            let mut g: PGraph<OffHolder> =
+                PGraph::create_rooted(NodeArena::raw(region.clone()), 16, "g").unwrap();
+            diamond(&mut g);
+            let c = g.checksum();
+            region.close().unwrap();
+            c
+        };
+        let region = Region::open_file(&path).unwrap();
+        let g: PGraph<OffHolder> = PGraph::attach(NodeArena::raw(region.clone()), "g").unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.checksum(), checksum);
+        assert_eq!(g.bfs(0).len(), 4);
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_are_allowed() {
+        let r = Region::create(1 << 20).unwrap();
+        let mut g: PGraph<Riv> = PGraph::new(NodeArena::raw(r.clone()), 4).unwrap();
+        let a = g.add_node(1).unwrap();
+        g.add_edge(a, a, 7).unwrap();
+        g.add_edge(a, a, 8).unwrap();
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.bfs(a), vec![a]);
+        r.close().unwrap();
+    }
+}

@@ -1,0 +1,387 @@
+//! Hash set with chained buckets, generic over the pointer representation.
+//!
+//! The paper's hash set (Section 6.1): "N entries with each key's values
+//! stored in a linked list; new values are put to the end of the
+//! corresponding linked list". The bucket array is an array of pointer
+//! slots in the home region; chains are nodes in the arena.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use crate::list::fill_payload;
+use pi_core::{PtrRepr, SwizzledPtr};
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const HASHSET_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSHSET1");
+
+/// Persistent hash-set header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct HashSetHeader {
+    buckets_off: u64,
+    nbuckets: u64,
+    len: u64,
+}
+
+/// A chain node: next pointer, key, payload.
+#[repr(C)]
+#[derive(Debug)]
+pub struct HsNode<R: PtrRepr, const P: usize> {
+    next: R,
+    key: u64,
+    payload: [u8; P],
+}
+
+#[inline]
+fn bucket_of(key: u64, nbuckets: u64) -> u64 {
+    // Fibonacci hashing keeps adjacent keys in distinct buckets.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % nbuckets
+}
+
+/// Chained-bucket persistent hash set. See the module docs.
+#[derive(Debug)]
+pub struct PHashSet<R: PtrRepr, const P: usize = 32> {
+    arena: NodeArena,
+    header: *mut HashSetHeader,
+    buckets: *mut R,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr, const P: usize> PHashSet<R, P> {
+    /// Creates an empty set with `nbuckets` buckets; header and bucket
+    /// array live in the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbuckets == 0`.
+    pub fn new(arena: NodeArena, nbuckets: u64) -> Result<PHashSet<R, P>> {
+        assert!(nbuckets > 0);
+        let header = arena
+            .alloc_home(std::mem::size_of::<HashSetHeader>())?
+            .as_ptr() as *mut HashSetHeader;
+        let buckets_ptr = arena
+            .alloc_home(std::mem::size_of::<R>() * nbuckets as usize)?
+            .as_ptr() as *mut R;
+        let home = arena.home_region();
+        let buckets_off = home.offset_of(buckets_ptr as usize)?;
+        // SAFETY: freshly allocated, exclusively owned ranges.
+        unsafe {
+            (*header).buckets_off = buckets_off;
+            (*header).nbuckets = nbuckets;
+            (*header).len = 0;
+            for i in 0..nbuckets as usize {
+                buckets_ptr.add(i).write(R::null());
+            }
+        }
+        Ok(PHashSet {
+            arena,
+            header,
+            buckets: buckets_ptr,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty set published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, nbuckets: u64, root: &str) -> Result<PHashSet<R, P>> {
+        let s = Self::new(arena, nbuckets)?;
+        s.arena
+            .home_region()
+            .set_root_tagged(root, s.header as usize, HASHSET_ROOT_TAG)?;
+        Ok(s)
+    }
+
+    /// Attaches to a previously persisted set by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PHashSet<R, P>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, HASHSET_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("hashset header"))?;
+        let header = addr as *mut HashSetHeader;
+        // SAFETY: the header was written by new(); buckets_off is a
+        // region offset valid in the current mapping.
+        let buckets = unsafe { arena.home_region().ptr_at((*header).buckets_off) as *mut R };
+        Ok(PHashSet {
+            arena,
+            header,
+            buckets,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).len }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).nbuckets }
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Address of the persistent header.
+    pub fn header_addr(&self) -> usize {
+        self.header as usize
+    }
+
+    /// Inserts `key`, appending to the end of its bucket's chain (as the
+    /// paper specifies). Returns whether the key was new.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn insert(&mut self, key: u64) -> Result<bool> {
+        // SAFETY: slots navigated in place (load_at_rest) and written in
+        // place (store); nodes are fixed once allocated.
+        unsafe {
+            let b = bucket_of(key, (*self.header).nbuckets) as usize;
+            let mut slot: *mut R = self.buckets.add(b);
+            loop {
+                let cur = (*slot).load_at_rest() as *mut HsNode<R, P>;
+                if cur.is_null() {
+                    break;
+                }
+                if (*cur).key == key {
+                    return Ok(false);
+                }
+                slot = &mut (*cur).next;
+            }
+            let node = self
+                .arena
+                .alloc(std::mem::size_of::<HsNode<R, P>>())?
+                .as_ptr() as *mut HsNode<R, P>;
+            (*node).next = R::null();
+            (*node).key = key;
+            (*node).payload = fill_payload::<P>(key);
+            (*slot).store(node as usize);
+            (*self.header).len += 1;
+            Ok(true)
+        }
+    }
+
+    /// Inserts all keys from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, keys: I) -> Result<()> {
+        for k in keys {
+            self.insert(k)?;
+        }
+        Ok(())
+    }
+
+    /// Membership test (the paper's random-search workload).
+    pub fn contains(&self, key: u64) -> bool {
+        // SAFETY: links resolve to live nodes while regions are open.
+        unsafe {
+            let b = bucket_of(key, (*self.header).nbuckets) as usize;
+            let mut cur = (*self.buckets.add(b)).load() as *const HsNode<R, P>;
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    return true;
+                }
+                cur = (*cur).next.load() as *const HsNode<R, P>;
+            }
+        }
+        false
+    }
+
+    /// Full traversal over every bucket chain; returns a checksum.
+    pub fn traverse(&self) -> u64 {
+        let mut sum = 0u64;
+        // SAFETY: as in contains.
+        unsafe {
+            for b in 0..(*self.header).nbuckets as usize {
+                let mut cur = (*self.buckets.add(b)).load() as *const HsNode<R, P>;
+                while !cur.is_null() {
+                    sum = sum
+                        .wrapping_mul(31)
+                        .wrapping_add((*cur).key ^ (*cur).payload[0] as u64);
+                    cur = (*cur).next.load() as *const HsNode<R, P>;
+                }
+            }
+        }
+        sum
+    }
+
+    /// All keys (bucket order; testing helper).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        // SAFETY: as in contains.
+        unsafe {
+            for b in 0..(*self.header).nbuckets as usize {
+                let mut cur = (*self.buckets.add(b)).load() as *const HsNode<R, P>;
+                while !cur.is_null() {
+                    out.push((*cur).key);
+                    cur = (*cur).next.load() as *const HsNode<R, P>;
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies payload integrity of every node.
+    pub fn verify_payloads(&self) -> bool {
+        // SAFETY: as in contains.
+        unsafe {
+            for b in 0..(*self.header).nbuckets as usize {
+                let mut cur = (*self.buckets.add(b)).load() as *const HsNode<R, P>;
+                while !cur.is_null() {
+                    if (*cur).payload != fill_payload::<P>((*cur).key) {
+                        return false;
+                    }
+                    cur = (*cur).next.load() as *const HsNode<R, P>;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<const P: usize> PHashSet<SwizzledPtr, P> {
+    /// Load-time swizzle pass over the bucket array and all chains.
+    pub fn swizzle(&mut self) {
+        // SAFETY: at-rest links resolve within the region.
+        unsafe {
+            for b in 0..(*self.header).nbuckets as usize {
+                let mut cur =
+                    (*self.buckets.add(b)).swizzle_in_place() as *mut HsNode<SwizzledPtr, P>;
+                while !cur.is_null() {
+                    cur = (*cur).next.swizzle_in_place() as *mut HsNode<SwizzledPtr, P>;
+                }
+            }
+        }
+    }
+
+    /// Store-time unswizzle pass.
+    pub fn unswizzle(&mut self) {
+        // SAFETY: absolute links valid while the region is open.
+        unsafe {
+            for b in 0..(*self.header).nbuckets as usize {
+                let mut cur =
+                    (*self.buckets.add(b)).unswizzle_in_place() as *mut HsNode<SwizzledPtr, P>;
+                while !cur.is_null() {
+                    cur = (*cur).next.unswizzle_in_place() as *mut HsNode<SwizzledPtr, P>;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{FatPtr, NormalPtr, OffHolder, Riv};
+
+    fn basic<R: PtrRepr>() {
+        let region = Region::create(8 << 20).unwrap();
+        let mut s: PHashSet<R, 32> = PHashSet::new(NodeArena::raw(region.clone()), 64).unwrap();
+        s.extend((0..500).map(|i| i * 3)).unwrap();
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.bucket_count(), 64);
+        assert!(s.contains(0) && s.contains(3 * 499));
+        assert!(!s.contains(1));
+        let mut keys = s.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(s.verify_payloads());
+        assert_eq!(s.traverse(), s.traverse());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_reprs() {
+        basic::<NormalPtr>();
+        basic::<OffHolder>();
+        basic::<Riv>();
+        basic::<FatPtr>();
+    }
+
+    #[test]
+    fn duplicate_insert_returns_false() {
+        let region = Region::create(1 << 20).unwrap();
+        let mut s: PHashSet<Riv, 32> = PHashSet::new(NodeArena::raw(region.clone()), 8).unwrap();
+        assert!(s.insert(42).unwrap());
+        assert!(!s.insert(42).unwrap());
+        assert_eq!(s.len(), 1);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_list_in_insert_order() {
+        let region = Region::create(1 << 20).unwrap();
+        let mut s: PHashSet<OffHolder, 32> =
+            PHashSet::new(NodeArena::raw(region.clone()), 1).unwrap();
+        s.extend([5, 1, 9]).unwrap();
+        assert_eq!(
+            s.keys(),
+            vec![5, 1, 9],
+            "tail append preserves insertion order"
+        );
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn swizzled_hashset_protocol() {
+        let region = Region::create(8 << 20).unwrap();
+        let mut s: PHashSet<SwizzledPtr, 32> =
+            PHashSet::new(NodeArena::raw(region.clone()), 32).unwrap();
+        s.extend(0..200).unwrap();
+        s.swizzle();
+        assert!(s.contains(150));
+        let c = s.traverse();
+        s.unswizzle();
+        s.swizzle();
+        assert_eq!(s.traverse(), c);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn persistence_roundtrip_at_new_address() {
+        let dir = std::env::temp_dir().join(format!("pds-hs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hs.nvr");
+        let checksum;
+        {
+            let region = Region::create_file(&path, 8 << 20).unwrap();
+            let mut s: PHashSet<OffHolder, 32> =
+                PHashSet::create_rooted(NodeArena::raw(region.clone()), 128, "hs").unwrap();
+            s.extend(0..1000).unwrap();
+            checksum = s.traverse();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let s: PHashSet<OffHolder, 32> =
+            PHashSet::attach(NodeArena::raw(region.clone()), "hs").unwrap();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.traverse(), checksum);
+        assert!(s.contains(999) && !s.contains(1000));
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,56 @@
+//! # pds — persistent dynamic data structures
+//!
+//! The four data structures of the paper's evaluation (Section 6.1) —
+//! linked list, binary (search) tree, hash set, and trie — plus the
+//! `wordcount` application of Section 6.3, all **generic over the pointer
+//! representation** from `pi-core`. Instantiating one structure with each
+//! representation is exactly how the paper compares off-holder, RIV, fat
+//! pointers, based pointers, swizzling, and normal pointers on identical
+//! workloads.
+//!
+//! Placement concerns (non-transactional vs. PMEM.IO-style transactional
+//! allocation; single-region vs. round-robin multi-region) are captured by
+//! [`NodeArena`].
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use nvmsim::Region;
+//! use pds::{NodeArena, PList};
+//! use pi_core::OffHolder;
+//!
+//! let region = Region::create(1 << 20)?;
+//! let mut list: PList<OffHolder, 32> = PList::new(NodeArena::raw(region.clone()))?;
+//! list.extend(0..100)?;
+//! assert_eq!(list.len(), 100);
+//! assert!(list.contains(42));
+//! region.close()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arena;
+pub mod bst;
+pub mod deque;
+pub mod error;
+pub mod graph;
+pub mod hashset;
+pub mod list;
+pub mod pmap;
+pub mod pvec;
+pub mod trie;
+pub mod wordcount;
+
+pub use arena::{NodeArena, NODE_TYPE};
+pub use bst::{BstNode, PBst, BST_ROOT_TAG};
+pub use deque::{DequeNode, PDeque, DEQUE_ROOT_TAG};
+pub use error::{PdsError, Result};
+pub use graph::{NodeId, PGraph, GRAPH_ROOT_TAG};
+pub use hashset::{HsNode, PHashSet, HASHSET_ROOT_TAG};
+pub use list::{fill_payload, ListNode, PList, LIST_ROOT_TAG};
+pub use pmap::{PMap, PMapNode, PMAP_ROOT_TAG};
+pub use pvec::{PVec, PlainData, PVEC_ROOT_TAG};
+pub use trie::{PTrie, TrieNode, ALPHABET, TRIE_ROOT_TAG};
+pub use wordcount::{WcNode, WordCount, MAX_WORD, WORDCOUNT_ROOT_TAG};

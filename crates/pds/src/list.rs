@@ -1,0 +1,442 @@
+//! Singly-linked list, generic over the pointer representation.
+//!
+//! One of the four dynamic data structures of the paper's evaluation
+//! (Section 6.1): "a single-direction linked list of a number of nodes".
+//! Each node carries a `u64` key, a fixed-size payload (the paper varies
+//! 32 vs. 256 bytes), and a `next` pointer in the representation under
+//! study. The list's persistent header (head pointer + length) lives in
+//! the arena's home region and can be published as a named root, so the
+//! whole structure is recoverable after the region is reopened at a
+//! different address — for every position-independent representation.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use pi_core::{PtrRepr, SwizzledPtr};
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const LIST_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSLIST1");
+
+/// Persistent list header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct ListHeader<R: PtrRepr> {
+    head: R,
+    len: u64,
+}
+
+/// A list node: `next` pointer, key, and `P` bytes of payload.
+#[repr(C)]
+#[derive(Debug)]
+pub struct ListNode<R: PtrRepr, const P: usize> {
+    next: R,
+    key: u64,
+    payload: [u8; P],
+}
+
+impl<R: PtrRepr, const P: usize> ListNode<R, P> {
+    /// The node's key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The node's payload.
+    pub fn payload(&self) -> &[u8; P] {
+        &self.payload
+    }
+}
+
+/// Deterministic payload contents derived from a key, so integrity can be
+/// verified after persistence round-trips.
+pub fn fill_payload<const P: usize>(key: u64) -> [u8; P] {
+    let mut payload = [0u8; P];
+    let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for b in payload.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+    payload
+}
+
+/// Singly-linked persistent list. See the module docs.
+#[derive(Debug)]
+pub struct PList<R: PtrRepr, const P: usize = 32> {
+    arena: NodeArena,
+    header: *mut ListHeader<R>,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr, const P: usize> PList<R, P> {
+    /// Creates an empty list whose header lives in the arena's home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn new(arena: NodeArena) -> Result<PList<R, P>> {
+        let header = arena
+            .alloc_home(std::mem::size_of::<ListHeader<R>>())?
+            .as_ptr() as *mut ListHeader<R>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).head = R::null();
+            (*header).len = 0;
+        }
+        Ok(PList {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty list and publishes its header as a named root of
+    /// the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, root: &str) -> Result<PList<R, P>> {
+        let list = Self::new(arena)?;
+        list.arena
+            .home_region()
+            .set_root_tagged(root, list.header as usize, LIST_ROOT_TAG)?;
+        Ok(list)
+    }
+
+    /// Attaches to a previously persisted list by its root name. The
+    /// arena must present the same regions the list was built over (the
+    /// home region first).
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PList<R, P>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, LIST_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("list header"))?;
+        Ok(PList {
+            arena,
+            header: addr as *mut ListHeader<R>,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u64 {
+        // SAFETY: header is mapped while the arena's regions are open.
+        unsafe { (*self.header).len }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Address of the persistent header (for roots and diagnostics).
+    pub fn header_addr(&self) -> usize {
+        self.header as usize
+    }
+
+    /// Pushes a node with `key` and a deterministic payload to the front.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn push_front(&mut self, key: u64) -> Result<()> {
+        let node = self
+            .arena
+            .alloc(std::mem::size_of::<ListNode<R, P>>())?
+            .as_ptr() as *mut ListNode<R, P>;
+        // SAFETY: node freshly allocated; header mapped; representation
+        // stores happen in place (slots at their final addresses).
+        unsafe {
+            (*node).key = key;
+            (*node).payload = fill_payload::<P>(key);
+            (*node).next = R::null();
+            let old_head = (*self.header).head.load_at_rest();
+            (*node).next.store(old_head);
+            (*self.header).head.store(node as usize);
+            (*self.header).len += 1;
+        }
+        Ok(())
+    }
+
+    /// Populates the list with `keys` (front-insertion: traversal visits
+    /// them in reverse order).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, keys: I) -> Result<()> {
+        for k in keys {
+            self.push_front(k)?;
+        }
+        Ok(())
+    }
+
+    /// Full traversal; returns a checksum of keys and payload bytes.
+    /// This is the paper's traversal workload: pure pointer chasing with
+    /// one payload touch per node.
+    pub fn traverse(&self) -> u64 {
+        let mut sum = 0u64;
+        // SAFETY: links were stored by push_front and resolve to live
+        // nodes while the regions are open.
+        unsafe {
+            let mut cur = (*self.header).head.load() as *const ListNode<R, P>;
+            while !cur.is_null() {
+                sum = sum
+                    .wrapping_mul(31)
+                    .wrapping_add((*cur).key ^ (*cur).payload[0] as u64);
+                cur = (*cur).next.load() as *const ListNode<R, P>;
+            }
+        }
+        sum
+    }
+
+    /// Linear search for `key`.
+    pub fn contains(&self, key: u64) -> bool {
+        // SAFETY: as in traverse.
+        unsafe {
+            let mut cur = (*self.header).head.load() as *const ListNode<R, P>;
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    return true;
+                }
+                cur = (*cur).next.load() as *const ListNode<R, P>;
+            }
+        }
+        false
+    }
+
+    /// Iterates over the nodes in traversal order.
+    ///
+    /// The iterator borrows the list: nodes stay mapped and unmodified for
+    /// its lifetime.
+    pub fn iter(&self) -> Iter<'_, R, P> {
+        // SAFETY: head resolves to a live node (or null) while the regions
+        // are open, which the borrow of self guarantees.
+        let first = unsafe { (*self.header).head.load() as *const ListNode<R, P> };
+        Iter {
+            cur: first,
+            _list: std::marker::PhantomData,
+        }
+    }
+
+    /// All keys in traversal order (testing/verification helper).
+    pub fn keys(&self) -> Vec<u64> {
+        self.iter().map(|n| n.key()).collect()
+    }
+
+    /// Verifies every node's payload matches its key's deterministic fill.
+    pub fn verify_payloads(&self) -> bool {
+        // SAFETY: as in traverse.
+        unsafe {
+            let mut cur = (*self.header).head.load() as *const ListNode<R, P>;
+            while !cur.is_null() {
+                if (*cur).payload != fill_payload::<P>((*cur).key) {
+                    return false;
+                }
+                cur = (*cur).next.load() as *const ListNode<R, P>;
+            }
+        }
+        true
+    }
+}
+
+/// Iterator over a [`PList`]'s nodes. Created by [`PList::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, R: PtrRepr, const P: usize> {
+    cur: *const ListNode<R, P>,
+    _list: std::marker::PhantomData<&'a PList<R, P>>,
+}
+
+impl<'a, R: PtrRepr, const P: usize> Iterator for Iter<'a, R, P> {
+    type Item = &'a ListNode<R, P>;
+
+    fn next(&mut self) -> Option<&'a ListNode<R, P>> {
+        if self.cur.is_null() {
+            return None;
+        }
+        // SAFETY: cur is a live node; the borrow on the list keeps the
+        // region mapped and the structure unmodified.
+        unsafe {
+            let node = &*self.cur;
+            self.cur = node.next.load() as *const ListNode<R, P>;
+            Some(node)
+        }
+    }
+}
+
+impl<const P: usize> PList<SwizzledPtr, P> {
+    /// The load-time swizzle pass: converts every pointer (header included)
+    /// from its at-rest offset form to a direct absolute pointer. O(n).
+    pub fn swizzle(&mut self) {
+        // SAFETY: at-rest links resolve within the home region; each slot
+        // is visited exactly once.
+        unsafe {
+            let mut cur = (*self.header).head.swizzle_in_place() as *mut ListNode<SwizzledPtr, P>;
+            while !cur.is_null() {
+                cur = (*cur).next.swizzle_in_place() as *mut ListNode<SwizzledPtr, P>;
+            }
+        }
+    }
+
+    /// The store-time unswizzle pass: converts every pointer back to the
+    /// position-independent at-rest form. O(n).
+    pub fn unswizzle(&mut self) {
+        // SAFETY: absolute links are valid while the region is open.
+        unsafe {
+            let mut cur = (*self.header).head.unswizzle_in_place() as *mut ListNode<SwizzledPtr, P>;
+            while !cur.is_null() {
+                cur = (*cur).next.unswizzle_in_place() as *mut ListNode<SwizzledPtr, P>;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{FatPtr, NormalPtr, OffHolder, Riv};
+
+    fn arena() -> (Region, NodeArena) {
+        let r = Region::create(4 << 20).unwrap();
+        (r.clone(), NodeArena::raw(r))
+    }
+
+    fn basic_roundtrip<R: PtrRepr>() {
+        let (r, arena) = arena();
+        let mut list: PList<R, 32> = PList::new(arena).unwrap();
+        assert!(list.is_empty());
+        list.extend(0..100).unwrap();
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.keys(), (0..100).rev().collect::<Vec<_>>());
+        assert!(list.contains(0) && list.contains(99) && !list.contains(100));
+        assert!(list.verify_payloads());
+        let c1 = list.traverse();
+        let c2 = list.traverse();
+        assert_eq!(c1, c2);
+        assert_ne!(c1, 0);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_reprs() {
+        basic_roundtrip::<NormalPtr>();
+        basic_roundtrip::<OffHolder>();
+        basic_roundtrip::<Riv>();
+        basic_roundtrip::<FatPtr>();
+    }
+
+    #[test]
+    fn swizzled_list_protocol() {
+        let (r, arena) = arena();
+        let mut list: PList<SwizzledPtr, 32> = PList::new(arena).unwrap();
+        list.extend(0..50).unwrap();
+        list.swizzle();
+        assert_eq!(list.keys(), (0..50).rev().collect::<Vec<_>>());
+        let c = list.traverse();
+        list.unswizzle();
+        list.swizzle();
+        assert_eq!(list.traverse(), c, "swizzle/unswizzle round-trips");
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn persistence_roundtrip_at_new_address() {
+        let dir = std::env::temp_dir().join(format!("pds-list-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("list.nvr");
+        let checksum;
+        {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            let mut list: PList<OffHolder, 32> =
+                PList::create_rooted(NodeArena::raw(region.clone()), "list").unwrap();
+            list.extend(0..1000).unwrap();
+            checksum = list.traverse();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let list: PList<OffHolder, 32> =
+            PList::attach(NodeArena::raw(region.clone()), "list").unwrap();
+        assert_eq!(list.len(), 1000);
+        assert_eq!(list.traverse(), checksum);
+        assert!(list.verify_payloads());
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn normal_pointers_break_across_reopen() {
+        // The motivating failure (paper Figure 1): absolute pointers do not
+        // survive remapping. We verify the stored value points outside the
+        // new mapping rather than dereferencing garbage.
+        let dir = std::env::temp_dir().join(format!("pds-listn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("norm.nvr");
+        let old_base;
+        {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            old_base = region.base();
+            let mut list: PList<NormalPtr, 32> =
+                PList::create_rooted(NodeArena::raw(region.clone()), "list").unwrap();
+            list.extend(0..4).unwrap();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        if region.base() != old_base {
+            let header = region.root("list").unwrap() as *const ListHeader<NormalPtr>;
+            let head = unsafe { (*header).head.load() };
+            assert!(
+                !region.contains(head),
+                "stale absolute pointer must not fall inside the new mapping"
+            );
+        }
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_region_list_with_riv() {
+        let regions: Vec<Region> = (0..3).map(|_| Region::create(1 << 20).unwrap()).collect();
+        let arena = NodeArena::raw_round_robin(regions.clone());
+        let mut list: PList<Riv, 32> = PList::new(arena).unwrap();
+        list.extend(0..30).unwrap();
+        assert_eq!(list.len(), 30);
+        assert_eq!(list.keys().len(), 30);
+        assert!(list.verify_payloads());
+        for r in regions {
+            r.close().unwrap();
+        }
+    }
+
+    #[test]
+    fn iter_yields_nodes_with_keys_and_payloads() {
+        let (r, arena) = arena();
+        let mut list: PList<Riv, 32> = PList::new(arena).unwrap();
+        list.extend([10, 20, 30]).unwrap();
+        let collected: Vec<u64> = list.iter().map(|n| n.key()).collect();
+        assert_eq!(collected, vec![30, 20, 10]);
+        for node in list.iter() {
+            assert_eq!(*node.payload(), fill_payload::<32>(node.key()));
+        }
+        assert_eq!(list.iter().count() as u64, list.len());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn attach_missing_root_errors() {
+        let (r, arena) = arena();
+        let err = PList::<Riv, 32>::attach(arena, "nope").unwrap_err();
+        assert!(matches!(err, PdsError::RootMissing(_)));
+        r.close().unwrap();
+    }
+}

@@ -1,0 +1,415 @@
+//! Persistent ordered map (BST-based key → value).
+//!
+//! The paper lists maps among the structures affected by position
+//! dependence ("linked lists, graphs, trees, hash tables, maps, classes").
+//! `PMap` is the map counterpart of [`crate::PBst`]: a binary search tree
+//! whose nodes carry a fixed-size [`PlainData`] value, with full
+//! insert/get/update/**remove** support.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use crate::pvec::PlainData;
+use pi_core::PtrRepr;
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const PMAP_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSPMAP1");
+
+/// Persistent map header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct PMapHeader<R: PtrRepr> {
+    root: R,
+    len: u64,
+}
+
+/// A map node.
+#[repr(C)]
+#[derive(Debug)]
+pub struct PMapNode<R: PtrRepr, V: PlainData> {
+    left: R,
+    right: R,
+    key: u64,
+    value: V,
+}
+
+/// BST-based persistent map. See the module docs.
+#[derive(Debug)]
+pub struct PMap<R: PtrRepr, V: PlainData> {
+    arena: NodeArena,
+    header: *mut PMapHeader<R>,
+    _marker: PhantomData<(R, V)>,
+}
+
+impl<R: PtrRepr, V: PlainData> PMap<R, V> {
+    /// Creates an empty map whose header lives in the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn new(arena: NodeArena) -> Result<PMap<R, V>> {
+        let header = arena
+            .alloc_home(std::mem::size_of::<PMapHeader<R>>())?
+            .as_ptr() as *mut PMapHeader<R>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).root = R::null();
+            (*header).len = 0;
+        }
+        Ok(PMap {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty map published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, root: &str) -> Result<PMap<R, V>> {
+        let m = Self::new(arena)?;
+        m.arena
+            .home_region()
+            .set_root_tagged(root, m.header as usize, PMAP_ROOT_TAG)?;
+        Ok(m)
+    }
+
+    /// Attaches to a previously persisted map by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent or mistyped.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PMap<R, V>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, PMAP_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("pmap header"))?;
+        Ok(PMap {
+            arena,
+            header: addr as *mut PMapHeader<R>,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).len }
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>> {
+        // SAFETY: navigation via load_at_rest, in-place stores; nodes fixed
+        // once allocated.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).root;
+            loop {
+                let cur = (*slot).load_at_rest() as *mut PMapNode<R, V>;
+                if cur.is_null() {
+                    break;
+                }
+                if key == (*cur).key {
+                    let old = (*cur).value;
+                    (*cur).value = value;
+                    return Ok(Some(old));
+                }
+                slot = if key < (*cur).key {
+                    &mut (*cur).left
+                } else {
+                    &mut (*cur).right
+                };
+            }
+            let node = self
+                .arena
+                .alloc(std::mem::size_of::<PMapNode<R, V>>())?
+                .as_ptr() as *mut PMapNode<R, V>;
+            (*node).left = R::null();
+            (*node).right = R::null();
+            (*node).key = key;
+            (*node).value = value;
+            (*slot).store(node as usize);
+            (*self.header).len += 1;
+            Ok(None)
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        // SAFETY: links resolve to live nodes while regions are open.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const PMapNode<R, V>;
+            while !cur.is_null() {
+                if key == (*cur).key {
+                    return Some((*cur).value);
+                }
+                cur = if key < (*cur).key {
+                    (*cur).left.load() as *const PMapNode<R, V>
+                } else {
+                    (*cur).right.load() as *const PMapNode<R, V>
+                };
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value if it was present. Standard BST
+    /// deletion: leaves unlink, single-child nodes splice, two-child nodes
+    /// swap with their in-order successor.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        // SAFETY: mutation path uses load_at_rest navigation and in-place
+        // stores; the removed node is returned to the allocator with no
+        // outstanding references.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).root;
+            loop {
+                let cur = (*slot).load_at_rest() as *mut PMapNode<R, V>;
+                if cur.is_null() {
+                    return None;
+                }
+                if key == (*cur).key {
+                    let value = (*cur).value;
+                    self.unlink(slot, cur);
+                    (*self.header).len -= 1;
+                    return Some(value);
+                }
+                slot = if key < (*cur).key {
+                    &mut (*cur).left
+                } else {
+                    &mut (*cur).right
+                };
+            }
+        }
+    }
+
+    unsafe fn unlink(&mut self, slot: *mut R, node: *mut PMapNode<R, V>) {
+        let left = (*node).left.load_at_rest() as *mut PMapNode<R, V>;
+        let right = (*node).right.load_at_rest() as *mut PMapNode<R, V>;
+        match (left.is_null(), right.is_null()) {
+            (true, true) => (*slot).store(0),
+            (false, true) => (*slot).store(left as usize),
+            (true, false) => (*slot).store(right as usize),
+            (false, false) => {
+                // Find the in-order successor (leftmost of right subtree)
+                // and move its key/value into `node`, then unlink it.
+                let mut succ_slot: *mut R = &mut (*node).right;
+                let mut succ = (*succ_slot).load_at_rest() as *mut PMapNode<R, V>;
+                while {
+                    let l = (*succ).left.load_at_rest() as *mut PMapNode<R, V>;
+                    !l.is_null()
+                } {
+                    succ_slot = &mut (*succ).left;
+                    succ = (*succ_slot).load_at_rest() as *mut PMapNode<R, V>;
+                }
+                (*node).key = (*succ).key;
+                (*node).value = (*succ).value;
+                let succ_right = (*succ).right.load_at_rest();
+                (*succ_slot).store(succ_right);
+                self.free_node(succ);
+                return;
+            }
+        }
+        self.free_node(node);
+    }
+
+    unsafe fn free_node(&mut self, node: *mut PMapNode<R, V>) {
+        // Nodes allocated by this map may live in any of the arena's
+        // regions; find the owner to return the block.
+        let addr = node as usize;
+        for region in self.arena.regions() {
+            if region.contains(addr) {
+                region.dealloc(
+                    std::ptr::NonNull::new_unchecked(node as *mut u8),
+                    std::mem::size_of::<PMapNode<R, V>>(),
+                );
+                return;
+            }
+        }
+        debug_assert!(false, "node not in any arena region");
+    }
+
+    /// All `(key, value)` pairs in key order.
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<*const PMapNode<R, V>> = Vec::new();
+        // SAFETY: as in get.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const PMapNode<R, V>;
+            loop {
+                while !cur.is_null() {
+                    stack.push(cur);
+                    cur = (*cur).left.load() as *const PMapNode<R, V>;
+                }
+                let Some(n) = stack.pop() else { break };
+                out.push(((*n).key, (*n).value));
+                cur = (*n).right.load() as *const PMapNode<R, V>;
+            }
+        }
+        out
+    }
+
+    /// Verifies the BST ordering invariant and the length counter.
+    pub fn verify(&self) -> bool {
+        let entries = self.entries();
+        entries.len() as u64 == self.len() && entries.windows(2).all(|w| w[0].0 < w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{OffHolder, Riv};
+
+    fn arena() -> (Region, NodeArena) {
+        let r = Region::create(4 << 20).unwrap();
+        (r.clone(), NodeArena::raw(r))
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let (r, arena) = arena();
+        let mut m: PMap<Riv, u64> = PMap::new(arena).unwrap();
+        assert_eq!(m.insert(5, 50).unwrap(), None);
+        assert_eq!(m.insert(3, 30).unwrap(), None);
+        assert_eq!(m.insert(5, 55).unwrap(), Some(50), "update returns old");
+        assert_eq!(m.get(5), Some(55));
+        assert_eq!(m.get(3), Some(30));
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.verify());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn remove_all_three_cases() {
+        let (r, arena) = arena();
+        let mut m: PMap<OffHolder, u32> = PMap::new(arena).unwrap();
+        //          50
+        //        /    \
+        //      30      70
+        //     /  \    /
+        //   20    40 60
+        for k in [50u64, 30, 70, 20, 40, 60] {
+            m.insert(k, k as u32 * 10).unwrap();
+        }
+        // Leaf removal.
+        assert_eq!(m.remove(20), Some(200));
+        assert!(m.verify());
+        // Single-child removal (70 has only left child 60).
+        assert_eq!(m.remove(70), Some(700));
+        assert!(m.verify());
+        // Two-children removal (root 50 -> successor 60).
+        assert_eq!(m.remove(50), Some(500));
+        assert!(m.verify());
+        assert_eq!(m.remove(50), None, "already gone");
+        assert_eq!(
+            m.entries().into_iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![30, 40, 60]
+        );
+        assert_eq!(m.len(), 3);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn removed_nodes_are_recycled() {
+        let (r, arena) = arena();
+        let mut m: PMap<Riv, u64> = PMap::new(arena).unwrap();
+        for k in 0..100 {
+            m.insert(k, k).unwrap();
+        }
+        let live_before = r.stats().live_allocs;
+        for k in 0..100 {
+            m.remove(k).unwrap();
+        }
+        assert!(m.is_empty());
+        assert_eq!(r.stats().live_allocs, live_before - 100);
+        // Reinsert reuses freed blocks without growing the bump frontier.
+        let bump_before = r.stats().bump;
+        for k in 0..100 {
+            m.insert(k, k).unwrap();
+        }
+        assert_eq!(r.stats().bump, bump_before);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn random_ops_match_btreemap_model() {
+        use std::collections::BTreeMap;
+        let (r, arena) = arena();
+        let mut m: PMap<Riv, u64> = PMap::new(arena).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 200;
+            match x % 3 {
+                0 => {
+                    assert_eq!(m.insert(key, x).unwrap(), model.insert(key, x));
+                }
+                1 => {
+                    assert_eq!(m.remove(key), model.remove(&key));
+                }
+                _ => {
+                    assert_eq!(m.get(key), model.get(&key).copied());
+                }
+            }
+        }
+        assert_eq!(
+            m.entries(),
+            model.into_iter().collect::<Vec<_>>(),
+            "final contents match the model"
+        );
+        assert!(m.verify());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pds-pmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.nvr");
+        {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            let mut m: PMap<OffHolder, u64> =
+                PMap::create_rooted(NodeArena::raw(region.clone()), "m").unwrap();
+            for k in 0..300 {
+                m.insert(k, k * k).unwrap();
+            }
+            m.remove(7).unwrap();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let mut m: PMap<OffHolder, u64> =
+            PMap::attach(NodeArena::raw(region.clone()), "m").unwrap();
+        assert_eq!(m.len(), 299);
+        assert_eq!(m.get(12), Some(144));
+        assert_eq!(m.get(7), None);
+        m.insert(7, 49).unwrap();
+        assert!(m.verify());
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

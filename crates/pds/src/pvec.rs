@@ -1,0 +1,376 @@
+//! Persistent growable array.
+//!
+//! The paper's Figure 2 shows arrays as first-class NVRoots ("an array"
+//! NVSet, and a second region whose array elements point into another
+//! region's linked list). `PVec` is that array: a growable sequence of
+//! fixed-size elements whose backing storage lives in the home region and
+//! is addressed by offset, so images remain position independent.
+//!
+//! Growth uses doubling reallocation; the old block is returned to the
+//! region allocator. Elements must be plain old data (`Copy` without
+//! pointers) **or** pointer representations — a `PVec<R>` of `PtrRepr`
+//! slots is exactly the paper's "array of persistent pointers".
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const PVEC_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSPVEC1");
+
+/// Persistent vector header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct PVecHeader {
+    data_off: u64,
+    len: u64,
+    cap: u64,
+    elem_size: u64,
+}
+
+/// Marker for element types that may live in persistent memory verbatim:
+/// plain bytes/integers or position-independent pointer representations.
+///
+/// # Safety
+///
+/// Implementors must be `repr(C)`/`repr(transparent)` plain data whose
+/// byte image is meaningful after a remap (no absolute addresses — except
+/// deliberately, as in `NormalPtr`).
+pub unsafe trait PlainData: Copy + 'static {}
+
+// SAFETY: primitive integers are plain bytes.
+unsafe impl PlainData for u8 {}
+// SAFETY: as above.
+unsafe impl PlainData for u16 {}
+// SAFETY: as above.
+unsafe impl PlainData for u32 {}
+// SAFETY: as above.
+unsafe impl PlainData for u64 {}
+// SAFETY: as above.
+unsafe impl PlainData for i64 {}
+// SAFETY: pointer representations are single-word plain data designed to
+// live in persistent memory (that is their whole purpose). NOTE: the
+// off-holder repr depends on its own address, so a PVec of OffHolder must
+// not be *reallocated* between store and load; PVec therefore only admits
+// it through the explicit `refresh`-style rebuild the caller performs.
+unsafe impl PlainData for pi_core::Riv {}
+// SAFETY: as above (region-relative; reallocation within the same region
+// preserves decoding only for Riv/FatPtr-style reprs).
+unsafe impl PlainData for pi_core::FatPtr {}
+// SAFETY: as above.
+unsafe impl PlainData for pi_core::FatPtrCached {}
+
+/// Persistent growable array. See the module docs.
+#[derive(Debug)]
+pub struct PVec<T: PlainData> {
+    arena: NodeArena,
+    header: *mut PVecHeader,
+    _marker: PhantomData<T>,
+}
+
+impl<T: PlainData> PVec<T> {
+    const ELEM: usize = std::mem::size_of::<T>();
+
+    /// Creates an empty vector with capacity for `cap` elements.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero-sized `T` or elements larger than 4096 bytes.
+    pub fn with_capacity(arena: NodeArena, cap: usize) -> Result<PVec<T>> {
+        assert!(
+            Self::ELEM > 0 && Self::ELEM <= 4096,
+            "unsupported element size"
+        );
+        let cap = cap.max(4);
+        let header = arena
+            .alloc_home(std::mem::size_of::<PVecHeader>())?
+            .as_ptr() as *mut PVecHeader;
+        let data = arena.alloc_home(Self::ELEM * cap)?.as_ptr() as usize;
+        let home = arena.home_region();
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).data_off = home.offset_of(data)?;
+            (*header).len = 0;
+            (*header).cap = cap as u64;
+            (*header).elem_size = Self::ELEM as u64;
+        }
+        Ok(PVec {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty vector published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, cap: usize, root: &str) -> Result<PVec<T>> {
+        let v = Self::with_capacity(arena, cap)?;
+        v.arena
+            .home_region()
+            .set_root_tagged(root, v.header as usize, PVEC_ROOT_TAG)?;
+        Ok(v)
+    }
+
+    /// Attaches to a previously persisted vector by root name, validating
+    /// the recorded element size.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when absent or mistyped.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PVec<T>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, PVEC_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("pvec header"))?;
+        let header = addr as *mut PVecHeader;
+        // SAFETY: header written by with_capacity; validated tag.
+        let elem = unsafe { (*header).elem_size };
+        if elem != Self::ELEM as u64 {
+            return Err(PdsError::RootMissing("pvec header (element size mismatch)"));
+        }
+        Ok(PVec {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    fn data(&self) -> *mut T {
+        // SAFETY: header mapped while regions are open; data_off valid.
+        unsafe { self.arena.home_region().ptr_at((*self.header).data_off) as *mut T }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        // SAFETY: header mapped.
+        unsafe { (*self.header).len as usize }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity in elements.
+    pub fn capacity(&self) -> usize {
+        // SAFETY: header mapped.
+        unsafe { (*self.header).cap as usize }
+    }
+
+    /// The arena backing this vector.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Address of the persistent header.
+    pub fn header_addr(&self) -> usize {
+        self.header as usize
+    }
+
+    /// Reads the element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> T {
+        assert!(
+            index < self.len(),
+            "index {index} out of bounds (len {})",
+            self.len()
+        );
+        // SAFETY: bounds checked; element initialized by push/set.
+        unsafe { self.data().add(index).read() }
+    }
+
+    /// Overwrites the element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: T) {
+        assert!(
+            index < self.len(),
+            "index {index} out of bounds (len {})",
+            self.len()
+        );
+        // SAFETY: bounds checked.
+        unsafe { self.data().add(index).write(value) };
+    }
+
+    /// Appends an element, growing the backing storage if needed.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures during growth.
+    pub fn push(&mut self, value: T) -> Result<()> {
+        // SAFETY: header mapped; mutations single-threaded per &mut self.
+        unsafe {
+            if (*self.header).len == (*self.header).cap {
+                self.grow()?;
+            }
+            let len = (*self.header).len as usize;
+            self.data().add(len).write(value);
+            (*self.header).len += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        // SAFETY: nonempty checked.
+        unsafe {
+            (*self.header).len -= 1;
+            Some(self.data().add((*self.header).len as usize).read())
+        }
+    }
+
+    fn grow(&mut self) -> Result<()> {
+        let home = self.arena.home_region();
+        // SAFETY: header mapped; old block sized cap*ELEM.
+        unsafe {
+            let old_cap = (*self.header).cap as usize;
+            let new_cap = old_cap * 2;
+            let new_data = self.arena.alloc_home(Self::ELEM * new_cap)?.as_ptr() as *mut T;
+            let old_data = self.data();
+            std::ptr::copy_nonoverlapping(old_data, new_data, (*self.header).len as usize);
+            let old_block = std::ptr::NonNull::new_unchecked(old_data as *mut u8);
+            home.dealloc(old_block, Self::ELEM * old_cap);
+            (*self.header).data_off = home.offset_of(new_data as usize)?;
+            (*self.header).cap = new_cap as u64;
+        }
+        Ok(())
+    }
+
+    /// Iterates over elements by value.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Collects all elements into a `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{PtrRepr, Riv};
+
+    fn arena() -> (Region, NodeArena) {
+        let r = Region::create(4 << 20).unwrap();
+        (r.clone(), NodeArena::raw(r))
+    }
+
+    #[test]
+    fn push_get_set_pop() {
+        let (r, arena) = arena();
+        let mut v: PVec<u64> = PVec::with_capacity(arena, 4).unwrap();
+        assert!(v.is_empty());
+        for i in 0..100 {
+            v.push(i * 2).unwrap();
+        }
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.get(7), 14);
+        v.set(7, 999);
+        assert_eq!(v.get(7), 999);
+        assert_eq!(v.pop(), Some(198));
+        assert_eq!(v.len(), 99);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_recycles_blocks() {
+        let (r, arena) = arena();
+        let mut v: PVec<u64> = PVec::with_capacity(arena, 4).unwrap();
+        for i in 0..1000 {
+            v.push(i).unwrap();
+        }
+        assert!(v.capacity() >= 1000);
+        assert_eq!(v.to_vec(), (0..1000).collect::<Vec<_>>());
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn pop_on_empty_is_none() {
+        let (r, arena) = arena();
+        let mut v: PVec<u32> = PVec::with_capacity(arena, 4).unwrap();
+        assert_eq!(v.pop(), None);
+        v.push(1).unwrap();
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+        r.close().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let (_r, arena) = arena();
+        let v: PVec<u64> = PVec::with_capacity(arena, 4).unwrap();
+        let _ = v.get(0);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pds-pvec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v.nvr");
+        {
+            let region = Region::create_file(&path, 4 << 20).unwrap();
+            let mut v: PVec<u64> =
+                PVec::create_rooted(NodeArena::raw(region.clone()), 8, "v").unwrap();
+            for i in 0..500 {
+                v.push(i * 3).unwrap();
+            }
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let v: PVec<u64> = PVec::attach(NodeArena::raw(region.clone()), "v").unwrap();
+        assert_eq!(v.len(), 500);
+        assert_eq!(v.get(123), 369);
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attach_rejects_element_size_mismatch() {
+        let (r, _) = arena();
+        let mut v: PVec<u64> = PVec::create_rooted(NodeArena::raw(r.clone()), 8, "v").unwrap();
+        v.push(5).unwrap();
+        let err = PVec::<u32>::attach(NodeArena::raw(r.clone()), "v").unwrap_err();
+        assert!(matches!(err, PdsError::RootMissing(_)));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn array_of_riv_pointers_crosses_regions() {
+        // Figure 2's second region: an array whose elements point into
+        // another region's data.
+        let data_region = Region::create(1 << 20).unwrap();
+        let (r, arena) = arena();
+        let mut v: PVec<Riv> = PVec::with_capacity(arena, 8).unwrap();
+        let mut cells = Vec::new();
+        for i in 0..20u64 {
+            let cell = data_region.alloc(8, 8).unwrap().as_ptr() as *mut u64;
+            unsafe { cell.write(i * 11) };
+            cells.push(cell);
+            v.push(Riv::p2x(cell as usize)).unwrap();
+        }
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(unsafe { *(x.load() as *const u64) }, i as u64 * 11);
+        }
+        r.close().unwrap();
+        data_region.close().unwrap();
+    }
+}

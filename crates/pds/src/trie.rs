@@ -1,0 +1,393 @@
+//! Letter trie, generic over the pointer representation.
+//!
+//! The paper's trie (Section 6.1): "an ordered tree data structure used to
+//! store a dynamic set or associative array where the keys are usually
+//! strings ... Each node is a letter, and each path from the root to a
+//! leaf node represents an English word. Two words sharing the same prefix
+//! share the same subpath."
+//!
+//! Nodes carry 26 child slots (`a`–`z`), a word-terminal counter, and the
+//! same fixed payload as the other structures so per-node footprints are
+//! comparable.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use pi_core::{PtrRepr, SwizzledPtr};
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const TRIE_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSTRIE1");
+
+/// Alphabet size (`a`–`z`).
+pub const ALPHABET: usize = 26;
+
+/// Persistent trie header (lives in the home region).
+#[repr(C)]
+#[derive(Debug)]
+pub struct TrieHeader<R: PtrRepr> {
+    root: R,
+    words: u64,
+    nodes: u64,
+}
+
+/// A trie node: 26 child slots, terminal count, payload.
+#[repr(C)]
+#[derive(Debug)]
+pub struct TrieNode<R: PtrRepr, const P: usize> {
+    children: [R; ALPHABET],
+    /// Number of times a word ending at this node was inserted.
+    count: u64,
+    payload: [u8; P],
+}
+
+fn index_of(c: u8) -> Result<usize> {
+    if c.is_ascii_lowercase() {
+        Ok((c - b'a') as usize)
+    } else {
+        Err(PdsError::BadCharacter(c as char))
+    }
+}
+
+/// Persistent letter trie. See the module docs.
+#[derive(Debug)]
+pub struct PTrie<R: PtrRepr, const P: usize = 32> {
+    arena: NodeArena,
+    header: *mut TrieHeader<R>,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr, const P: usize> PTrie<R, P> {
+    fn alloc_node(&self) -> Result<*mut TrieNode<R, P>> {
+        let node = self
+            .arena
+            .alloc(std::mem::size_of::<TrieNode<R, P>>())?
+            .as_ptr() as *mut TrieNode<R, P>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            for i in 0..ALPHABET {
+                (*node).children[i] = R::null();
+            }
+            (*node).count = 0;
+            (*node).payload = [0; P];
+            (*self.header).nodes += 1;
+        }
+        Ok(node)
+    }
+
+    /// Creates an empty trie whose header lives in the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn new(arena: NodeArena) -> Result<PTrie<R, P>> {
+        let header = arena
+            .alloc_home(std::mem::size_of::<TrieHeader<R>>())?
+            .as_ptr() as *mut TrieHeader<R>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).root = R::null();
+            (*header).words = 0;
+            (*header).nodes = 0;
+        }
+        let trie = PTrie {
+            arena,
+            header,
+            _marker: PhantomData,
+        };
+        // Allocate the root eagerly so insertion never mutates the header
+        // pointer afterwards.
+        let root = trie.alloc_node()?;
+        // SAFETY: header slot written in place.
+        unsafe { (*trie.header).root.store(root as usize) };
+        Ok(trie)
+    }
+
+    /// Creates an empty trie published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, root: &str) -> Result<PTrie<R, P>> {
+        let t = Self::new(arena)?;
+        t.arena
+            .home_region()
+            .set_root_tagged(root, t.header as usize, TRIE_ROOT_TAG)?;
+        Ok(t)
+    }
+
+    /// Attaches to a previously persisted trie by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<PTrie<R, P>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, TRIE_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("trie header"))?;
+        Ok(PTrie {
+            arena,
+            header: addr as *mut TrieHeader<R>,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Total insertions (words, counting repeats).
+    pub fn word_count(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).words }
+    }
+
+    /// Number of trie nodes allocated.
+    pub fn node_count(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).nodes }
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Address of the persistent header.
+    pub fn header_addr(&self) -> usize {
+        self.header as usize
+    }
+
+    /// Inserts a lowercase word, creating nodes along its path. Returns
+    /// the word's new occurrence count.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::BadCharacter`] for characters outside `a-z`;
+    /// allocation failures.
+    pub fn insert(&mut self, word: &str) -> Result<u64> {
+        if word.is_empty() {
+            return Err(PdsError::WordTooLong(String::new()));
+        }
+        // SAFETY: navigation uses load_at_rest (mutation path); stores are
+        // in place; nodes fixed once allocated.
+        unsafe {
+            let mut cur = (*self.header).root.load_at_rest() as *mut TrieNode<R, P>;
+            for &c in word.as_bytes() {
+                let i = index_of(c)?;
+                let slot: *mut R = &mut (*cur).children[i];
+                let next = (*slot).load_at_rest() as *mut TrieNode<R, P>;
+                cur = if next.is_null() {
+                    let n = self.alloc_node()?;
+                    (*slot).store(n as usize);
+                    n
+                } else {
+                    next
+                };
+            }
+            (*cur).count += 1;
+            (*self.header).words += 1;
+            Ok((*cur).count)
+        }
+    }
+
+    /// Inserts every word from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// As [`PTrie::insert`].
+    pub fn extend<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) -> Result<()> {
+        for w in words {
+            self.insert(w)?;
+        }
+        Ok(())
+    }
+
+    /// Number of times `word` was inserted (0 if absent).
+    pub fn count(&self, word: &str) -> u64 {
+        // SAFETY: links resolve to live nodes while regions are open.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const TrieNode<R, P>;
+            for &c in word.as_bytes() {
+                let Ok(i) = index_of(c) else { return 0 };
+                cur = (*cur).children[i].load() as *const TrieNode<R, P>;
+                if cur.is_null() {
+                    return 0;
+                }
+            }
+            (*cur).count
+        }
+    }
+
+    /// Whether `word` was inserted at least once.
+    pub fn contains(&self, word: &str) -> bool {
+        self.count(word) > 0
+    }
+
+    /// Full depth-first traversal; returns a checksum over terminal counts
+    /// and structure shape.
+    pub fn traverse(&self) -> u64 {
+        let mut sum = 0u64;
+        let mut stack: Vec<*const TrieNode<R, P>> = Vec::with_capacity(64);
+        // SAFETY: as in count.
+        unsafe {
+            stack.push((*self.header).root.load() as *const TrieNode<R, P>);
+            while let Some(n) = stack.pop() {
+                sum = sum.wrapping_mul(131).wrapping_add((*n).count);
+                for i in 0..ALPHABET {
+                    let c = (*n).children[i].load() as *const TrieNode<R, P>;
+                    if !c.is_null() {
+                        sum = sum.wrapping_add((i as u64) << 32);
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        sum
+    }
+
+    /// Number of distinct words stored (depth-first count of terminals).
+    pub fn distinct_words(&self) -> u64 {
+        let mut n = 0u64;
+        let mut stack: Vec<*const TrieNode<R, P>> = Vec::new();
+        // SAFETY: as in count.
+        unsafe {
+            stack.push((*self.header).root.load() as *const TrieNode<R, P>);
+            while let Some(node) = stack.pop() {
+                if (*node).count > 0 {
+                    n += 1;
+                }
+                for i in 0..ALPHABET {
+                    let c = (*node).children[i].load() as *const TrieNode<R, P>;
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+impl<const P: usize> PTrie<SwizzledPtr, P> {
+    /// Load-time swizzle pass over every child slot.
+    pub fn swizzle(&mut self) {
+        let mut stack: Vec<*mut TrieNode<SwizzledPtr, P>> = Vec::new();
+        // SAFETY: at-rest links resolve within the region.
+        unsafe {
+            stack.push((*self.header).root.swizzle_in_place() as *mut TrieNode<SwizzledPtr, P>);
+            while let Some(n) = stack.pop() {
+                for i in 0..ALPHABET {
+                    let c = (*n).children[i].swizzle_in_place() as *mut TrieNode<SwizzledPtr, P>;
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Store-time unswizzle pass.
+    pub fn unswizzle(&mut self) {
+        let mut stack: Vec<*mut TrieNode<SwizzledPtr, P>> = Vec::new();
+        // SAFETY: absolute links valid while the region is open.
+        unsafe {
+            stack.push((*self.header).root.unswizzle_in_place() as *mut TrieNode<SwizzledPtr, P>);
+            while let Some(n) = stack.pop() {
+                for i in 0..ALPHABET {
+                    let c = (*n).children[i].unswizzle_in_place() as *mut TrieNode<SwizzledPtr, P>;
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{FatPtr, NormalPtr, OffHolder, Riv};
+
+    const WORDS: &[&str] = &[
+        "cat", "car", "card", "care", "dog", "do", "done", "a", "apple", "apply",
+    ];
+
+    fn basic<R: PtrRepr>() {
+        let region = Region::create(8 << 20).unwrap();
+        let mut t: PTrie<R, 32> = PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        t.extend(WORDS.iter().copied()).unwrap();
+        t.insert("cat").unwrap();
+        assert_eq!(t.word_count(), WORDS.len() as u64 + 1);
+        assert_eq!(t.distinct_words(), WORDS.len() as u64);
+        assert_eq!(t.count("cat"), 2);
+        assert_eq!(t.count("car"), 1);
+        assert!(t.contains("do") && !t.contains("d") && !t.contains("cards"));
+        assert_eq!(t.traverse(), t.traverse());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_reprs() {
+        basic::<NormalPtr>();
+        basic::<OffHolder>();
+        basic::<Riv>();
+        basic::<FatPtr>();
+    }
+
+    #[test]
+    fn prefix_sharing_bounds_node_count() {
+        let region = Region::create(4 << 20).unwrap();
+        let mut t: PTrie<Riv, 32> = PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        t.extend(["abc", "abd", "abe"]).unwrap();
+        // root + a + b + {c,d,e} = 6 nodes.
+        assert_eq!(t.node_count(), 6);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_alphabet_characters() {
+        let region = Region::create(1 << 20).unwrap();
+        let mut t: PTrie<Riv, 32> = PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        assert!(matches!(t.insert("Bad"), Err(PdsError::BadCharacter('B'))));
+        assert!(matches!(t.insert("a b"), Err(PdsError::BadCharacter(' '))));
+        assert!(t.insert("").is_err());
+        assert_eq!(t.count("no!such"), 0);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn swizzled_trie_protocol() {
+        let region = Region::create(8 << 20).unwrap();
+        let mut t: PTrie<SwizzledPtr, 32> = PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        t.extend(WORDS.iter().copied()).unwrap();
+        t.swizzle();
+        assert_eq!(t.count("apple"), 1);
+        let c = t.traverse();
+        t.unswizzle();
+        t.swizzle();
+        assert_eq!(t.traverse(), c);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn persistence_roundtrip_at_new_address() {
+        let dir = std::env::temp_dir().join(format!("pds-trie-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trie.nvr");
+        let checksum;
+        {
+            let region = Region::create_file(&path, 8 << 20).unwrap();
+            let mut t: PTrie<Riv, 32> =
+                PTrie::create_rooted(NodeArena::raw(region.clone()), "trie").unwrap();
+            t.extend(WORDS.iter().copied()).unwrap();
+            checksum = t.traverse();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let t: PTrie<Riv, 32> = PTrie::attach(NodeArena::raw(region.clone()), "trie").unwrap();
+        assert_eq!(t.traverse(), checksum);
+        assert_eq!(t.distinct_words(), WORDS.len() as u64);
+        assert!(t.contains("apply"));
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

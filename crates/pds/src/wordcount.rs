@@ -1,0 +1,342 @@
+//! The `wordcount` application (paper Section 6.3, Figure 15).
+//!
+//! "As an important step for many document analytics, wordcount uses a
+//! Binary Search Tree to count word frequency in an input file. The tree
+//! is put on an NVRegion. A new node is inserted into the tree when a word
+//! is encountered for the first time; a comparison function is used to
+//! decide the location in the tree for inserting a new node."
+//!
+//! Nodes store the word inline (bounded length) plus an occurrence count
+//! and two child pointers in the representation under study.
+
+use crate::arena::NodeArena;
+use crate::error::{PdsError, Result};
+use pi_core::PtrRepr;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// Root type tag recorded by `create_rooted` and validated by `attach`.
+pub const WORDCOUNT_ROOT_TAG: u64 = u64::from_le_bytes(*b"PDSWCNT1");
+
+/// Maximum word length stored inline in a node.
+pub const MAX_WORD: usize = 30;
+
+/// Persistent wordcount header.
+#[repr(C)]
+#[derive(Debug)]
+pub struct WcHeader<R: PtrRepr> {
+    root: R,
+    distinct: u64,
+    total: u64,
+}
+
+/// A wordcount BST node.
+#[repr(C)]
+#[derive(Debug)]
+pub struct WcNode<R: PtrRepr> {
+    left: R,
+    right: R,
+    count: u64,
+    len: u8,
+    word: [u8; MAX_WORD + 1],
+}
+
+impl<R: PtrRepr> WcNode<R> {
+    fn word(&self) -> &[u8] {
+        &self.word[..self.len as usize]
+    }
+}
+
+/// BST-based word-frequency counter. See the module docs.
+#[derive(Debug)]
+pub struct WordCount<R: PtrRepr> {
+    arena: NodeArena,
+    header: *mut WcHeader<R>,
+    _marker: PhantomData<R>,
+}
+
+impl<R: PtrRepr> WordCount<R> {
+    /// Creates an empty counter whose header lives in the home region.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn new(arena: NodeArena) -> Result<WordCount<R>> {
+        let header = arena
+            .alloc_home(std::mem::size_of::<WcHeader<R>>())?
+            .as_ptr() as *mut WcHeader<R>;
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            (*header).root = R::null();
+            (*header).distinct = 0;
+            (*header).total = 0;
+        }
+        Ok(WordCount {
+            arena,
+            header,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Creates an empty counter published as a named root.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or root-registration failures.
+    pub fn create_rooted(arena: NodeArena, root: &str) -> Result<WordCount<R>> {
+        let wc = Self::new(arena)?;
+        wc.arena
+            .home_region()
+            .set_root_tagged(root, wc.header as usize, WORDCOUNT_ROOT_TAG)?;
+        Ok(wc)
+    }
+
+    /// Attaches to a previously persisted counter by root name.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::RootMissing`] when the root is absent.
+    pub fn attach(arena: NodeArena, root: &str) -> Result<WordCount<R>> {
+        let addr = arena
+            .home_region()
+            .root_checked(root, WORDCOUNT_ROOT_TAG)
+            .map_err(|_| PdsError::RootMissing("wordcount header"))?;
+        Ok(WordCount {
+            arena,
+            header: addr as *mut WcHeader<R>,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Total words counted (including repeats).
+    pub fn total(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).total }
+    }
+
+    /// Number of distinct words.
+    pub fn distinct(&self) -> u64 {
+        // SAFETY: header mapped while regions are open.
+        unsafe { (*self.header).distinct }
+    }
+
+    /// The arena nodes are placed in.
+    pub fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Counts one occurrence of `word`, inserting a node on first sight.
+    /// Returns the word's updated count. This interleaves search and
+    /// insertion — the workload Figure 15 times.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::WordTooLong`] for words over [`MAX_WORD`] bytes;
+    /// allocation failures.
+    pub fn add(&mut self, word: &str) -> Result<u64> {
+        let bytes = word.as_bytes();
+        if bytes.is_empty() || bytes.len() > MAX_WORD {
+            return Err(PdsError::WordTooLong(word.to_string()));
+        }
+        // SAFETY: navigation via load_at_rest (mutation path); in-place
+        // stores; nodes fixed once allocated.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).root;
+            loop {
+                let cur = (*slot).load_at_rest() as *mut WcNode<R>;
+                if cur.is_null() {
+                    break;
+                }
+                match bytes.cmp((*cur).word()) {
+                    Ordering::Equal => {
+                        (*cur).count += 1;
+                        (*self.header).total += 1;
+                        return Ok((*cur).count);
+                    }
+                    Ordering::Less => slot = &mut (*cur).left,
+                    Ordering::Greater => slot = &mut (*cur).right,
+                }
+            }
+            let node =
+                self.arena.alloc(std::mem::size_of::<WcNode<R>>())?.as_ptr() as *mut WcNode<R>;
+            (*node).left = R::null();
+            (*node).right = R::null();
+            (*node).count = 1;
+            (*node).len = bytes.len() as u8;
+            (*node).word = [0; MAX_WORD + 1];
+            (&mut (*node).word)[..bytes.len()].copy_from_slice(bytes);
+            (*slot).store(node as usize);
+            (*self.header).distinct += 1;
+            (*self.header).total += 1;
+            Ok(1)
+        }
+    }
+
+    /// Counts every word from an iterator (the full wordcount run).
+    ///
+    /// # Errors
+    ///
+    /// As [`WordCount::add`].
+    pub fn add_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) -> Result<()> {
+        for w in words {
+            self.add(w)?;
+        }
+        Ok(())
+    }
+
+    /// The count of `word` (0 if never seen).
+    pub fn count(&self, word: &str) -> u64 {
+        let bytes = word.as_bytes();
+        // SAFETY: links resolve to live nodes while regions are open.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const WcNode<R>;
+            while !cur.is_null() {
+                match bytes.cmp((*cur).word()) {
+                    Ordering::Equal => return (*cur).count,
+                    Ordering::Less => cur = (*cur).left.load() as *const WcNode<R>,
+                    Ordering::Greater => cur = (*cur).right.load() as *const WcNode<R>,
+                }
+            }
+        }
+        0
+    }
+
+    /// The `k` most frequent words (count-descending, then alphabetical).
+    pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
+        let mut all = self.entries();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// All `(word, count)` pairs in alphabetical order.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<*const WcNode<R>> = Vec::new();
+        // SAFETY: as in count.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const WcNode<R>;
+            loop {
+                while !cur.is_null() {
+                    stack.push(cur);
+                    cur = (*cur).left.load() as *const WcNode<R>;
+                }
+                let Some(n) = stack.pop() else { break };
+                out.push((
+                    String::from_utf8_lossy((*n).word()).into_owned(),
+                    (*n).count,
+                ));
+                cur = (*n).right.load() as *const WcNode<R>;
+            }
+        }
+        out
+    }
+
+    /// Consistency check: header counters match a full traversal.
+    pub fn verify(&self) -> bool {
+        let entries = self.entries();
+        entries.len() as u64 == self.distinct()
+            && entries.iter().map(|e| e.1).sum::<u64>() == self.total()
+            && entries.windows(2).all(|w| w[0].0 < w[1].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmsim::Region;
+    use pi_core::{BasedPtr, FatPtr, NormalPtr, OffHolder, Riv};
+
+    const TEXT: &str = "the quick brown fox jumps over the lazy dog the fox";
+
+    fn basic<R: PtrRepr>() {
+        let region = Region::create(8 << 20).unwrap();
+        let mut wc: WordCount<R> = WordCount::new(NodeArena::raw(region.clone())).unwrap();
+        wc.add_all(TEXT.split_whitespace()).unwrap();
+        assert_eq!(wc.total(), 11);
+        assert_eq!(wc.distinct(), 8);
+        assert_eq!(wc.count("the"), 3);
+        assert_eq!(wc.count("fox"), 2);
+        assert_eq!(wc.count("cat"), 0);
+        assert!(wc.verify());
+        let top = wc.top_k(2);
+        assert_eq!(top[0], ("the".to_string(), 3));
+        assert_eq!(top[1], ("fox".to_string(), 2));
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_all_reprs() {
+        basic::<NormalPtr>();
+        basic::<OffHolder>();
+        basic::<Riv>();
+        basic::<FatPtr>();
+        // Based pointers need the global base installed.
+        let prev = pi_core::based::set_base(0);
+        // Determine the base from a fresh region; install before building.
+        let region = Region::create(8 << 20).unwrap();
+        pi_core::based::set_base(region.base());
+        let mut wc: WordCount<BasedPtr> = WordCount::new(NodeArena::raw(region.clone())).unwrap();
+        wc.add_all(TEXT.split_whitespace()).unwrap();
+        assert_eq!(wc.count("the"), 3);
+        region.close().unwrap();
+        pi_core::based::set_base(prev);
+    }
+
+    #[test]
+    fn word_length_limits() {
+        let region = Region::create(1 << 20).unwrap();
+        let mut wc: WordCount<Riv> = WordCount::new(NodeArena::raw(region.clone())).unwrap();
+        assert!(wc.add(&"x".repeat(MAX_WORD)).is_ok());
+        assert!(matches!(
+            wc.add(&"x".repeat(MAX_WORD + 1)),
+            Err(PdsError::WordTooLong(_))
+        ));
+        assert!(wc.add("").is_err());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn entries_are_sorted_alphabetically() {
+        let region = Region::create(1 << 20).unwrap();
+        let mut wc: WordCount<OffHolder> = WordCount::new(NodeArena::raw(region.clone())).unwrap();
+        wc.add_all(["pear", "apple", "mango", "apple"]).unwrap();
+        let words: Vec<String> = wc.entries().into_iter().map(|e| e.0).collect();
+        assert_eq!(words, ["apple", "mango", "pear"]);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn persistence_roundtrip_at_new_address() {
+        let dir = std::env::temp_dir().join(format!("pds-wc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wc.nvr");
+        {
+            let region = Region::create_file(&path, 8 << 20).unwrap();
+            let mut wc: WordCount<Riv> =
+                WordCount::create_rooted(NodeArena::raw(region.clone()), "wc").unwrap();
+            wc.add_all(TEXT.split_whitespace()).unwrap();
+            region.close().unwrap();
+        }
+        let region = Region::open_file(&path).unwrap();
+        let wc: WordCount<Riv> = WordCount::attach(NodeArena::raw(region.clone()), "wc").unwrap();
+        assert_eq!(wc.count("the"), 3);
+        assert_eq!(wc.distinct(), 8);
+        assert!(wc.verify());
+        region.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transactional_arena_wordcount() {
+        let region = Region::create(8 << 20).unwrap();
+        let store = pstore::ObjectStore::format(&region).unwrap();
+        let mut wc: WordCount<Riv> =
+            WordCount::new(NodeArena::transactional(store.clone())).unwrap();
+        wc.add_all(TEXT.split_whitespace()).unwrap();
+        assert_eq!(wc.count("the"), 3);
+        // Every node (plus the header) is a wrapped store object.
+        assert_eq!(store.object_count(), wc.distinct() + 1);
+        region.close().unwrap();
+    }
+}

@@ -1,0 +1,272 @@
+//! Persistent undo log.
+//!
+//! The store's crash-consistency mechanism: before a transaction mutates a
+//! range of persistent memory, the *old* contents are appended to this log
+//! and flushed. On commit the log is truncated; on abort — or during
+//! recovery after a crash — entries are applied in reverse, restoring the
+//! pre-transaction image.
+//!
+//! Layout of the log area (all offsets region-relative):
+//!
+//! ```text
+//! +--------+---------+-----------------------------------+
+//! |  used  |  (pad)  |  entry | entry | entry | ...      |
+//! +--------+---------+-----------------------------------+
+//!   u64       u64       each entry: { off, len, bytes…, pad to 16 }
+//! ```
+//!
+//! The `used` word is the commit point: an entry only becomes part of the
+//! log once `used` covers it, and `used` is only advanced after the entry
+//! bytes are flushed (write-ahead ordering, paid for with the emulated
+//! `clflush`/`wbarrier` latencies of [`nvmsim::latency`]).
+
+use crate::error::{Result, StoreError};
+use nvmsim::latency;
+use nvmsim::Region;
+
+/// Byte overhead of the log-area header (`used` + padding).
+pub const LOG_HEADER_SIZE: u64 = 16;
+/// Byte overhead of one entry's header (`off` + `len`).
+pub const ENTRY_HEADER_SIZE: u64 = 16;
+
+/// Handle to a region's undo-log area.
+///
+/// The handle itself is volatile; all logged state lives in the region at
+/// `[log_off, log_off + capacity)`.
+#[derive(Debug, Clone)]
+pub struct UndoLog {
+    region: Region,
+    log_off: u64,
+    capacity: u64,
+}
+
+impl UndoLog {
+    /// Attaches to an existing (or freshly allocated, zeroed) log area.
+    pub fn new(region: Region, log_off: u64, capacity: u64) -> UndoLog {
+        debug_assert!(capacity > LOG_HEADER_SIZE + ENTRY_HEADER_SIZE);
+        UndoLog {
+            region,
+            log_off,
+            capacity,
+        }
+    }
+
+    fn used_ptr(&self) -> *mut u64 {
+        self.region.ptr_at(self.log_off) as *mut u64
+    }
+
+    /// Bytes of entries currently in the log.
+    pub fn used(&self) -> u64 {
+        // SAFETY: log area is inside the mapped region.
+        unsafe { *self.used_ptr() }
+    }
+
+    /// Whether the log holds any entries (nonempty after a crash means
+    /// recovery must run).
+    pub fn is_dirty(&self) -> bool {
+        self.used() != 0
+    }
+
+    /// Initializes the log area (formats `used = 0`).
+    pub fn format(&self) {
+        // SAFETY: log area is inside the mapped region.
+        unsafe { self.used_ptr().write(0) };
+        latency::clflush_range(self.used_ptr() as usize, 8);
+        latency::wbarrier();
+    }
+
+    fn entry_span(len: u64) -> u64 {
+        ENTRY_HEADER_SIZE + ((len + 15) & !15)
+    }
+
+    /// Appends an undo entry snapshotting `[addr, addr + len)` (an address
+    /// inside this log's region), following write-ahead ordering: entry
+    /// bytes are flushed before `used` is advanced and flushed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::LogFull`] if the area cannot hold the entry;
+    /// [`StoreError::Nv`] if `addr` is not inside the region.
+    pub fn append(&self, addr: usize, len: usize) -> Result<()> {
+        let data_off = self.region.offset_of(addr).map_err(StoreError::Nv)?;
+        let used = self.used();
+        let span = Self::entry_span(len as u64);
+        if LOG_HEADER_SIZE + used + span > self.capacity {
+            return Err(StoreError::LogFull {
+                capacity: self.capacity,
+                requested: span,
+            });
+        }
+        let entry_off = self.log_off + LOG_HEADER_SIZE + used;
+        let entry = self.region.ptr_at(entry_off) as *mut u64;
+        // SAFETY: bounds checked against capacity above; source range is
+        // inside the region per offset_of.
+        unsafe {
+            entry.write(data_off);
+            entry.add(1).write(len as u64);
+            std::ptr::copy_nonoverlapping(
+                addr as *const u8,
+                (entry as *mut u8).add(ENTRY_HEADER_SIZE as usize),
+                len,
+            );
+        }
+        // Write-ahead: flush the entry, barrier, then publish via `used`.
+        latency::clflush_range(entry as usize, span as usize);
+        latency::wbarrier();
+        // SAFETY: used word is inside the mapped region.
+        unsafe { self.used_ptr().write(used + span) };
+        latency::clflush_range(self.used_ptr() as usize, 8);
+        latency::wbarrier();
+        Ok(())
+    }
+
+    /// Applies all entries in reverse order (newest first), restoring the
+    /// pre-transaction bytes, then truncates the log. Used by abort and by
+    /// recovery after a crash.
+    pub fn rollback(&self) {
+        let used = self.used();
+        // Forward scan to collect entry offsets, then apply in reverse so
+        // the oldest snapshot of any doubly-logged range wins.
+        let mut offs = Vec::new();
+        let mut pos = 0u64;
+        while pos < used {
+            let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
+            // SAFETY: pos < used <= capacity; entries were written by append.
+            let len = unsafe { *entry.add(1) };
+            offs.push(pos);
+            pos += Self::entry_span(len);
+        }
+        for &pos in offs.iter().rev() {
+            let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
+            // SAFETY: entry written by append; target range validated then.
+            unsafe {
+                let data_off = *entry;
+                let len = *entry.add(1);
+                std::ptr::copy_nonoverlapping(
+                    (entry as *const u8).add(ENTRY_HEADER_SIZE as usize),
+                    self.region.ptr_at(data_off) as *mut u8,
+                    len as usize,
+                );
+                latency::clflush_range(self.region.ptr_at(data_off), len as usize);
+            }
+        }
+        latency::wbarrier();
+        self.truncate();
+    }
+
+    /// Truncates the log (the commit point of a transaction).
+    pub fn truncate(&self) {
+        // SAFETY: used word is inside the mapped region.
+        unsafe { self.used_ptr().write(0) };
+        latency::clflush_range(self.used_ptr() as usize, 8);
+        latency::wbarrier();
+    }
+
+    /// Number of entries currently logged (diagnostic).
+    pub fn entry_count(&self) -> usize {
+        let used = self.used();
+        let mut n = 0;
+        let mut pos = 0u64;
+        while pos < used {
+            let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
+            // SAFETY: as in rollback.
+            let len = unsafe { *entry.add(1) };
+            pos += Self::entry_span(len);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Region, UndoLog, *mut u64) {
+        let region = Region::create(1 << 20).unwrap();
+        let log_off = region.alloc_off(4096, 16).unwrap();
+        let data = region.alloc(64, 8).unwrap().as_ptr() as *mut u64;
+        let log = UndoLog::new(region.clone(), log_off, 4096);
+        log.format();
+        (region, log, data)
+    }
+
+    #[test]
+    fn append_then_rollback_restores_old_bytes() {
+        let (region, log, data) = setup();
+        unsafe {
+            data.write(111);
+            log.append(data as usize, 8).unwrap();
+            data.write(222);
+            assert_eq!(data.read(), 222);
+            log.rollback();
+            assert_eq!(data.read(), 111);
+        }
+        assert!(!log.is_dirty());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn truncate_commits_new_bytes() {
+        let (region, log, data) = setup();
+        unsafe {
+            data.write(1);
+            log.append(data as usize, 8).unwrap();
+            data.write(2);
+            log.truncate();
+            log.rollback(); // no entries left: nothing to undo
+            assert_eq!(data.read(), 2);
+        }
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn reverse_application_restores_oldest_snapshot() {
+        let (region, log, data) = setup();
+        unsafe {
+            data.write(10);
+            log.append(data as usize, 8).unwrap();
+            data.write(20);
+            log.append(data as usize, 8).unwrap(); // snapshots 20
+            data.write(30);
+            log.rollback();
+            assert_eq!(data.read(), 10, "oldest snapshot must win");
+        }
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn entry_count_and_used_track_appends() {
+        let (region, log, data) = setup();
+        assert_eq!(log.entry_count(), 0);
+        log.append(data as usize, 8).unwrap();
+        log.append(data as usize, 24).unwrap();
+        assert_eq!(log.entry_count(), 2);
+        assert_eq!(log.used(), (16 + 16) + (16 + 32));
+        log.truncate();
+        assert_eq!(log.entry_count(), 0);
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn log_full_is_reported() {
+        let region = Region::create(1 << 20).unwrap();
+        let log_off = region.alloc_off(64, 16).unwrap();
+        let data = region.alloc(64, 8).unwrap().as_ptr();
+        let log = UndoLog::new(region.clone(), log_off, 64);
+        log.format();
+        log.append(data as usize, 16).unwrap();
+        let err = log.append(data as usize, 16).unwrap_err();
+        assert!(matches!(err, StoreError::LogFull { .. }));
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn append_rejects_foreign_addresses() {
+        let (region, log, _) = setup();
+        let mut local = 0u64;
+        let err = log.append(&mut local as *mut u64 as usize, 8).unwrap_err();
+        assert!(matches!(err, StoreError::Nv(_)));
+        region.close().unwrap();
+    }
+}

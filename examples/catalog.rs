@@ -1,0 +1,115 @@
+//! The paper's Figure 9 scenario: a **cross-region linked list**.
+//!
+//! An order list lives in one NVRegion; each order points at a product
+//! record stored in a *different* NVRegion (a shared product catalog).
+//! Intra-region `next` links use `persistentI` (off-holder); the
+//! cross-region product links use `persistentX` (RIV) — and the type
+//! system's dynamic check refuses to store a cross-region target into a
+//! `persistentI` slot.
+//!
+//! ```text
+//! cargo run --example catalog
+//! ```
+
+use nvm_pi::pi_core::semantics;
+use nvm_pi::{PersistentI, PersistentX, Region};
+
+/// A product record in the catalog region.
+#[repr(C)]
+struct Product {
+    id: u64,
+    price_cents: u64,
+    name: [u8; 32],
+}
+
+/// An order node: intra-region `next`, cross-region `product`.
+#[repr(C)]
+struct Order {
+    next: PersistentI<Order>,
+    product: PersistentX<Product>,
+    quantity: u64,
+}
+
+fn make_product(region: &Region, id: u64, price: u64, name: &str) -> *mut Product {
+    let p = region
+        .alloc(std::mem::size_of::<Product>(), 8)
+        .unwrap()
+        .as_ptr() as *mut Product;
+    unsafe {
+        (*p).id = id;
+        (*p).price_cents = price;
+        (*p).name = [0; 32];
+        (&mut (*p).name)[..name.len()].copy_from_slice(name.as_bytes());
+    }
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two regions: the shared catalog and this customer's orders.
+    let catalog = Region::create(1 << 20)?;
+    let orders = Region::create(1 << 20)?;
+    println!(
+        "catalog = region {} @ {:#x}, orders = region {} @ {:#x}",
+        catalog.rid(),
+        catalog.base(),
+        orders.rid(),
+        orders.base()
+    );
+
+    let products = [
+        make_product(&catalog, 1, 399, "coffee"),
+        make_product(&catalog, 2, 1299, "beans-1kg"),
+        make_product(&catalog, 3, 4999, "grinder"),
+    ];
+
+    // Build the order list: three orders, newest first.
+    let mut head: *mut Order = std::ptr::null_mut();
+    for (i, &product) in products.iter().enumerate() {
+        let o = orders.alloc(std::mem::size_of::<Order>(), 8)?.as_ptr() as *mut Order;
+        unsafe {
+            (*o).next.init();
+            (*o).product.init();
+            // `i = p` with the same-region check (always passes here).
+            semantics::assign_i_from_p(&mut (*o).next, head)?;
+            // `x = p`: cross-region store through RIV.
+            semantics::assign_x_from_p(&mut (*o).product, product)?;
+            (*o).quantity = (i as u64 + 1) * 2;
+        }
+        head = o;
+    }
+    orders.set_root("orders", head as usize)?;
+
+    // Traverse exactly like Figure 9: `p = p->next` and `p->product->...`
+    // are plain pointer-looking accesses.
+    let mut total = 0u64;
+    let mut cur = orders.root("orders").unwrap() as *const Order;
+    while !cur.is_null() {
+        unsafe {
+            let product = (*cur).product.get();
+            let name = &(*product).name;
+            let name_len = name.iter().position(|&b| b == 0).unwrap_or(name.len());
+            println!(
+                "order: {:>2} x {:<10} @ {:>5} cents  (product record in region {})",
+                (*cur).quantity,
+                std::str::from_utf8(&name[..name_len])?,
+                (*product).price_cents,
+                nvm_pi::NvSpace::global().rid_of_addr(product as usize),
+            );
+            total += (*cur).quantity * (*product).price_cents;
+            cur = (*cur).next.get();
+        }
+    }
+    println!("order total: {total} cents");
+
+    // Type safety: a persistentI slot refuses a cross-region target.
+    unsafe {
+        let o = orders.root("orders").unwrap() as *mut Order;
+        let foreign = products[0] as *mut Order; // (type punned for the demo)
+        let err = semantics::assign_i_from_p(&mut (*o).next, foreign).unwrap_err();
+        println!("as expected, cross-region persistentI store rejected: {err}");
+    }
+
+    catalog.close()?;
+    orders.close()?;
+    Ok(())
+}

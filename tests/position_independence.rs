@@ -1,0 +1,212 @@
+//! The repository's headline property, end to end: every position-
+//! independent representation keeps every data structure intact across
+//! close/reopen cycles that remap the region at different addresses.
+
+use nvm_pi::pi_core::{FatPtr, FatPtrCached, OffHolder, PtrRepr, Riv};
+use nvm_pi::{NodeArena, PBst, PHashSet, PList, PTrie, Region, WordCount};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nvm-pi-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Closes and reopens `path` until the mapping lands at a different base
+/// (usually the first try; bounded retries keep the test deterministic).
+fn reopen_elsewhere(path: &PathBuf, old_base: usize) -> Region {
+    for _ in 0..8 {
+        let r = Region::open_file(path).unwrap();
+        if r.base() != old_base {
+            return r;
+        }
+        r.close().unwrap();
+    }
+    panic!("could not obtain a different mapping in 8 attempts");
+}
+
+fn list_roundtrip<R: PtrRepr>(tag: &str) {
+    let path = tmp(&format!("list-{tag}.nvr"));
+    let (base, checksum) = {
+        let region = Region::create_file(&path, 4 << 20).unwrap();
+        let mut list: PList<R, 32> =
+            PList::create_rooted(NodeArena::raw(region.clone()), "l").unwrap();
+        list.extend(0..2000).unwrap();
+        let c = list.traverse();
+        let b = region.base();
+        region.close().unwrap();
+        (b, c)
+    };
+    // Three consecutive reopen cycles, each at a fresh address.
+    let mut prev = base;
+    for _ in 0..3 {
+        let region = reopen_elsewhere(&path, prev);
+        prev = region.base();
+        let list: PList<R, 32> = PList::attach(NodeArena::raw(region.clone()), "l").unwrap();
+        assert_eq!(list.len(), 2000);
+        assert_eq!(list.traverse(), checksum);
+        assert!(list.verify_payloads());
+        region.close().unwrap();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn list_survives_remap_with_off_holder() {
+    list_roundtrip::<OffHolder>("offholder");
+}
+
+#[test]
+fn list_survives_remap_with_riv() {
+    list_roundtrip::<Riv>("riv");
+}
+
+#[test]
+fn list_survives_remap_with_fat() {
+    list_roundtrip::<FatPtr>("fat");
+}
+
+#[test]
+fn list_survives_remap_with_fat_cached() {
+    list_roundtrip::<FatPtrCached>("fatc");
+}
+
+#[test]
+fn bst_survives_remap_and_supports_updates_after_reopen() {
+    let path = tmp("bst-update.nvr");
+    {
+        let region = Region::create_file(&path, 8 << 20).unwrap();
+        let mut t: PBst<Riv, 32> =
+            PBst::create_rooted(NodeArena::raw(region.clone()), "t").unwrap();
+        t.extend((0..1500).map(|i| i * 3)).unwrap();
+        region.close().unwrap();
+    }
+    // First reopen: verify and insert more.
+    {
+        let region = Region::open_file(&path).unwrap();
+        let mut t: PBst<Riv, 32> = PBst::attach(NodeArena::raw(region.clone()), "t").unwrap();
+        assert!(t.verify());
+        assert!(t.contains(42 * 3));
+        t.extend((0..500).map(|i| i * 3 + 1)).unwrap();
+        assert_eq!(t.len(), 2000);
+        region.close().unwrap();
+    }
+    // Second reopen: both generations of inserts are present.
+    {
+        let region = Region::open_file(&path).unwrap();
+        let t: PBst<Riv, 32> = PBst::attach(NodeArena::raw(region.clone()), "t").unwrap();
+        assert_eq!(t.len(), 2000);
+        assert!(t.verify());
+        assert!(t.contains(100 * 3) && t.contains(100 * 3 + 1));
+        region.close().unwrap();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn hashset_survives_remap_with_off_holder() {
+    let path = tmp("hs.nvr");
+    let checksum = {
+        let region = Region::create_file(&path, 8 << 20).unwrap();
+        let mut s: PHashSet<OffHolder, 32> =
+            PHashSet::create_rooted(NodeArena::raw(region.clone()), 256, "s").unwrap();
+        s.extend(0..3000).unwrap();
+        let c = s.traverse();
+        region.close().unwrap();
+        c
+    };
+    let region = Region::open_file(&path).unwrap();
+    let s: PHashSet<OffHolder, 32> = PHashSet::attach(NodeArena::raw(region.clone()), "s").unwrap();
+    assert_eq!(s.traverse(), checksum);
+    for k in [0u64, 1234, 2999] {
+        assert!(s.contains(k));
+    }
+    assert!(!s.contains(3000));
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trie_survives_remap_with_riv() {
+    // Digits are outside the trie alphabet; map each digit to a letter.
+    let words: Vec<String> = (0..800)
+        .map(|i| {
+            format!("{i:04}")
+                .bytes()
+                .map(|b| (b - b'0' + b'a') as char)
+                .collect()
+        })
+        .collect();
+
+    let path = tmp("trie.nvr");
+    {
+        let region = Region::create_file(&path, 16 << 20).unwrap();
+        let mut t: PTrie<Riv, 32> =
+            PTrie::create_rooted(NodeArena::raw(region.clone()), "t").unwrap();
+        t.extend(words.iter().map(|s| s.as_str())).unwrap();
+        region.close().unwrap();
+    }
+    let region = Region::open_file(&path).unwrap();
+    let t: PTrie<Riv, 32> = PTrie::attach(NodeArena::raw(region.clone()), "t").unwrap();
+    assert_eq!(t.distinct_words(), 800);
+    for w in words.iter().step_by(97) {
+        assert!(t.contains(w), "{w}");
+    }
+    assert!(!t.contains("zzzz"));
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wordcount_resumes_counting_after_reopen() {
+    let path = tmp("wc.nvr");
+    {
+        let region = Region::create_file(&path, 8 << 20).unwrap();
+        let mut wc: WordCount<OffHolder> =
+            WordCount::create_rooted(NodeArena::raw(region.clone()), "wc").unwrap();
+        wc.add_all(["alpha", "beta", "alpha"]).unwrap();
+        region.close().unwrap();
+    }
+    {
+        let region = Region::open_file(&path).unwrap();
+        let mut wc: WordCount<OffHolder> =
+            WordCount::attach(NodeArena::raw(region.clone()), "wc").unwrap();
+        assert_eq!(wc.count("alpha"), 2);
+        wc.add_all(["alpha", "gamma"]).unwrap();
+        assert_eq!(wc.count("alpha"), 3);
+        assert!(wc.verify());
+        region.close().unwrap();
+    }
+    let region = Region::open_file(&path).unwrap();
+    let wc: WordCount<OffHolder> = WordCount::attach(NodeArena::raw(region.clone()), "wc").unwrap();
+    assert_eq!(wc.total(), 5);
+    assert_eq!(wc.distinct(), 3);
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn swizzled_structure_roundtrips_through_at_rest_image() {
+    use nvm_pi::pi_core::SwizzledPtr;
+    let path = tmp("swz.nvr");
+    let checksum = {
+        let region = Region::create_file(&path, 4 << 20).unwrap();
+        let mut list: PList<SwizzledPtr, 32> =
+            PList::create_rooted(NodeArena::raw(region.clone()), "l").unwrap();
+        list.extend(0..1000).unwrap();
+        // Use it once (swizzle), then unswizzle before "storing".
+        list.swizzle();
+        let c = list.traverse();
+        list.unswizzle();
+        region.close().unwrap();
+        c
+    };
+    let region = Region::open_file(&path).unwrap();
+    let mut list: PList<SwizzledPtr, 32> =
+        PList::attach(NodeArena::raw(region.clone()), "l").unwrap();
+    list.swizzle();
+    assert_eq!(list.traverse(), checksum);
+    list.unswizzle();
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}

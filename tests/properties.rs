@@ -1,0 +1,171 @@
+//! Property-based tests of the core invariants (see DESIGN.md,
+//! "Invariants").
+
+use nvm_pi::nvmsim::layout::{Area, ExactLayout};
+use nvm_pi::pi_core::{OffHolder, PtrRepr, Riv};
+use nvm_pi::{NodeArena, PList, Region};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Off-holder encode/decode round-trips for arbitrary holder/target
+    /// address pairs (8-aligned, as all real slots and targets are).
+    #[test]
+    fn off_holder_roundtrips(holder in 1u64..u64::MAX / 2, target in 1u64..u64::MAX / 2) {
+        let holder = (holder & !7) as usize;
+        let target = (target & !7) as usize;
+        prop_assume!(holder != 0 && target != 0);
+        let enc = OffHolder::encode_at(holder, target);
+        prop_assert_eq!(enc.decode_at(holder), target);
+        prop_assert!(!enc.is_null());
+        // Null is preserved distinctly.
+        let null = OffHolder::encode_at(holder, 0);
+        prop_assert!(null.is_null());
+        prop_assert_eq!(null.decode_at(holder), 0);
+    }
+
+    /// Off-holder representations are invariant under moving holder and
+    /// target together (the position-independence property).
+    #[test]
+    fn off_holder_translation_invariance(
+        holder in 1u64..u64::MAX / 4,
+        target in 1u64..u64::MAX / 4,
+        delta in 0u64..u64::MAX / 4,
+    ) {
+        let (holder, target, delta) =
+            ((holder & !7) as usize, (target & !7) as usize, (delta & !7) as usize);
+        prop_assume!(holder != 0 && target != 0);
+        let enc = OffHolder::encode_at(holder, target);
+        let moved = OffHolder::encode_at(holder + delta, target + delta);
+        prop_assert_eq!(enc, moved);
+        prop_assert_eq!(moved.decode_at(holder + delta), target + delta);
+    }
+
+    /// For any valid exact layout, the three NV-space areas are pairwise
+    /// disjoint and every constructor lands in its own area.
+    #[test]
+    fn exact_layout_areas_disjoint(l1 in 2u32..8, l2 in 16u32..30, l4_extra in 0u32..20) {
+        let l3 = 64 - l1 - l2;
+        let l4 = (l2 + l4_extra).min(58);
+        let lay = ExactLayout { l1, l2, l3, l4 };
+        prop_assume!(lay.validate().is_ok());
+
+        let (r_lo, r_hi) = lay.area_span(Area::RidTable);
+        let (b_lo, b_hi) = lay.area_span(Area::BaseTable);
+        let (d_lo, _) = lay.area_span(Area::Data);
+        prop_assert!(r_lo < r_hi && b_lo < b_hi);
+        prop_assert!(r_hi <= b_lo, "rid table must sit below the base table");
+        prop_assert!(b_hi <= d_lo, "base table must sit below the data area");
+    }
+
+    /// Entry-address constructors classify into their own areas and
+    /// distinct inputs map to distinct entry addresses (direct mapping).
+    #[test]
+    fn exact_layout_entries_injective(
+        l1 in 2u32..8, l2 in 16u32..30, l4_extra in 0u32..20,
+        a in 0u64..1000, b in 0u64..1000,
+    ) {
+        let l3 = 64 - l1 - l2;
+        let l4 = (l2 + l4_extra).min(58);
+        let lay = ExactLayout { l1, l2, l3, l4 };
+        prop_assume!(lay.validate().is_ok());
+        prop_assume!(a != b);
+
+        prop_assert_eq!(lay.classify(lay.rid_entry_addr(a)), Some(Area::RidTable));
+        prop_assert_eq!(lay.classify(lay.base_entry_addr(a)), Some(Area::BaseTable));
+        prop_assert_ne!(lay.rid_entry_addr(a), lay.rid_entry_addr(b));
+        prop_assert_ne!(lay.base_entry_addr(a), lay.base_entry_addr(b));
+
+        let nv = lay.first_usable_nvbase() | (a % lay.usable_segments());
+        let addr = lay.data_addr(nv, b);
+        prop_assert_eq!(lay.classify(addr), Some(Area::Data));
+        prop_assert_eq!(lay.nvbase_of(addr), nv);
+        prop_assert_eq!(lay.offset_of(addr), b);
+        prop_assert_eq!(lay.get_base(addr), lay.data_addr(nv, 0));
+    }
+}
+
+proptest! {
+    // Region-backed cases are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RIV round-trips for arbitrary in-region offsets.
+    #[test]
+    fn riv_roundtrips_for_arbitrary_offsets(offs in prop::collection::vec(0u64..(1 << 18), 1..40)) {
+        let region = Region::create(1 << 20).unwrap();
+        let base = region.alloc(1 << 19, 16).unwrap().as_ptr() as usize;
+        for &off in &offs {
+            let addr = base + (off as usize & !7);
+            let x = Riv::p2x(addr);
+            prop_assert_eq!(x.x2p(), addr);
+            prop_assert_eq!(x.rid(), region.rid());
+        }
+        region.close().unwrap();
+    }
+
+    /// A persistent list holds exactly the keys inserted, in LIFO order,
+    /// for an arbitrary key multiset.
+    #[test]
+    fn list_preserves_arbitrary_key_sequences(keys in prop::collection::vec(any::<u64>(), 0..300)) {
+        let region = Region::create(4 << 20).unwrap();
+        let mut list: PList<Riv, 32> = PList::new(NodeArena::raw(region.clone())).unwrap();
+        list.extend(keys.iter().copied()).unwrap();
+        let expect: Vec<u64> = keys.iter().rev().copied().collect();
+        prop_assert_eq!(list.keys(), expect);
+        prop_assert_eq!(list.len(), keys.len() as u64);
+        region.close().unwrap();
+    }
+
+    /// The region allocator never hands out overlapping blocks across an
+    /// arbitrary interleaving of allocs and frees.
+    #[test]
+    fn allocator_blocks_never_overlap(ops in prop::collection::vec((1usize..3000, any::<bool>()), 1..120)) {
+        let region = Region::create(4 << 20).unwrap();
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (addr, rounded size)
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (addr, sz) = live.swap_remove(live.len() / 2);
+                unsafe {
+                    region.dealloc(std::ptr::NonNull::new(addr as *mut u8).unwrap(), sz)
+                };
+            } else {
+                let p = region.alloc(size, 16).unwrap().as_ptr() as usize;
+                live.push((p, size));
+            }
+            // Invariant: live blocks pairwise disjoint (using rounded sizes).
+            let mut spans: Vec<(usize, usize)> = live
+                .iter()
+                .map(|&(a, s)| (a, a + round16(s)))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {:?} vs {:?}", w[0], w[1]);
+            }
+        }
+        region.close().unwrap();
+    }
+}
+
+fn round16(s: usize) -> usize {
+    // Mirror of the allocator's class rounding, conservative upper bound.
+    nvm_pi::nvmsim::alloc::AllocHeader::rounded_size(s)
+}
+
+// -- Send/Sync guarantees (C-SEND-SYNC) --------------------------------------
+
+#[test]
+fn substrate_handles_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<nvm_pi::Region>();
+    assert_send_sync::<nvm_pi::ObjectStore>();
+    assert_send_sync::<nvm_pi::RegionPool>();
+    assert_send_sync::<nvm_pi::NvSpace>();
+    assert_send_sync::<nvm_pi::NvError>();
+    assert_send_sync::<nvm_pi::StoreError>();
+    assert_send_sync::<nvm_pi::PdsError>();
+    // Plain pointer representations are inert data.
+    assert_send_sync::<nvm_pi::OffHolder>();
+    assert_send_sync::<nvm_pi::Riv>();
+    assert_send_sync::<nvm_pi::FatPtr>();
+}
