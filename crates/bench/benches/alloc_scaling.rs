@@ -1,0 +1,116 @@
+//! ALLOC-SCALING — multi-thread allocator throughput, magazine fast path
+//! versus the single-lock baseline.
+//!
+//! Threads churn alloc/free bursts of mixed size classes on one shared
+//! region at 1/2/4/8 threads, once with per-thread magazines enabled
+//! (the default) and once with `Region::set_magazines(false)`, which
+//! routes every operation through the region lock. Reports aggregate
+//! operations per second and the magazine/locked speedup per thread
+//! count.
+//!
+//! Run with `--quick` for a CI-sized smoke pass.
+
+use nvmsim::Region;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Size classes exercised by the churn (one small, two mid, one large).
+const SIZES: [usize; 4] = [16, 64, 256, 1024];
+
+/// Blocks allocated per burst before the burst is freed in LIFO order.
+const BURST: usize = 64;
+
+fn churn(region: &Region, ops: usize, seed: usize) -> usize {
+    let mut done = 0;
+    let mut burst = Vec::with_capacity(BURST);
+    let mut i = seed;
+    while done < ops {
+        for _ in 0..BURST.min(ops - done) {
+            let size = SIZES[i % SIZES.len()];
+            i = i.wrapping_add(1);
+            let p = region.alloc(size, 8).expect("bench region sized for churn");
+            // Touch the block so the allocation is not dead.
+            unsafe { p.as_ptr().write(i as u8) };
+            burst.push((p, size));
+        }
+        for (p, size) in burst.drain(..).rev() {
+            unsafe { region.dealloc(p, size) };
+        }
+        done += BURST.min(ops - done);
+    }
+    done
+}
+
+/// Runs one (mode, threads) cell and returns aggregate ops/s, where one
+/// op is an alloc or a free (each churn iteration counts two).
+fn run_cell(threads: usize, ops_per_thread: usize, magazines: bool) -> f64 {
+    let region = Region::create(64 << 20).expect("create bench region");
+    region.set_magazines(magazines);
+    // Pre-warm the free lists so both modes measure steady-state reuse,
+    // not first-touch bump carving.
+    churn(&region, 2 * BURST * SIZES.len(), 0);
+    // Threads time themselves between the start barrier and their last
+    // op; the wall interval is first-start to last-finish. (Timing from
+    // the main thread undercounts badly on few-core hosts, where workers
+    // can run to completion before the main thread is rescheduled.)
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let r = region.clone();
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                b.wait();
+                let start = Instant::now();
+                let done = churn(&r, ops_per_thread, t * 7919);
+                (start, Instant::now(), done)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = results.iter().map(|(s, _, _)| *s).min().unwrap();
+    let last = results.iter().map(|(_, e, _)| *e).max().unwrap();
+    let total: usize = results.iter().map(|(_, _, n)| n).sum();
+    let secs = (last - first).as_secs_f64();
+    region.close().expect("close bench region");
+    (total * 2) as f64 / secs
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let ops_per_thread = if quick { 4_000 } else { 100_000 };
+    let thread_counts = [1usize, 2, 4, 8];
+
+    println!("ALLOC-SCALING — shared-region alloc/free throughput");
+    println!(
+        "  {} ops/thread, burst {}, classes {:?}, {} host cpus",
+        ops_per_thread,
+        BURST,
+        SIZES,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    println!(
+        "  {:>7} | {:>16} | {:>16} | {:>7}",
+        "threads", "locked ops/s", "magazine ops/s", "speedup"
+    );
+
+    let mut single_thread = (0.0f64, 0.0f64);
+    for &threads in &thread_counts {
+        let locked = run_cell(threads, ops_per_thread, false);
+        let magazine = run_cell(threads, ops_per_thread, true);
+        if threads == 1 {
+            single_thread = (locked, magazine);
+        }
+        println!(
+            "  {:>7} | {:>16.0} | {:>16.0} | {:>6.2}x",
+            threads,
+            locked,
+            magazine,
+            magazine / locked
+        );
+    }
+    let (l1, m1) = single_thread;
+    println!(
+        "  single-thread magazine/locked ratio: {:.3} (>= 0.95 required)",
+        m1 / l1
+    );
+}

@@ -47,6 +47,7 @@ pub mod error;
 pub mod inspect;
 pub mod latency;
 pub mod layout;
+pub mod magazine;
 pub mod mem;
 pub mod nvspace;
 pub mod persist;

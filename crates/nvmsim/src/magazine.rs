@@ -1,0 +1,274 @@
+//! Per-thread magazine caches over the region allocator.
+//!
+//! Every class-sized allocation used to funnel through one region-wide
+//! mutex, so multi-threaded workloads serialized on a single lock per
+//! region. This module gives each *(thread, region)* pair a set of small
+//! LIFO caches — **magazines**, one per size class — that serve `alloc`
+//! and `dealloc` without touching the region lock at all:
+//!
+//! * a fast-path `alloc` pops an offset off the calling thread's magazine;
+//! * a fast-path `dealloc` pushes the offset back on;
+//! * an empty magazine **refills** by unlinking a batch of
+//!   [`REFILL_BATCH`] blocks from the shared per-class free list (bump
+//!   frontier as fallback) under one short critical section;
+//! * a full magazine **flushes** its cold half back to the shared free
+//!   list, again under one short critical section.
+//!
+//! The fast path takes exactly one uncontended per-thread lock; statistics
+//! are sharded into the same per-thread structure (`CacheInner`) so no
+//! shared cache line is written per operation. The region layer aggregates the shards whenever
+//! it already holds the region lock (refill, flush, sync, close).
+//!
+//! # Crash consistency
+//!
+//! Magazine contents are *volatile*. On media, a cached block is
+//! indistinguishable from an allocated one: the refill batch is unlinked
+//! from the persistent free list inside the critical section, so no crash
+//! can observe a block that is both on a free list and in a magazine
+//! (no double-serve after recovery). The region layer flushes magazines
+//! back on clean close, on [`crate::Region::flush_magazines`], and from a
+//! thread-exit hook (the drop of the thread-local cache table), so a
+//! crash leaks at most the
+//! blocks cached in-flight — bounded by `threads × MAGAZINE_CAP` per
+//! class, and the image remains valid for the existing reopen path.
+
+use crate::alloc::{CLASS_SIZES, NUM_CLASSES};
+use crate::region::Inner;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::{Arc, Weak};
+
+/// Maximum blocks a single magazine holds before its cold half is flushed
+/// back to the shared free list.
+pub const MAGAZINE_CAP: usize = 64;
+
+/// Blocks unlinked from the shared allocator per refill (the first serves
+/// the triggering allocation; the rest land in the magazine).
+pub const REFILL_BATCH: usize = 32;
+
+/// Per-thread shard of the region's allocator statistics. Live counters
+/// are deltas (a thread may free blocks another thread allocated);
+/// cached counters describe blocks parked in this thread's magazines.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LocalStats {
+    pub live_bytes: i64,
+    pub live_allocs: i64,
+    pub alloc_calls: u64,
+    pub free_calls: u64,
+    pub cached_bytes: u64,
+    pub cached_blocks: u64,
+}
+
+impl LocalStats {
+    pub(crate) fn merge(&mut self, o: &LocalStats) {
+        self.live_bytes += o.live_bytes;
+        self.live_allocs += o.live_allocs;
+        self.alloc_calls += o.alloc_calls;
+        self.free_calls += o.free_calls;
+        self.cached_bytes += o.cached_bytes;
+        self.cached_blocks += o.cached_blocks;
+    }
+}
+
+/// The lock-protected body of a [`ThreadCache`]: one LIFO magazine per
+/// size class plus this thread's statistics shard.
+#[derive(Debug, Default)]
+pub(crate) struct CacheInner {
+    classes: [Vec<u64>; NUM_CLASSES],
+    pub(crate) stats: LocalStats,
+}
+
+impl CacheInner {
+    /// Fast-path alloc: pops the hottest cached block of `class` and
+    /// moves it from cached to live accounting.
+    pub(crate) fn take(&mut self, class: usize) -> Option<u64> {
+        let off = self.classes[class].pop()?;
+        let bsize = CLASS_SIZES[class] as u64;
+        self.stats.cached_blocks -= 1;
+        self.stats.cached_bytes -= bsize;
+        self.stats.live_bytes += bsize as i64;
+        self.stats.live_allocs += 1;
+        self.stats.alloc_calls += 1;
+        Some(off)
+    }
+
+    /// Fast-path dealloc: pushes a freed block. When the magazine
+    /// overflows, returns the cold (oldest) half for the caller to restore
+    /// to the shared free list — after releasing this cache's lock, so the
+    /// lock order stays `region lock → cache lock` everywhere.
+    pub(crate) fn put(&mut self, class: usize, off: u64) -> Option<Vec<u64>> {
+        let bsize = CLASS_SIZES[class] as u64;
+        self.stats.live_bytes -= bsize as i64;
+        self.stats.live_allocs -= 1;
+        self.stats.free_calls += 1;
+        self.stats.cached_blocks += 1;
+        self.stats.cached_bytes += bsize;
+        let mag = &mut self.classes[class];
+        mag.push(off);
+        if mag.len() > MAGAZINE_CAP {
+            let cold: Vec<u64> = mag.drain(..MAGAZINE_CAP / 2).collect();
+            self.stats.cached_blocks -= cold.len() as u64;
+            self.stats.cached_bytes -= cold.len() as u64 * bsize;
+            Some(cold)
+        } else {
+            None
+        }
+    }
+
+    /// Accounts for a refill: the first carved block goes straight to the
+    /// caller (live), the rest into the magazine (cached).
+    pub(crate) fn stock(&mut self, class: usize, offs: &[u64]) {
+        let bsize = CLASS_SIZES[class] as u64;
+        self.classes[class].extend_from_slice(offs);
+        self.stats.cached_blocks += offs.len() as u64;
+        self.stats.cached_bytes += offs.len() as u64 * bsize;
+        self.stats.live_bytes += bsize as i64;
+        self.stats.live_allocs += 1;
+        self.stats.alloc_calls += 1;
+    }
+
+    /// Removes and returns every cached block of `class`, moving them out
+    /// of cached accounting (the caller restores them to the free list).
+    pub(crate) fn drain_class(&mut self, class: usize) -> Vec<u64> {
+        let blocks = std::mem::take(&mut self.classes[class]);
+        self.stats.cached_blocks -= blocks.len() as u64;
+        self.stats.cached_bytes -= blocks.len() as u64 * CLASS_SIZES[class] as u64;
+        blocks
+    }
+}
+
+/// All magazines of one thread for one open region. The mutex is
+/// per-thread and therefore uncontended in steady state; it exists so
+/// that region close, statistics aggregation, and out-of-memory reclaim
+/// can reach *other* threads' magazines safely.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadCache {
+    pub(crate) inner: Mutex<CacheInner>,
+}
+
+struct TlsEntry {
+    /// Unique id of the region *open session* this cache belongs to
+    /// (region ids are reused across opens; instances never are).
+    instance: u64,
+    home: Weak<Inner>,
+    cache: Arc<ThreadCache>,
+}
+
+/// The calling thread's caches, one entry per open region it has touched.
+/// Dropping this (at thread exit) flushes every cache back to its region —
+/// the "thread-exit hook" that bounds what an exiting thread can strand.
+struct TlsCaches {
+    entries: Vec<TlsEntry>,
+}
+
+impl Drop for TlsCaches {
+    fn drop(&mut self) {
+        for e in self.entries.drain(..) {
+            if let Some(home) = e.home.upgrade() {
+                home.retire_thread_cache(&e.cache);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CACHES: RefCell<TlsCaches> = const { RefCell::new(TlsCaches { entries: Vec::new() }) };
+}
+
+/// Runs `f` with the calling thread's cache for `inner`, creating and
+/// registering the cache on first touch. Returns `None` when thread-local
+/// storage is unavailable (thread teardown) — callers fall back to the
+/// locked slow path.
+pub(crate) fn with_cache<R>(inner: &Arc<Inner>, f: impl FnOnce(&ThreadCache) -> R) -> Option<R> {
+    CACHES
+        .try_with(|tls| {
+            let mut tls = tls.borrow_mut();
+            let instance = inner.instance();
+            if let Some(e) = tls.entries.iter().find(|e| e.instance == instance) {
+                return f(&e.cache);
+            }
+            // First touch of this region by this thread: register the new
+            // cache with the region (for close-time drain, statistics
+            // aggregation, and OOM reclaim) and drop entries of
+            // since-closed regions while we're here.
+            let cache = Arc::new(ThreadCache::default());
+            inner.register_cache(cache.clone());
+            tls.entries.retain(|e| e.home.strong_count() > 0);
+            tls.entries.push(TlsEntry {
+                instance,
+                home: Arc::downgrade(inner),
+                cache,
+            });
+            f(&tls.entries.last().expect("just pushed").cache)
+        })
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_lifo_and_empty_safe() {
+        let mut c = CacheInner::default();
+        assert_eq!(c.take(0), None);
+        c.stock(0, &[16, 32, 48]);
+        assert_eq!(c.take(0), Some(48));
+        assert_eq!(c.take(0), Some(32));
+        assert_eq!(c.take(0), Some(16));
+        assert_eq!(c.take(0), None);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut c = CacheInner::default();
+        assert!(c.put(0, 16).is_none());
+        assert!(c.put(5, 96).is_none());
+        assert_eq!(c.take(5), Some(96));
+        assert_eq!(c.take(0), Some(16));
+    }
+
+    #[test]
+    fn overflow_returns_cold_half() {
+        let mut c = CacheInner::default();
+        for i in 0..MAGAZINE_CAP {
+            assert!(c.put(3, (i * 16) as u64).is_none(), "below cap");
+        }
+        let cold = c.put(3, (MAGAZINE_CAP * 16) as u64).expect("over cap");
+        assert_eq!(cold.len(), MAGAZINE_CAP / 2);
+        // The overflow is the *oldest* half; the hottest block remains.
+        assert_eq!(cold[0], 0);
+        assert_eq!(c.take(3), Some((MAGAZINE_CAP * 16) as u64));
+        assert_eq!(
+            c.stats.cached_blocks,
+            (MAGAZINE_CAP + 1 - MAGAZINE_CAP / 2 - 1) as u64
+        );
+    }
+
+    #[test]
+    fn drain_empties_the_magazine_and_its_accounting() {
+        let mut c = CacheInner::default();
+        c.stock(2, &[16, 32]);
+        assert_eq!(c.drain_class(2), vec![16, 32]);
+        assert_eq!(c.take(2), None);
+        assert!(c.drain_class(2).is_empty());
+        assert_eq!(c.stats.cached_blocks, 0);
+        assert_eq!(c.stats.cached_bytes, 0);
+    }
+
+    #[test]
+    fn stats_shard_balances_over_a_churn_cycle() {
+        let mut c = CacheInner::default();
+        let bsize = CLASS_SIZES[4] as i64;
+        c.stock(4, &[96, 192]); // refill: 1 served live + 2 cached
+        assert_eq!(c.stats.live_allocs, 1);
+        assert_eq!(c.stats.cached_blocks, 2);
+        let off = c.take(4).unwrap();
+        assert!(c.put(4, off).is_none());
+        assert_eq!(c.stats.live_allocs, 1, "one refill-served block still out");
+        assert_eq!(c.stats.live_bytes, bsize);
+        assert_eq!(c.stats.alloc_calls, 2);
+        assert_eq!(c.stats.free_calls, 1);
+        assert_eq!(c.stats.cached_blocks, 2);
+    }
+}

@@ -12,7 +12,7 @@
 //! reproducing the cost profile the paper measures for PMEM.IO-style fat
 //! pointers. Lookups are lock-free; mutations take a mutex.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Number of slots in the fat-pointer cuckoo table (power of two).
@@ -220,13 +220,15 @@ pub struct RegionInfo {
     pub size: usize,
 }
 
-static OPEN: Mutex<Vec<RegionInfo>> = Mutex::new(Vec::new());
+// Read-mostly: mutated only at region open/close, read by every
+// `open_regions`/`region_info` query, so readers share the lock.
+static OPEN: RwLock<Vec<RegionInfo>> = RwLock::new(Vec::new());
 static NEXT_RID: AtomicU32 = AtomicU32::new(1);
 
 /// Records an open region and publishes it to the fat-pointer table.
 pub(crate) fn register(rid: u32, base: usize, size: usize) {
     FAT.insert(rid, base);
-    let mut open = OPEN.lock();
+    let mut open = OPEN.write();
     open.retain(|r| r.rid != rid);
     open.push(RegionInfo { rid, base, size });
 }
@@ -239,7 +241,7 @@ pub(crate) fn unregister(rid: u32) {
         LAST_BASE.store(0, Ordering::Relaxed);
         LAST_ID.store(0, Ordering::Relaxed);
     }
-    OPEN.lock().retain(|r| r.rid != rid);
+    OPEN.write().retain(|r| r.rid != rid);
 }
 
 /// Allocates a fresh region ID, never reusing one handed out before in this
@@ -258,12 +260,12 @@ pub fn alloc_rid(max_rid: u32, avoid: impl Fn(u32) -> bool) -> Option<u32> {
 
 /// Snapshot of the regions currently open in this process.
 pub fn open_regions() -> Vec<RegionInfo> {
-    OPEN.lock().clone()
+    OPEN.read().clone()
 }
 
 /// Looks up an open region's info by id.
 pub fn region_info(rid: u32) -> Option<RegionInfo> {
-    OPEN.lock().iter().find(|r| r.rid == rid).copied()
+    OPEN.read().iter().find(|r| r.rid == rid).copied()
 }
 
 #[cfg(test)]

@@ -132,6 +132,142 @@ fn parallel_allocations_in_one_region_do_not_overlap() {
 }
 
 #[test]
+fn concurrent_churn_conserves_alloc_stats_and_never_double_serves() {
+    let _serial = SERIAL.lock().unwrap();
+    // Four threads churn alloc/free cycles on one shared region across a
+    // mix of size classes. Every live block is stamped with a unique tag;
+    // if two threads were ever handed the same block (a double-serve from
+    // a magazine or free list), the stamp check fails. At the end the
+    // user-visible statistics must balance exactly.
+    const THREADS: usize = 4;
+    const OPS: usize = 2_000;
+    const SIZES: [usize; 5] = [16, 48, 128, 384, 1024];
+    let region = Region::create(32 << 20).unwrap();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = region.clone();
+            std::thread::spawn(move || {
+                let mut live: Vec<(std::ptr::NonNull<u8>, usize, u64)> = Vec::new();
+                let mut allocs = 0u64;
+                let mut frees = 0u64;
+                let mut bytes = 0u64;
+                for i in 0..OPS {
+                    let churn = i % 3 != 0; // free two of every three rounds
+                    if churn && !live.is_empty() {
+                        let (p, size, tag) = live.swap_remove(i % live.len());
+                        // The stamp must still be ours: nobody else may
+                        // have been served this block while we held it.
+                        let got = unsafe { (p.as_ptr() as *const u64).read() };
+                        assert_eq!(got, tag, "block served to two owners");
+                        unsafe { r.dealloc(p, size) };
+                        frees += 1;
+                        bytes -= nvm_pi::nvmsim::alloc::AllocHeader::rounded_size(size) as u64;
+                    } else {
+                        let size = SIZES[(t + i) % SIZES.len()];
+                        let p = r.alloc(size, 8).unwrap();
+                        let tag = ((t as u64) << 32) | i as u64;
+                        unsafe { (p.as_ptr() as *mut u64).write(tag) };
+                        live.push((p, size, tag));
+                        allocs += 1;
+                        bytes += nvm_pi::nvmsim::alloc::AllocHeader::rounded_size(size) as u64;
+                    }
+                }
+                // Verify and free the remainder.
+                for (p, size, tag) in live.drain(..) {
+                    let got = unsafe { (p.as_ptr() as *const u64).read() };
+                    assert_eq!(got, tag, "block served to two owners");
+                    unsafe { r.dealloc(p, size) };
+                    frees += 1;
+                    bytes -= nvm_pi::nvmsim::alloc::AllocHeader::rounded_size(size) as u64;
+                }
+                (allocs, frees, bytes)
+            })
+        })
+        .collect();
+    let mut total_allocs = 0u64;
+    let mut total_frees = 0u64;
+    for h in handles {
+        let (a, f, b) = h.join().unwrap();
+        assert_eq!(a, f, "every thread freed what it allocated");
+        assert_eq!(b, 0, "per-thread byte balance");
+        total_allocs += a;
+        total_frees += f;
+    }
+    let s = region.stats();
+    assert_eq!(s.alloc_calls, total_allocs, "alloc calls conserved");
+    assert_eq!(s.free_calls, total_frees, "free calls conserved");
+    assert_eq!(s.live_allocs, 0, "no live blocks remain");
+    assert_eq!(s.live_bytes, 0, "no live bytes remain");
+    // After draining the magazines, the persistent image agrees too.
+    region.flush_magazines().unwrap();
+    let s = region.stats();
+    assert_eq!(s.live_allocs, 0);
+    assert_eq!(s.live_bytes, 0);
+    region.close().unwrap();
+}
+
+#[test]
+fn crash_with_loaded_magazines_leaks_boundedly_and_recovers() {
+    let _serial = SERIAL.lock().unwrap();
+    const THREADS: usize = 4;
+    let dir = std::env::temp_dir().join(format!("nvmsim-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("magcrash.nvr");
+    {
+        let region = Region::create_file(&path, 32 << 20).unwrap();
+        // Threads must stay alive across the crash: joining them earlier
+        // would run their thread-exit hooks and flush the magazines we
+        // want to lose.
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS + 1));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let r = region.clone();
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    // Load this thread's 64-byte magazine by freeing a burst
+                    // of blocks, leaving them cached (not flushed).
+                    let ptrs: Vec<_> = (0..100).map(|_| r.alloc(64, 8).unwrap()).collect();
+                    for p in ptrs {
+                        unsafe { r.dealloc(p, 64) };
+                    }
+                    b.wait(); // magazines loaded
+                    b.wait(); // crash happened; exit hook sees a dead region
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Fold counters durably, then crash with the magazines loaded.
+        region.sync().unwrap();
+        region.crash();
+        barrier.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    let region = Region::open_file(&path).unwrap();
+    assert!(region.was_dirty(), "crash left the image dirty");
+    let s = region.stats();
+    let bound = (THREADS * nvm_pi::nvmsim::magazine::MAGAZINE_CAP) as u64;
+    assert!(
+        s.live_allocs > 0,
+        "the crash really did strand magazine-cached blocks"
+    );
+    assert!(
+        s.live_allocs <= bound,
+        "crash leaked {} blocks, bound is {bound}",
+        s.live_allocs
+    );
+    // The recovered image is fully usable: allocate, free, close cleanly.
+    let p = region.alloc(64, 8).unwrap();
+    unsafe { region.dealloc(p, 64) };
+    region.close().unwrap();
+    let region = Region::open_file(&path).unwrap();
+    assert!(!region.was_dirty(), "clean close after recovery");
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn region_out_of_segments_reports_cleanly() {
     let _serial = SERIAL.lock().unwrap();
     // Consume every free segment, then verify the error is NoFreeSegment

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time`/`warm_up_time`,
+//! `bench_function` with a `Bencher::iter` closure, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! median-of-samples wall-clock runner. No statistical analysis, plots, or
+//! baselines; results are printed as `group/name  median ns/iter`. Swap the
+//! real crate back in via `[workspace.dependencies]` when registry access
+//! returns.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm up and find an iteration count that fills one sample slot.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_nanos(1);
+        loop {
+            f(&mut b);
+            if b.iters > 0 && !b.elapsed.is_zero() {
+                per_iter = b.elapsed / b.iters as u32;
+            }
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        let slot = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters_per_sample as u64;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!("{}/{:<24} time: [{:>12.1} ns/iter]", self.name, id, median);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0, "closure actually ran");
+    }
+}

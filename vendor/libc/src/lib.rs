@@ -1,0 +1,84 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate provides exactly the Linux bindings the workspace uses:
+//! `mmap`-family calls and the handful of constants that parameterize
+//! them. Signatures and constant values match `libc` 0.2 on
+//! `x86_64`/`aarch64`-unknown-linux-gnu; swap the real crate back in by
+//! editing `[workspace.dependencies]` when registry access returns.
+
+#![allow(non_camel_case_types)]
+
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long`.
+pub type c_long = i64;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t` (64-bit on the targets we support).
+pub type off_t = i64;
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+
+pub const MAP_SHARED: c_int = 0x0001;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_FIXED: c_int = 0x0010;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_NORESERVE: c_int = 0x4000;
+
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+pub const MS_SYNC: c_int = 4;
+
+pub const MADV_NOHUGEPAGE: c_int = 15;
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "page size {ps}");
+    }
+
+    #[test]
+    fn mmap_roundtrip() {
+        unsafe {
+            let p = mmap(
+                core::ptr::null_mut(),
+                8192,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u64) = 0xdead_beef;
+            assert_eq!(*(p as *const u64), 0xdead_beef);
+            assert_eq!(munmap(p, 8192), 0);
+        }
+    }
+}
