@@ -7,6 +7,7 @@
 
 use crate::error::{NvError, Result};
 use crate::region::{HEADER_VERSION, MAX_ROOTS, REGION_MAGIC, ROOT_NAME_CAP};
+use crate::shadow::FaultStamp;
 use std::fmt;
 use std::path::Path;
 
@@ -19,6 +20,24 @@ pub struct RootInfo {
     pub offset: u64,
     /// Application type tag (0 = untagged).
     pub type_tag: u64,
+}
+
+/// State of a `pstore` undo-log head as found in an image (via the
+/// `"pstore.meta"` root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogInfo {
+    /// Offset of the undo-log area within the region.
+    pub log_off: u64,
+    /// Capacity of the log area in bytes.
+    pub log_cap: u64,
+    /// Bytes of entries currently in the log (nonzero on a dirty image
+    /// means recovery will roll back on the next attach).
+    pub used: u64,
+    /// Entries counted by a bounded, validated scan of the log.
+    pub entries: u64,
+    /// Whether the scan stopped early on a malformed entry (torn or
+    /// corrupted log bytes).
+    pub truncated_scan: bool,
 }
 
 /// Everything [`inspect`] learns about an image.
@@ -43,6 +62,11 @@ pub struct ImageReport {
     pub live_bytes: u64,
     /// Number of live allocations.
     pub live_allocs: u64,
+    /// The fault stamp of the last injected crash, if the image carries
+    /// one (see [`crate::shadow`]).
+    pub fault: Option<FaultStamp>,
+    /// Undo-log head state, if the image holds a `pstore` store.
+    pub log: Option<LogInfo>,
 }
 
 impl fmt::Display for ImageReport {
@@ -68,6 +92,41 @@ impl fmt::Display for ImageReport {
             self.bump,
             self.bump * 100 / self.size.max(1)
         )?;
+        match &self.fault {
+            Some(s) => {
+                let policy = match s.mode {
+                    1 => "drop-unflushed",
+                    2 => "tear-words",
+                    _ => "unknown",
+                };
+                writeln!(
+                    f,
+                    "last fault:   {policy} at event {} (seed {:#x}): {} lines dropped, {} torn ({} words)",
+                    s.event, s.seed, s.dropped_lines, s.torn_lines, s.torn_words
+                )?;
+            }
+            None => writeln!(f, "last fault:   none")?,
+        }
+        if let Some(log) = &self.log {
+            writeln!(
+                f,
+                "undo log:     {} bytes used of {} at {:#x}, {} entries{}{}",
+                log.used,
+                log.log_cap,
+                log.log_off,
+                log.entries,
+                if log.truncated_scan {
+                    " (scan stopped on malformed entry)"
+                } else {
+                    ""
+                },
+                if log.used != 0 && !self.clean {
+                    " — recovery pending"
+                } else {
+                    ""
+                },
+            )?;
+        }
         writeln!(f, "roots:        {}", self.roots.len())?;
         for r in &self.roots {
             let tag = if r.type_tag == 0 {
@@ -106,7 +165,65 @@ mod offsets {
     pub const ROOT_TAG_IN_ENTRY: usize = 40;
     // AllocHeader follows the root array.
     pub const ALLOC_BUMP_REL: usize = 0;
-    pub const ALLOC_LIVE_BYTES_REL: usize = 8 + 8 + 16 * 8 + 8; // bump,end,free_heads,large
+    // Field order: bump, end, free_heads, large_head, 4 stat counters.
+    pub const ALLOC_LIVE_BYTES_REL: usize = 8 + 8 + 16 * 8 + 8;
+    pub const ALLOC_SIZE: usize = 8 + 8 + 16 * 8 + 8 + 4 * 8;
+    // FaultStamp is the last header field, right after the allocator.
+    pub const FAULT: usize = ROOTS + 16 * ROOT_ENTRY_SIZE + ALLOC_SIZE;
+}
+
+/// Reads the `pstore` undo-log head through the `"pstore.meta"` root, if
+/// present and sane. The entry scan is bounded and validated so torn or
+/// corrupted log bytes cannot run the parser out of the image.
+fn peek_log(bytes: &[u8], roots: &[RootInfo]) -> Option<LogInfo> {
+    const PSTORE_MAGIC: u64 = u64::from_le_bytes(*b"PSTOREV1");
+    const LOG_HEADER: u64 = 16;
+    const ENTRY_HEADER: u64 = 16;
+    let meta_off = roots.iter().find(|r| r.name == "pstore.meta")?.offset as usize;
+    if meta_off.checked_add(40)? > bytes.len() {
+        return None;
+    }
+    if read_u64(bytes, meta_off) != PSTORE_MAGIC {
+        return None;
+    }
+    let log_off = read_u64(bytes, meta_off + 24);
+    let log_cap = read_u64(bytes, meta_off + 32);
+    let log_end = log_off.checked_add(log_cap)?;
+    if log_off < LOG_HEADER || log_end > bytes.len() as u64 {
+        return None;
+    }
+    let used = read_u64(bytes, log_off as usize);
+    let mut entries = 0u64;
+    let mut truncated_scan = false;
+    if LOG_HEADER + used > log_cap {
+        // `used` itself is implausible (torn?): report it, scan nothing.
+        truncated_scan = true;
+    } else {
+        let mut pos = 0u64;
+        while pos < used {
+            let entry = (log_off + LOG_HEADER + pos) as usize;
+            let data_off = read_u64(bytes, entry);
+            let len = read_u64(bytes, entry + 8);
+            let span = ENTRY_HEADER + ((len + 15) & !15);
+            let in_bounds = pos.checked_add(span).is_some_and(|end| end <= used)
+                && data_off
+                    .checked_add(len)
+                    .is_some_and(|end| end <= bytes.len() as u64);
+            if !in_bounds {
+                truncated_scan = true;
+                break;
+            }
+            entries += 1;
+            pos += span;
+        }
+    }
+    Some(LogInfo {
+        log_off,
+        log_cap,
+        used,
+        entries,
+        truncated_scan,
+    })
 }
 
 /// Parses and validates a region image file without opening it as a
@@ -170,6 +287,8 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<ImageReport> {
         });
     }
     let alloc = ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE;
+    let fault = FaultStamp::parse(&bytes[FAULT..]);
+    let log = peek_log(bytes, &roots);
     Ok(ImageReport {
         rid: read_u32(bytes, RID),
         version,
@@ -180,6 +299,8 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<ImageReport> {
         bump: read_u64(bytes, alloc + ALLOC_BUMP_REL),
         live_bytes: read_u64(bytes, alloc + ALLOC_LIVE_BYTES_REL),
         live_allocs: read_u64(bytes, alloc + ALLOC_LIVE_BYTES_REL + 8),
+        fault,
+        log,
     })
 }
 
@@ -223,8 +344,16 @@ mod tests {
         assert_eq!(report.roots[0].name, "alpha");
         assert_eq!(report.roots[0].type_tag, u64::from_le_bytes(*b"TAGALPHA"));
         assert!(report.bump > 0);
+        assert_eq!(
+            crate::region::RegionHeader::fault_stamp_offset() as usize,
+            offsets::FAULT,
+            "offline FAULT offset drifted from RegionHeader"
+        );
+        assert!(report.fault.is_none(), "clean image carries no fault stamp");
+        assert!(report.log.is_none(), "no pstore.meta root, no log info");
         let shown = report.to_string();
         assert!(shown.contains("alpha") && shown.contains("clean"));
+        assert!(shown.contains("last fault:   none"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -108,6 +108,7 @@ pub fn delay_ns(ns: u64) {
 #[inline]
 pub fn wbarrier() {
     std::sync::atomic::fence(Ordering::SeqCst);
+    crate::shadow::on_fence();
     delay_ns(WBARRIER_NS.load(Ordering::Relaxed));
 }
 
@@ -115,6 +116,7 @@ pub fn wbarrier() {
 /// device: pays the configured per-line flush latency.
 #[inline]
 pub fn clflush_range(addr: usize, len: usize) {
+    crate::shadow::on_flush(addr, len);
     let per_line = CLFLUSH_NS.load(Ordering::Relaxed);
     if per_line == 0 || len == 0 {
         return;

@@ -53,6 +53,7 @@ pub mod nvspace;
 pub mod persist;
 pub mod region;
 pub mod registry;
+pub mod shadow;
 pub mod twolevel;
 
 pub use error::{NvError, Result};
@@ -62,4 +63,7 @@ pub use nvspace::NvSpace;
 pub use persist::RegionPool;
 pub use region::Region;
 pub use registry::RegionInfo;
+pub use shadow::{
+    CapturedCrash, CrashPointReached, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
+};
 pub use twolevel::{Level, TwoLevelLayout};

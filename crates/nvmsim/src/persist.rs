@@ -135,10 +135,25 @@ impl RegionPool {
     /// Copies the image for `rid` to an arbitrary path — used by crash
     /// tests to snapshot a mid-transaction state.
     ///
+    /// The snapshot reflects only *persisted* state. When the region is
+    /// open in this process with shadow tracking enabled
+    /// ([`Region::enable_shadow`]), the snapshot is the shadow tracker's
+    /// persisted view — written-but-unflushed cache lines are excluded,
+    /// exactly as a crash-time copy of the device would be. When the
+    /// region is open without shadow tracking, the live mapping is the
+    /// file's page cache (`MAP_SHARED`), so a plain copy already equals
+    /// the simulator's persisted state; closed images are copied as-is.
+    ///
     /// # Errors
     ///
     /// Propagates copy failures.
     pub fn snapshot(&self, rid: u32, to: &Path) -> Result<()> {
+        if let Some(info) = crate::registry::region_info(rid) {
+            if let Some(view) = crate::shadow::persisted_view(info.base) {
+                fs::write(to, &view)?;
+                return Ok(());
+            }
+        }
         fs::copy(self.path_for(rid), to)?;
         Ok(())
     }
@@ -205,6 +220,31 @@ mod tests {
         r.close().unwrap();
         let r = pool.open_or_create(40_003, 1 << 20).unwrap();
         assert_eq!(r.user_tag(), 5, "second call opened the existing image");
+        r.close().unwrap();
+        pool.destroy().unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_shadowed_region_excludes_unflushed_state() {
+        let pool = RegionPool::temp("snapshadow").unwrap();
+        let r = pool.create(40_005, 1 << 20).unwrap();
+        let p = r.alloc(64, 16).unwrap().as_ptr() as *mut u64;
+        unsafe { p.write(1) };
+        let off = r.offset_of(p as usize).unwrap() as usize;
+        r.sync().unwrap();
+        r.enable_shadow().unwrap();
+        // A tracked store that is never flushed: persisted state still
+        // holds the old value, and the snapshot must reflect that.
+        unsafe { p.write(2) };
+        crate::shadow::track_store(p as usize, 8);
+        let snap = pool.dir().join("shadow.bak");
+        pool.snapshot(40_005, &snap).unwrap();
+        let bytes = std::fs::read(&snap).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()),
+            1,
+            "snapshot must exclude written-but-unflushed bytes"
+        );
         r.close().unwrap();
         pool.destroy().unwrap();
     }

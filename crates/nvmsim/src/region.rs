@@ -15,6 +15,7 @@ use crate::magazine::{self, LocalStats, ThreadCache, REFILL_BATCH};
 use crate::mem::align_up;
 use crate::nvspace::{NvSpace, SegIndex};
 use crate::registry;
+use crate::shadow::{self, FaultPolicy, FaultReport, FaultStamp};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Read;
@@ -54,12 +55,21 @@ pub struct RegionHeader {
     user_tag: u64,
     roots: [RootEntry; MAX_ROOTS],
     alloc: AllocHeader,
+    /// Record of the last injected crash (see [`crate::shadow`]); all
+    /// zeroes until a fault-injected crash image stamps it.
+    fault: FaultStamp,
 }
 
 impl RegionHeader {
     /// Offset of the first allocatable byte in a region.
     pub fn data_start() -> u64 {
         align_up(std::mem::size_of::<RegionHeader>(), 64) as u64
+    }
+
+    /// Offset of the [`FaultStamp`] within the header (it is the last
+    /// field, and every field is 8-aligned, so there is no tail padding).
+    pub fn fault_stamp_offset() -> u64 {
+        (std::mem::size_of::<RegionHeader>() - std::mem::size_of::<FaultStamp>()) as u64
     }
 }
 
@@ -247,6 +257,7 @@ impl Region {
                 type_tag: 0,
             }; MAX_ROOTS];
             hdr.alloc.init(RegionHeader::data_start(), size as u64);
+            hdr.fault = FaultStamp::default();
         }
         let inner = Inner {
             space,
@@ -844,6 +855,9 @@ impl Region {
                 .space
                 .sync_segment(self.inner.seg, self.inner.size)?;
         }
+        // A full-image sync is a durability point: every line is now
+        // persisted as far as the shadow tracker is concerned.
+        shadow::checkpoint(self.inner.base);
         Ok(())
     }
 
@@ -871,6 +885,71 @@ impl Region {
             Backing::File { path, .. } => Some(path),
             Backing::Anonymous => None,
         }
+    }
+
+    // -- fault injection -----------------------------------------------------
+
+    /// Enables shadow persistence tracking for this region (see
+    /// [`crate::shadow`]). The current memory contents are checkpointed as
+    /// persisted; from here on, instrumented stores must be flushed and
+    /// fenced to survive a fault-injected crash. Idempotent (re-enabling
+    /// re-checkpoints).
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::RegionClosed`] after close.
+    pub fn enable_shadow(&self) -> Result<()> {
+        self.check_open()?;
+        shadow::register(
+            self.inner.rid,
+            self.inner.base,
+            self.inner.size,
+            RegionHeader::fault_stamp_offset() as usize,
+        );
+        Ok(())
+    }
+
+    /// Whether shadow tracking is enabled for this region.
+    pub fn shadow_enabled(&self) -> bool {
+        shadow::is_tracked(self.inner.base)
+    }
+
+    /// The fault stamp left by the last injected crash, if this image
+    /// carries one.
+    pub fn fault_stamp(&self) -> Option<FaultStamp> {
+        let stamp = self.header().fault;
+        (stamp.magic == crate::shadow::FAULT_STAMP_MAGIC).then_some(stamp)
+    }
+
+    /// Simulates a crash *with persistence faults*: a crash image is
+    /// captured under `policy` — unflushed cache lines dropped or torn per
+    /// the shadow tracker — the mapping is torn down as by
+    /// [`Region::crash`], and the faulted image replaces the backing file.
+    /// A subsequent [`Region::open_file`] sees exactly what a power cut
+    /// would have left on the device.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadImage`] unless the region is file-backed (shared) and
+    /// [`Region::enable_shadow`] was called; I/O errors writing the image.
+    pub fn crash_with_faults(self, policy: FaultPolicy) -> Result<FaultReport> {
+        let path = match &self.inner.backing {
+            Backing::File {
+                path, shared: true, ..
+            } => path.clone(),
+            _ => {
+                return Err(NvError::BadImage(
+                    "crash_with_faults requires a shared file-backed region".to_string(),
+                ))
+            }
+        };
+        let (image, report) =
+            shadow::capture_crash_image(self.inner.base, policy).ok_or_else(|| {
+                NvError::BadImage("crash_with_faults requires enable_shadow()".to_string())
+            })?;
+        self.crash();
+        std::fs::write(&path, &image)?;
+        Ok(report)
     }
 }
 
@@ -1007,6 +1086,7 @@ impl Inner {
         // A crash teardown (clean=false) deliberately skips the drain:
         // magazine contents are volatile, so whatever the last fold wrote
         // is what recovery sees — cached blocks become bounded leaks.
+        shadow::unregister_rid(self.rid);
         registry::unregister(self.rid);
         self.space.unbind(self.rid, self.seg);
         let d = self.space.decommit_segment(self.seg, self.size);

@@ -22,6 +22,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Object-store type number used for data-structure nodes.
 pub const NODE_TYPE: u32 = 0x4e4f4445; // "NODE"
 
+/// Tracks and flushes `[addr, addr + len)`: the store half of the
+/// flush-on-write discipline the transactional structure operations
+/// follow. The write becomes durable at the next `wbarrier` (a log
+/// append or the transaction commit); under fault injection, a store
+/// that skips this call stays volatile and is lost at the crash image.
+pub fn persist_range(addr: usize, len: usize) {
+    nvmsim::shadow::track_store(addr, len);
+    nvmsim::latency::clflush_range(addr, len);
+}
+
 #[derive(Debug)]
 enum Backend {
     /// Direct region allocation (non-transactional configuration).

@@ -5,10 +5,11 @@
 //! tree populated with random keys (expected O(log n) depth), which is
 //! also the shape `wordcount` uses in Section 6.3.
 
-use crate::arena::NodeArena;
+use crate::arena::{persist_range, NodeArena, NODE_TYPE};
 use crate::error::{PdsError, Result};
 use crate::list::fill_payload;
 use pi_core::{PtrRepr, SwizzledPtr};
+use pstore::ObjectStore;
 use std::marker::PhantomData;
 
 /// Root type tag recorded by `create_rooted` and validated by `attach`.
@@ -296,6 +297,170 @@ impl<R: PtrRepr, const P: usize> PBst<R, P> {
     /// In-order key sequence (testing/verification helper).
     pub fn keys_in_order(&self) -> Vec<u64> {
         self.iter().collect()
+    }
+
+    /// Transactional insert through `store`'s undo log: a crash either
+    /// keeps the whole insertion or reverts it at the next attach.
+    /// Returns whether the key was new.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or logging failures.
+    pub fn insert_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; the fresh node is unreachable
+        // until the slot publish, which is undo-logged.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).root;
+            loop {
+                let cur = (*slot).load_at_rest() as *mut BstNode<R, P>;
+                if cur.is_null() {
+                    break;
+                }
+                if key == (*cur).key {
+                    return Ok(false); // tx drops with an empty log
+                }
+                slot = if key < (*cur).key {
+                    &mut (*cur).left
+                } else {
+                    &mut (*cur).right
+                };
+            }
+            let node = tx
+                .alloc(NODE_TYPE, std::mem::size_of::<BstNode<R, P>>())?
+                .as_ptr() as *mut BstNode<R, P>;
+            (*node).left = R::null();
+            (*node).right = R::null();
+            (*node).key = key;
+            (*node).payload = fill_payload::<P>(key);
+            persist_range(node as usize, std::mem::size_of::<BstNode<R, P>>());
+            tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+            (*slot).store(node as usize);
+            persist_range(slot as usize, std::mem::size_of::<R>());
+            let len_addr = std::ptr::addr_of_mut!((*self.header).len);
+            tx.add_range(len_addr as usize, 8)?;
+            *len_addr += 1;
+            persist_range(len_addr as usize, 8);
+        }
+        tx.commit();
+        Ok(true)
+    }
+
+    /// Transactional BST delete. Two-children nodes are handled by copying
+    /// the in-order successor's key and payload into place and unlinking
+    /// the successor. Returns whether the key was present. The removed
+    /// node's block is not reclaimed (see [`crate::PList::remove_tx`]).
+    ///
+    /// # Errors
+    ///
+    /// Logging failures.
+    pub fn remove_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; every mutated range is
+        // undo-logged before the write and flushed after it.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).root;
+            let cur = loop {
+                let cur = (*slot).load_at_rest() as *mut BstNode<R, P>;
+                if cur.is_null() {
+                    return Ok(false); // tx drops with an empty log
+                }
+                if key == (*cur).key {
+                    break cur;
+                }
+                slot = if key < (*cur).key {
+                    &mut (*cur).left
+                } else {
+                    &mut (*cur).right
+                };
+            };
+            let l = (*cur).left.load_at_rest();
+            let r = (*cur).right.load_at_rest();
+            if l == 0 || r == 0 {
+                // At most one child: splice it into the parent slot.
+                let child = if l == 0 { r } else { l };
+                tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+                (*slot).store(child);
+                persist_range(slot as usize, std::mem::size_of::<R>());
+            } else {
+                // Two children: the in-order successor (leftmost of the
+                // right subtree) replaces cur's key/payload, then is
+                // unlinked — it has no left child by construction.
+                let mut succ_slot: *mut R = &mut (*cur).right;
+                loop {
+                    let s = (*succ_slot).load_at_rest() as *mut BstNode<R, P>;
+                    if (*s).left.load_at_rest() == 0 {
+                        break;
+                    }
+                    succ_slot = &mut (*s).left;
+                }
+                let succ = (*succ_slot).load_at_rest() as *mut BstNode<R, P>;
+                let key_addr = std::ptr::addr_of_mut!((*cur).key);
+                tx.add_range(key_addr as usize, 8 + P)?;
+                (*cur).key = (*succ).key;
+                (*cur).payload = (*succ).payload;
+                persist_range(key_addr as usize, 8 + P);
+                let succ_right = (*succ).right.load_at_rest();
+                tx.add_range(succ_slot as usize, std::mem::size_of::<R>())?;
+                (*succ_slot).store(succ_right);
+                persist_range(succ_slot as usize, std::mem::size_of::<R>());
+            }
+            let len_addr = std::ptr::addr_of_mut!((*self.header).len);
+            tx.add_range(len_addr as usize, 8)?;
+            *len_addr -= 1;
+            persist_range(len_addr as usize, 8);
+        }
+        tx.commit();
+        Ok(true)
+    }
+
+    /// Structural invariant check for recovery tests: the in-order walk
+    /// must yield exactly `len` strictly ascending keys and every payload
+    /// must match its key's deterministic fill.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let len = self.len() as usize;
+        // Bound the walk so a corrupted (cyclic) tree cannot hang it.
+        let keys: Vec<u64> = self.iter().take(len + 1).collect();
+        if keys.len() != len {
+            return Err(format!(
+                "header len {len} but in-order walk found {} keys",
+                keys.len()
+            ));
+        }
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err("in-order keys not strictly ascending".to_string());
+        }
+        let mut checked = 0usize;
+        let mut stack: Vec<*const BstNode<R, P>> = Vec::new();
+        // SAFETY: as in contains; the walk is bounded by `len`.
+        unsafe {
+            let root = (*self.header).root.load() as *const BstNode<R, P>;
+            if !root.is_null() {
+                stack.push(root);
+            }
+            while let Some(n) = stack.pop() {
+                if checked >= len {
+                    return Err("node walk exceeds header len (cycle?)".to_string());
+                }
+                if (*n).payload != fill_payload::<P>((*n).key) {
+                    return Err(format!("payload corrupt at key {}", (*n).key));
+                }
+                checked += 1;
+                let l = (*n).left.load() as *const BstNode<R, P>;
+                let r = (*n).right.load() as *const BstNode<R, P>;
+                if !l.is_null() {
+                    stack.push(l);
+                }
+                if !r.is_null() {
+                    stack.push(r);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Verifies the BST ordering invariant and payload integrity.

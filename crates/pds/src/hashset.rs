@@ -5,10 +5,11 @@
 //! corresponding linked list". The bucket array is an array of pointer
 //! slots in the home region; chains are nodes in the arena.
 
-use crate::arena::NodeArena;
+use crate::arena::{persist_range, NodeArena, NODE_TYPE};
 use crate::error::{PdsError, Result};
 use crate::list::fill_payload;
 use pi_core::{PtrRepr, SwizzledPtr};
+use pstore::ObjectStore;
 use std::marker::PhantomData;
 
 /// Root type tag recorded by `create_rooted` and validated by `attach`.
@@ -242,6 +243,127 @@ impl<R: PtrRepr, const P: usize> PHashSet<R, P> {
             }
         }
         out
+    }
+
+    /// Transactional insert through `store`'s undo log (tail append, as
+    /// the paper specifies). Returns whether the key was new.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or logging failures.
+    pub fn insert_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; the fresh node is unreachable
+        // until the slot publish, which is undo-logged.
+        unsafe {
+            let b = bucket_of(key, (*self.header).nbuckets) as usize;
+            let mut slot: *mut R = self.buckets.add(b);
+            loop {
+                let cur = (*slot).load_at_rest() as *mut HsNode<R, P>;
+                if cur.is_null() {
+                    break;
+                }
+                if (*cur).key == key {
+                    return Ok(false); // tx drops with an empty log
+                }
+                slot = &mut (*cur).next;
+            }
+            let node = tx
+                .alloc(NODE_TYPE, std::mem::size_of::<HsNode<R, P>>())?
+                .as_ptr() as *mut HsNode<R, P>;
+            (*node).next = R::null();
+            (*node).key = key;
+            (*node).payload = fill_payload::<P>(key);
+            persist_range(node as usize, std::mem::size_of::<HsNode<R, P>>());
+            tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+            (*slot).store(node as usize);
+            persist_range(slot as usize, std::mem::size_of::<R>());
+            let len_addr = std::ptr::addr_of_mut!((*self.header).len);
+            tx.add_range(len_addr as usize, 8)?;
+            *len_addr += 1;
+            persist_range(len_addr as usize, 8);
+        }
+        tx.commit();
+        Ok(true)
+    }
+
+    /// Transactionally unlinks `key` from its bucket chain. Returns
+    /// whether it was present. The node's block is not reclaimed (see
+    /// [`crate::PList::remove_tx`]).
+    ///
+    /// # Errors
+    ///
+    /// Logging failures.
+    pub fn remove_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; mutations undo-logged before
+        // the write and flushed after it.
+        unsafe {
+            let b = bucket_of(key, (*self.header).nbuckets) as usize;
+            let mut slot: *mut R = self.buckets.add(b);
+            loop {
+                let cur = (*slot).load_at_rest() as *mut HsNode<R, P>;
+                if cur.is_null() {
+                    return Ok(false); // tx drops with an empty log
+                }
+                if (*cur).key == key {
+                    let next = (*cur).next.load_at_rest();
+                    tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+                    (*slot).store(next);
+                    persist_range(slot as usize, std::mem::size_of::<R>());
+                    let len_addr = std::ptr::addr_of_mut!((*self.header).len);
+                    tx.add_range(len_addr as usize, 8)?;
+                    *len_addr -= 1;
+                    persist_range(len_addr as usize, 8);
+                    tx.commit();
+                    return Ok(true);
+                }
+                slot = &mut (*cur).next;
+            }
+        }
+    }
+
+    /// Structural invariant check for recovery tests: every node must
+    /// hash to the bucket holding it, keys must be unique, the total node
+    /// count must match `len`, and payloads must match their keys.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let len = self.len();
+        let mut seen = 0u64;
+        let mut keys = Vec::new();
+        // SAFETY: as in contains; the walk is bounded by `len`.
+        unsafe {
+            let nbuckets = (*self.header).nbuckets;
+            for b in 0..nbuckets as usize {
+                let mut cur = (*self.buckets.add(b)).load() as *const HsNode<R, P>;
+                while !cur.is_null() {
+                    if seen >= len {
+                        return Err(format!("chain walk exceeds header len {len} (cycle?)"));
+                    }
+                    let key = (*cur).key;
+                    if bucket_of(key, nbuckets) as usize != b {
+                        return Err(format!("key {key} found in wrong bucket {b}"));
+                    }
+                    if (*cur).payload != fill_payload::<P>(key) {
+                        return Err(format!("payload corrupt at key {key}"));
+                    }
+                    keys.push(key);
+                    seen += 1;
+                    cur = (*cur).next.load() as *const HsNode<R, P>;
+                }
+            }
+        }
+        if seen != len {
+            return Err(format!("header len {len} but walk found {seen} nodes"));
+        }
+        keys.sort_unstable();
+        if keys.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate key across chains".to_string());
+        }
+        Ok(())
     }
 
     /// Verifies payload integrity of every node.

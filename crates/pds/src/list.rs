@@ -9,9 +9,10 @@
 //! whole structure is recoverable after the region is reopened at a
 //! different address — for every position-independent representation.
 
-use crate::arena::NodeArena;
+use crate::arena::{persist_range, NodeArena, NODE_TYPE};
 use crate::error::{PdsError, Result};
 use pi_core::{PtrRepr, SwizzledPtr};
+use pstore::ObjectStore;
 use std::marker::PhantomData;
 
 /// Root type tag recorded by `create_rooted` and validated by `attach`.
@@ -232,6 +233,104 @@ impl<R: PtrRepr, const P: usize> PList<R, P> {
     /// All keys in traversal order (testing/verification helper).
     pub fn keys(&self) -> Vec<u64> {
         self.iter().map(|n| n.key()).collect()
+    }
+
+    /// Transactionally pushes a node to the front through `store`'s undo
+    /// log: a crash at any point either keeps the whole insertion or
+    /// reverts it entirely at the next attach. The arena must place nodes
+    /// in `store` (single-region transactional placement).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or logging failures.
+    pub fn push_front_tx(&mut self, store: &ObjectStore, key: u64) -> Result<()> {
+        let mut tx = store.begin();
+        // SAFETY: node is fresh (unreachable until the header publish,
+        // which the undo log covers); header mapped while regions open.
+        unsafe {
+            let node = tx
+                .alloc(NODE_TYPE, std::mem::size_of::<ListNode<R, P>>())?
+                .as_ptr() as *mut ListNode<R, P>;
+            (*node).key = key;
+            (*node).payload = fill_payload::<P>(key);
+            (*node).next = R::null();
+            let old_head = (*self.header).head.load_at_rest();
+            (*node).next.store(old_head);
+            persist_range(node as usize, std::mem::size_of::<ListNode<R, P>>());
+            tx.add_range(self.header as usize, std::mem::size_of::<ListHeader<R>>())?;
+            (*self.header).head.store(node as usize);
+            (*self.header).len += 1;
+            persist_range(self.header as usize, std::mem::size_of::<ListHeader<R>>());
+        }
+        tx.commit();
+        Ok(())
+    }
+
+    /// Transactionally unlinks the first node with `key`. Returns whether
+    /// a node was removed. The node's block is *not* reclaimed (freeing
+    /// is not undo-logged, so reclamation inside a transaction could
+    /// double-serve the block after a crash); it leaks like an aborted
+    /// [`pstore::Tx::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Logging failures.
+    pub fn remove_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; mutations are undo-logged
+        // before the write and flushed after it.
+        unsafe {
+            let mut slot: *mut R = &mut (*self.header).head;
+            loop {
+                let cur = (*slot).load_at_rest() as *mut ListNode<R, P>;
+                if cur.is_null() {
+                    return Ok(false); // tx drops with an empty log
+                }
+                if (*cur).key == key {
+                    let next = (*cur).next.load_at_rest();
+                    tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+                    (*slot).store(next);
+                    persist_range(slot as usize, std::mem::size_of::<R>());
+                    let len_addr = std::ptr::addr_of_mut!((*self.header).len);
+                    tx.add_range(len_addr as usize, 8)?;
+                    *len_addr -= 1;
+                    persist_range(len_addr as usize, 8);
+                    tx.commit();
+                    return Ok(true);
+                }
+                slot = &mut (*cur).next;
+            }
+        }
+    }
+
+    /// Structural invariant check for recovery tests: the walk from the
+    /// head must visit exactly `len` nodes (no cycle, no truncation) and
+    /// every payload must match its key's deterministic fill.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let len = self.len();
+        let mut seen = 0u64;
+        // SAFETY: as in traverse; the walk is bounded by `len`.
+        unsafe {
+            let mut cur = (*self.header).head.load() as *const ListNode<R, P>;
+            while !cur.is_null() {
+                if seen >= len {
+                    return Err(format!("list walk exceeds header len {len} (cycle?)"));
+                }
+                if (*cur).payload != fill_payload::<P>((*cur).key) {
+                    return Err(format!("payload corrupt at key {}", (*cur).key));
+                }
+                seen += 1;
+                cur = (*cur).next.load() as *const ListNode<R, P>;
+            }
+        }
+        if seen != len {
+            return Err(format!("header len {len} but walk found {seen} nodes"));
+        }
+        Ok(())
     }
 
     /// Verifies every node's payload matches its key's deterministic fill.

@@ -10,9 +10,10 @@
 //! same fixed payload as the other structures so per-node footprints are
 //! comparable.
 
-use crate::arena::NodeArena;
+use crate::arena::{persist_range, NodeArena, NODE_TYPE};
 use crate::error::{PdsError, Result};
 use pi_core::{PtrRepr, SwizzledPtr};
+use pstore::ObjectStore;
 use std::marker::PhantomData;
 
 /// Root type tag recorded by `create_rooted` and validated by `attach`.
@@ -240,6 +241,141 @@ impl<R: PtrRepr, const P: usize> PTrie<R, P> {
             }
         }
         sum
+    }
+
+    /// Transactional insert through `store`'s undo log: a crash either
+    /// keeps the whole insertion (new path nodes, counters) or reverts it
+    /// at the next attach. Returns the word's new occurrence count.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::BadCharacter`], allocation or logging failures.
+    pub fn insert_tx(&mut self, store: &ObjectStore, word: &str) -> Result<u64> {
+        if word.is_empty() {
+            return Err(PdsError::WordTooLong(String::new()));
+        }
+        let mut tx = store.begin();
+        // SAFETY: slots navigated in place; fresh path nodes are
+        // unreachable until their parent slot publish, which is
+        // undo-logged; counters snapshotted before mutation.
+        unsafe {
+            // words and nodes are adjacent header fields: one snapshot
+            // covers every counter this insert touches.
+            let counters = std::ptr::addr_of_mut!((*self.header).words);
+            tx.add_range(counters as usize, 16)?;
+            let mut cur = (*self.header).root.load_at_rest() as *mut TrieNode<R, P>;
+            for &c in word.as_bytes() {
+                let i = index_of(c)?;
+                let slot: *mut R = &mut (*cur).children[i];
+                let next = (*slot).load_at_rest() as *mut TrieNode<R, P>;
+                cur = if next.is_null() {
+                    let n = tx
+                        .alloc(NODE_TYPE, std::mem::size_of::<TrieNode<R, P>>())?
+                        .as_ptr() as *mut TrieNode<R, P>;
+                    for j in 0..ALPHABET {
+                        (*n).children[j] = R::null();
+                    }
+                    (*n).count = 0;
+                    (*n).payload = [0; P];
+                    persist_range(n as usize, std::mem::size_of::<TrieNode<R, P>>());
+                    (*self.header).nodes += 1;
+                    tx.add_range(slot as usize, std::mem::size_of::<R>())?;
+                    (*slot).store(n as usize);
+                    persist_range(slot as usize, std::mem::size_of::<R>());
+                    n
+                } else {
+                    next
+                };
+            }
+            let count_addr = std::ptr::addr_of_mut!((*cur).count);
+            tx.add_range(count_addr as usize, 8)?;
+            *count_addr += 1;
+            persist_range(count_addr as usize, 8);
+            (*self.header).words += 1;
+            persist_range(counters as usize, 16);
+            let new_count = *count_addr;
+            tx.commit();
+            Ok(new_count)
+        }
+    }
+
+    /// Transactionally removes one occurrence of `word` (decrements its
+    /// terminal counter and the word total). Path nodes stay allocated —
+    /// the trie never prunes. Returns whether an occurrence was removed.
+    ///
+    /// # Errors
+    ///
+    /// Logging failures.
+    pub fn remove_tx(&mut self, store: &ObjectStore, word: &str) -> Result<bool> {
+        let mut tx = store.begin();
+        // SAFETY: navigation as in count; counters snapshotted before
+        // mutation and flushed after.
+        unsafe {
+            let mut cur = (*self.header).root.load_at_rest() as *mut TrieNode<R, P>;
+            for &c in word.as_bytes() {
+                let Ok(i) = index_of(c) else {
+                    return Ok(false);
+                };
+                cur = (*cur).children[i].load_at_rest() as *mut TrieNode<R, P>;
+                if cur.is_null() {
+                    return Ok(false); // tx drops with an empty log
+                }
+            }
+            if (*cur).count == 0 {
+                return Ok(false);
+            }
+            let count_addr = std::ptr::addr_of_mut!((*cur).count);
+            tx.add_range(count_addr as usize, 8)?;
+            *count_addr -= 1;
+            persist_range(count_addr as usize, 8);
+            let words_addr = std::ptr::addr_of_mut!((*self.header).words);
+            tx.add_range(words_addr as usize, 8)?;
+            *words_addr -= 1;
+            persist_range(words_addr as usize, 8);
+        }
+        tx.commit();
+        Ok(true)
+    }
+
+    /// Structural invariant check for recovery tests: the node walk must
+    /// reach exactly `nodes` nodes (no cycle, no orphan) and terminal
+    /// counters must sum to `words`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let nodes = self.node_count();
+        let words = self.word_count();
+        let mut visited = 0u64;
+        let mut counted = 0u64;
+        let mut stack: Vec<*const TrieNode<R, P>> = Vec::new();
+        // SAFETY: as in count; the walk is bounded by `nodes`.
+        unsafe {
+            stack.push((*self.header).root.load() as *const TrieNode<R, P>);
+            while let Some(n) = stack.pop() {
+                if visited >= nodes {
+                    return Err(format!("node walk exceeds header count {nodes} (cycle?)"));
+                }
+                visited += 1;
+                counted += (*n).count;
+                for i in 0..ALPHABET {
+                    let c = (*n).children[i].load() as *const TrieNode<R, P>;
+                    if !c.is_null() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        if visited != nodes {
+            return Err(format!("header nodes {nodes} but walk found {visited}"));
+        }
+        if counted != words {
+            return Err(format!(
+                "header words {words} but counters sum to {counted}"
+            ));
+        }
+        Ok(())
     }
 
     /// Number of distinct words stored (depth-first count of terminals).

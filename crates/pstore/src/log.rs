@@ -22,6 +22,7 @@
 
 use crate::error::{Result, StoreError};
 use nvmsim::latency;
+use nvmsim::shadow;
 use nvmsim::Region;
 
 /// Byte overhead of the log-area header (`used` + padding).
@@ -71,6 +72,7 @@ impl UndoLog {
     pub fn format(&self) {
         // SAFETY: log area is inside the mapped region.
         unsafe { self.used_ptr().write(0) };
+        shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
     }
@@ -111,34 +113,60 @@ impl UndoLog {
             );
         }
         // Write-ahead: flush the entry, barrier, then publish via `used`.
+        shadow::track_store(entry as usize, span as usize);
         latency::clflush_range(entry as usize, span as usize);
         latency::wbarrier();
         // SAFETY: used word is inside the mapped region.
         unsafe { self.used_ptr().write(used + span) };
+        shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
         Ok(())
     }
 
+    /// Whether a scanned entry at `pos` with header `(data_off, len)` is
+    /// intact: its span stays within `used` and its target range stays
+    /// within the region. Violations mean the image is corrupted (the log
+    /// was not the victim of the crash — `used` only covers flushed,
+    /// fenced entries — so this is defense against damaged inputs, not a
+    /// normal recovery path).
+    fn entry_intact(&self, pos: u64, data_off: u64, len: u64) -> bool {
+        let used = self.used();
+        let span_ok = Self::entry_span(len)
+            .checked_add(pos)
+            .is_some_and(|end| end <= used);
+        let target_ok = data_off
+            .checked_add(len)
+            .is_some_and(|end| end <= self.region.size() as u64);
+        span_ok && target_ok
+    }
+
     /// Applies all entries in reverse order (newest first), restoring the
     /// pre-transaction bytes, then truncates the log. Used by abort and by
     /// recovery after a crash.
+    ///
+    /// The forward scan validates each entry header before trusting it;
+    /// a malformed entry (corrupted image) ends the scan there, and only
+    /// the intact prefix is applied.
     pub fn rollback(&self) {
         let used = self.used();
         // Forward scan to collect entry offsets, then apply in reverse so
         // the oldest snapshot of any doubly-logged range wins.
         let mut offs = Vec::new();
         let mut pos = 0u64;
-        while pos < used {
+        while pos + ENTRY_HEADER_SIZE <= used {
             let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
-            // SAFETY: pos < used <= capacity; entries were written by append.
-            let len = unsafe { *entry.add(1) };
+            // SAFETY: pos + header <= used <= capacity.
+            let (data_off, len) = unsafe { (*entry, *entry.add(1)) };
+            if !self.entry_intact(pos, data_off, len) {
+                break;
+            }
             offs.push(pos);
             pos += Self::entry_span(len);
         }
         for &pos in offs.iter().rev() {
             let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
-            // SAFETY: entry written by append; target range validated then.
+            // SAFETY: entry header and target range validated by the scan.
             unsafe {
                 let data_off = *entry;
                 let len = *entry.add(1);
@@ -147,6 +175,7 @@ impl UndoLog {
                     self.region.ptr_at(data_off) as *mut u8,
                     len as usize,
                 );
+                shadow::track_store(self.region.ptr_at(data_off), len as usize);
                 latency::clflush_range(self.region.ptr_at(data_off), len as usize);
             }
         }
@@ -158,19 +187,24 @@ impl UndoLog {
     pub fn truncate(&self) {
         // SAFETY: used word is inside the mapped region.
         unsafe { self.used_ptr().write(0) };
+        shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
     }
 
-    /// Number of entries currently logged (diagnostic).
+    /// Number of intact entries currently logged (diagnostic). As in
+    /// [`UndoLog::rollback`], the scan stops at the first malformed entry.
     pub fn entry_count(&self) -> usize {
         let used = self.used();
         let mut n = 0;
         let mut pos = 0u64;
-        while pos < used {
+        while pos + ENTRY_HEADER_SIZE <= used {
             let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
             // SAFETY: as in rollback.
-            let len = unsafe { *entry.add(1) };
+            let (data_off, len) = unsafe { (*entry, *entry.add(1)) };
+            if !self.entry_intact(pos, data_off, len) {
+                break;
+            }
             pos += Self::entry_span(len);
             n += 1;
         }

@@ -28,6 +28,7 @@
 
 use crate::error::{Result, StoreError};
 use nvmsim::latency;
+use nvmsim::shadow;
 use nvmsim::Region;
 
 /// Byte overhead of the log-area header (`used` + `sealed`).
@@ -81,6 +82,7 @@ impl RedoLog {
             self.used_ptr().write(0);
             self.sealed_ptr().write(0);
         }
+        shadow::track_store(self.used_ptr() as usize, 16);
         latency::clflush_range(self.used_ptr() as usize, 16);
         latency::wbarrier();
     }
@@ -122,10 +124,12 @@ impl RedoLog {
                 (entry as *mut u8).add(REDO_ENTRY_HEADER_SIZE as usize),
                 bytes.len(),
             );
+            shadow::track_store(entry as usize, span as usize);
             latency::clflush_range(entry as usize, span as usize);
             latency::wbarrier();
             self.used_ptr().write(used + span);
         }
+        shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
         Ok(())
@@ -177,6 +181,7 @@ impl RedoLog {
         // Seal first: after this flush the transaction is durably decided.
         // SAFETY: log header inside the mapped region.
         unsafe { self.sealed_ptr().write(1) };
+        shadow::track_store(self.sealed_ptr() as usize, 8);
         latency::clflush_range(self.sealed_ptr() as usize, 8);
         latency::wbarrier();
         self.apply();
@@ -196,6 +201,7 @@ impl RedoLog {
                     self.region.ptr_at(off) as *mut u8,
                     bytes.len(),
                 );
+                shadow::track_store(self.region.ptr_at(off), bytes.len());
                 latency::clflush_range(self.region.ptr_at(off), bytes.len());
             }
         }
@@ -205,6 +211,7 @@ impl RedoLog {
             self.used_ptr().write(0);
             self.sealed_ptr().write(0);
         }
+        shadow::track_store(self.used_ptr() as usize, 16);
         latency::clflush_range(self.used_ptr() as usize, 16);
         latency::wbarrier();
     }
@@ -214,6 +221,7 @@ impl RedoLog {
         assert!(!self.is_sealed(), "sealed transactions cannot abort");
         // SAFETY: log header inside the mapped region.
         unsafe { self.used_ptr().write(0) };
+        shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
     }

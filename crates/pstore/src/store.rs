@@ -18,7 +18,7 @@ use crate::error::{Result, StoreError};
 use crate::log::UndoLog;
 use crate::object::{header_off, payload_off, ObjHeader, OBJ_HEADER_SIZE};
 use crate::tx::Tx;
-use nvmsim::{latency, Region};
+use nvmsim::{latency, shadow, Region};
 use parking_lot::Mutex;
 use std::ptr::NonNull;
 use std::sync::Arc;
@@ -80,6 +80,9 @@ impl ObjectStore {
             (*meta).log_off = log_off;
             (*meta).log_cap = log_cap;
         }
+        shadow::track_store(region.ptr_at(meta_off), std::mem::size_of::<StoreMeta>());
+        latency::clflush_range(region.ptr_at(meta_off), std::mem::size_of::<StoreMeta>());
+        latency::wbarrier();
         region.set_root_off(META_ROOT, meta_off)?;
         let log = UndoLog::new(region.clone(), log_off, log_cap);
         log.format();
@@ -162,11 +165,22 @@ impl ObjectStore {
             let old_head = (*meta).obj_head;
             (*hdr).next = old_head;
             if old_head != 0 {
+                let prev = self.region.ptr_at(old_head + ObjHeader::PREV_FIELD_OFFSET);
                 (*(self.region.ptr_at(old_head) as *mut ObjHeader)).prev = hdr_offset;
+                shadow::track_store(prev, 8);
+                latency::clflush_range(prev, 8);
             }
             (*meta).obj_head = hdr_offset;
             (*meta).obj_count += 1;
+            shadow::track_store(hdr as usize, OBJ_HEADER_SIZE);
             latency::clflush_range(hdr as usize, OBJ_HEADER_SIZE);
+            // The list-head words must persist with the header: a crash
+            // that keeps the header but loses the links (or vice versa)
+            // would corrupt the object list outside any transaction.
+            let head_words = self.region.ptr_at(self.meta_off + 8);
+            shadow::track_store(head_words, 16);
+            latency::clflush_range(head_words, 16);
+            latency::wbarrier();
         }
         let payload = self.region.ptr_at(payload_off(hdr_offset)) as *mut u8;
         // SAFETY: nonzero offset inside the region.
@@ -206,14 +220,24 @@ impl ObjectStore {
         let (prev, next) = ((*hdr).prev, (*hdr).next);
         if prev != 0 {
             (*(self.region.ptr_at(prev) as *mut ObjHeader)).next = next;
+            shadow::track_store(self.region.ptr_at(prev), OBJ_HEADER_SIZE);
+            latency::clflush_range(self.region.ptr_at(prev), OBJ_HEADER_SIZE);
         } else {
             (*meta).obj_head = next;
         }
         if next != 0 {
             (*(self.region.ptr_at(next) as *mut ObjHeader)).prev = prev;
+            shadow::track_store(self.region.ptr_at(next), OBJ_HEADER_SIZE);
+            latency::clflush_range(self.region.ptr_at(next), OBJ_HEADER_SIZE);
         }
         (*meta).obj_count -= 1;
         (*hdr).clear();
+        shadow::track_store(hdr as usize, OBJ_HEADER_SIZE);
+        latency::clflush_range(hdr as usize, OBJ_HEADER_SIZE);
+        let head_words = self.region.ptr_at(self.meta_off + 8);
+        shadow::track_store(head_words, 16);
+        latency::clflush_range(head_words, 16);
+        latency::wbarrier();
         let block = NonNull::new_unchecked(hdr as *mut u8);
         self.region.dealloc(block, ObjHeader::footprint(size));
         Ok(())

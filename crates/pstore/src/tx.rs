@@ -10,6 +10,7 @@
 use crate::error::Result;
 use crate::store::ObjectStore;
 use nvmsim::latency;
+use nvmsim::shadow;
 use parking_lot::MutexGuard;
 
 /// An active transaction. See the module docs.
@@ -56,6 +57,7 @@ impl<'s> Tx<'s> {
     pub unsafe fn set<T: Copy>(&mut self, ptr: *mut T, value: T) -> Result<()> {
         self.add_range(ptr as usize, std::mem::size_of::<T>())?;
         ptr.write(value);
+        shadow::track_store(ptr as usize, std::mem::size_of::<T>());
         latency::clflush_range(ptr as usize, std::mem::size_of::<T>());
         Ok(())
     }

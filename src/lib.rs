@@ -62,7 +62,10 @@ pub use pds;
 pub use pi_core;
 pub use pstore;
 
-pub use nvmsim::{ExactLayout, LatencyModel, Layout, NvError, NvSpace, Region, RegionPool};
+pub use nvmsim::{
+    CapturedCrash, CrashPointReached, ExactLayout, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
+    LatencyModel, Layout, NvError, NvSpace, Region, RegionPool,
+};
 pub use pds::{NodeArena, PBst, PGraph, PHashSet, PList, PMap, PTrie, PVec, PdsError, WordCount};
 pub use pi_core::{
     is_persistent, AtomicPPtr, BasedPtr, FatPtr, FatPtrCached, NormalPtr, NvRef, OffHolder, PPtr,

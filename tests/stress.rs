@@ -268,6 +268,119 @@ fn crash_with_loaded_magazines_leaks_boundedly_and_recovers() {
 }
 
 #[test]
+fn fault_injected_magazine_crash_never_double_serves_blocks() {
+    let _serial = SERIAL.lock().unwrap();
+    use nvm_pi::nvmsim::shadow;
+    const THREADS: usize = 4;
+    const SIGNED: usize = 200;
+    const BLOCK: usize = 64;
+    let dir = std::env::temp_dir().join(format!("nvmsim-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faultcrash.nvr");
+    let mut signed_offs: Vec<u64> = Vec::new();
+    let report;
+    {
+        let region = Region::create_file(&path, 32 << 20).unwrap();
+        // Long-lived signed blocks, made durable before the fault window
+        // opens. Each is filled with a distinct byte pattern; any block
+        // later double-served would smear it.
+        for i in 0..SIGNED {
+            let p = region.alloc(BLOCK, 8).unwrap();
+            unsafe { std::ptr::write_bytes(p.as_ptr(), (i % 251) as u8 + 1, BLOCK) };
+            signed_offs.push(region.offset_of(p.as_ptr() as usize).unwrap());
+        }
+        region.sync().unwrap();
+        region.enable_shadow().unwrap();
+        // Churn threads allocate fresh blocks, scribble tags into them
+        // without flushing (tracked, so the writes are *lost* at the
+        // faulted crash), and free every other one to load their
+        // per-thread magazines. As in the test above, the threads stay
+        // alive across the crash so their exit hooks cannot flush the
+        // magazines we want to strand.
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS + 1));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = region.clone();
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut live = Vec::new();
+                    for i in 0..120u64 {
+                        let p = r.alloc(BLOCK, 8).unwrap();
+                        unsafe { (p.as_ptr() as *mut u64).write(((t as u64) << 32) | i) };
+                        shadow::track_store(p.as_ptr() as usize, 8);
+                        if i % 2 == 0 {
+                            unsafe { r.dealloc(p, BLOCK) };
+                        } else {
+                            live.push(p);
+                        }
+                    }
+                    b.wait(); // magazines loaded, live blocks stranded
+                    b.wait(); // crash happened; exit hook sees a dead region
+                })
+            })
+            .collect();
+        barrier.wait();
+        report = region
+            .crash_with_faults(nvm_pi::FaultPolicy::DropUnflushed)
+            .unwrap();
+        barrier.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    assert!(
+        report.dropped_lines > 0,
+        "the unflushed churn writes must be dropped by the fault policy"
+    );
+    let region = Region::open_file(&path).unwrap();
+    assert!(region.was_dirty(), "faulted crash left the image dirty");
+    let stamp = region.fault_stamp().expect("faulted image carries a stamp");
+    assert_eq!(stamp.dropped_lines, report.dropped_lines);
+    // Every signed block survived the faulted crash intact.
+    for (i, &off) in signed_offs.iter().enumerate() {
+        let bytes = unsafe { std::slice::from_raw_parts(region.ptr_at(off) as *const u8, BLOCK) };
+        let want = (i % 251) as u8 + 1;
+        assert!(
+            bytes.iter().all(|&x| x == want),
+            "signed block {i} corrupted after faulted crash"
+        );
+    }
+    // Fresh allocations must never be served from a stranded block: all
+    // distinct, non-overlapping with each other and with every signed
+    // block (the allocator header between payloads makes the gap strict).
+    let mut fresh: Vec<u64> = Vec::new();
+    for _ in 0..500 {
+        let p = region.alloc(BLOCK, 8).unwrap();
+        unsafe { std::ptr::write_bytes(p.as_ptr(), 0xEE, BLOCK) };
+        fresh.push(region.offset_of(p.as_ptr() as usize).unwrap());
+    }
+    let mut all: Vec<u64> = signed_offs.iter().chain(fresh.iter()).copied().collect();
+    all.sort_unstable();
+    for w in all.windows(2) {
+        assert!(
+            w[0] + BLOCK as u64 <= w[1],
+            "blocks at offsets {} and {} overlap: a block was double-served",
+            w[0],
+            w[1]
+        );
+    }
+    // Writing into the fresh blocks must not have smeared any signature.
+    for (i, &off) in signed_offs.iter().enumerate() {
+        let bytes = unsafe { std::slice::from_raw_parts(region.ptr_at(off) as *const u8, BLOCK) };
+        let want = (i % 251) as u8 + 1;
+        assert!(
+            bytes.iter().all(|&x| x == want),
+            "signed block {i} smeared by a post-recovery allocation"
+        );
+    }
+    region.close().unwrap();
+    let region = Region::open_file(&path).unwrap();
+    assert!(!region.was_dirty(), "clean close after faulted recovery");
+    region.close().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn region_out_of_segments_reports_cleanly() {
     let _serial = SERIAL.lock().unwrap();
     // Consume every free segment, then verify the error is NoFreeSegment
