@@ -1,22 +1,70 @@
-//! `nvr-inspect` — print what a region image file contains.
+//! `nvr-inspect` — examine and scrub region image files.
 //!
 //! ```text
-//! nvr_inspect <image.nvr> [...]
+//! nvr_inspect <image.nvr> [...]            # header/roots/allocator summary
+//! nvr_inspect verify <image.nvr> [...]     # full corruption walk (checksums,
+//!                                          # slots, log entries); exit 1 on damage
+//! nvr_inspect scrub <image.nvr> [...]      # verify + freshen the inactive
+//!                                          # metadata slot of healthy images
 //! ```
+//!
+//! `verify` is scriptable: exit code 0 means every check passed, 1 means
+//! damage was found (the report says what), 2 means usage/IO trouble.
 
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: nvr_inspect <image.nvr> [...]");
-        return ExitCode::from(2);
-    }
+fn usage() -> ExitCode {
+    eprintln!("usage: nvr_inspect [verify|scrub] <image.nvr> [...]");
+    ExitCode::from(2)
+}
+
+/// Runs the corruption walk over each image, printing the report. Returns
+/// failure if any image is damaged or unreadable.
+fn verify(paths: &[String]) -> ExitCode {
     let mut status = ExitCode::SUCCESS;
-    for path in &args {
+    for path in paths {
         println!("=== {path}");
-        match nvmsim::inspect::inspect(path) {
-            Ok(report) => print!("{report}"),
+        match nvmsim::verify::verify_file(path) {
+            Ok(report) => {
+                println!("{report}");
+                if !report.healthy() {
+                    status = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+            }
+        }
+    }
+    status
+}
+
+/// Scrub pass: verify each image; when healthy, open it and rewrite the
+/// inactive metadata slot so both checksummed snapshots are fresh (a
+/// defense against slot-side rot accumulating while an image sits cold).
+/// Damaged images are reported and left untouched — salvage is a
+/// deliberate, separate step via `Region::open_file_salvage`.
+fn scrub(paths: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        println!("=== {path}");
+        let report = match nvmsim::verify::verify_file(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        if !report.healthy() {
+            println!("{report}");
+            println!("scrub:      damaged image left untouched (use salvage)");
+            status = ExitCode::FAILURE;
+            continue;
+        }
+        match nvmsim::Region::open_file(path).and_then(|r| r.update_meta_slots().and(r.close())) {
+            Ok(()) => println!("scrub:      ok (metadata slot refreshed)"),
             Err(e) => {
                 eprintln!("error: {e}");
                 status = ExitCode::FAILURE;
@@ -24,4 +72,39 @@ fn main() -> ExitCode {
         }
     }
     status
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        None => usage(),
+        Some((cmd, rest)) if cmd == "verify" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                verify(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "scrub" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                scrub(rest)
+            }
+        }
+        _ => {
+            let mut status = ExitCode::SUCCESS;
+            for path in &args {
+                println!("=== {path}");
+                match nvmsim::inspect::inspect(path) {
+                    Ok(report) => print!("{report}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        status = ExitCode::FAILURE;
+                    }
+                }
+            }
+            status
+        }
+    }
 }

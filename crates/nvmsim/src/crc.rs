@@ -1,0 +1,126 @@
+//! Checksums for on-media metadata.
+//!
+//! The corruption-robustness layer (metadata slots, log-entry validation,
+//! `Region::verify`) needs a fast, dependency-free integrity check. This
+//! module provides CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout
+//! all-ones) — the same parametrisation as the `crc64fast` family — with a
+//! compile-time-built lookup table, plus a CRC-32/ISO-HDLC for callers
+//! that only have 4 bytes to spend.
+//!
+//! Neither CRC is cryptographic: the threat model is media bit-rot and
+//! torn writes, not an adversary.
+
+/// Reflected ECMA-182 polynomial used by CRC-64/XZ.
+const POLY64: u64 = 0xC96C_5795_D787_0F42;
+/// Reflected ISO-HDLC polynomial used by CRC-32.
+const POLY32: u32 = 0xEDB8_8320;
+
+const fn build_table64() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY64
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const fn build_table32() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY32
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE64: [u64; 256] = build_table64();
+static TABLE32: [u32; 256] = build_table32();
+
+/// CRC-64/XZ of `bytes`.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    crc64_update(!0, bytes) ^ !0
+}
+
+/// Incremental form of [`crc64`]: feed `state = !0`, fold each chunk with
+/// this function, finish with `state ^ !0`.
+pub fn crc64_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state = TABLE64[((state ^ b as u64) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC-32/ISO-HDLC (zlib's `crc32`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut state = !0u32;
+    for &b in bytes {
+        state = TABLE32[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state ^ !0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_known_vectors() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // CRC-32/ISO-HDLC check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = (0..=255u8).cycle().take(4096).collect::<Vec<_>>();
+        let whole = crc64(&data);
+        let mut state = !0u64;
+        for chunk in data.chunks(37) {
+            state = crc64_update(state, chunk);
+        }
+        assert_eq!(state ^ !0, whole);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0xA5u8; 1024];
+        let before = crc64(&data);
+        for &pos in &[0usize, 511, 1023] {
+            for bit in 0..8 {
+                data[pos] ^= 1 << bit;
+                assert_ne!(crc64(&data), before, "flip at {pos}:{bit} undetected");
+                data[pos] ^= 1 << bit;
+            }
+        }
+        assert_eq!(crc64(&data), before);
+    }
+}

@@ -35,6 +35,9 @@ pub struct LogInfo {
     pub used: u64,
     /// Entries counted by a bounded, validated scan of the log.
     pub entries: u64,
+    /// Of the scanned entries, how many fail their CRC-64 (recovery will
+    /// skip these).
+    pub bad_entries: u64,
     /// Whether the scan stopped early on a malformed entry (torn or
     /// corrupted log bytes).
     pub truncated_scan: bool,
@@ -97,12 +100,14 @@ impl fmt::Display for ImageReport {
                 let policy = match s.mode {
                     1 => "drop-unflushed",
                     2 => "tear-words",
+                    3 => "bit-rot",
                     _ => "unknown",
                 };
                 writeln!(
                     f,
-                    "last fault:   {policy} at event {} (seed {:#x}): {} lines dropped, {} torn ({} words)",
-                    s.event, s.seed, s.dropped_lines, s.torn_lines, s.torn_words
+                    "last fault:   {policy} at event {} (seed {:#x}): {} lines dropped, {} torn ({} words), {} rotted ({} bits)",
+                    s.event, s.seed, s.dropped_lines, s.torn_lines, s.torn_words,
+                    s.rotted_lines, s.flipped_bits
                 )?;
             }
             None => writeln!(f, "last fault:   none")?,
@@ -110,11 +115,16 @@ impl fmt::Display for ImageReport {
         if let Some(log) = &self.log {
             writeln!(
                 f,
-                "undo log:     {} bytes used of {} at {:#x}, {} entries{}{}",
+                "undo log:     {} bytes used of {} at {:#x}, {} entries{}{}{}",
                 log.used,
                 log.log_cap,
                 log.log_off,
                 log.entries,
+                if log.bad_entries != 0 {
+                    format!(" ({} fail their CRC)", log.bad_entries)
+                } else {
+                    String::new()
+                },
                 if log.truncated_scan {
                     " (scan stopped on malformed entry)"
                 } else {
@@ -178,7 +188,8 @@ mod offsets {
 fn peek_log(bytes: &[u8], roots: &[RootInfo]) -> Option<LogInfo> {
     const PSTORE_MAGIC: u64 = u64::from_le_bytes(*b"PSTOREV1");
     const LOG_HEADER: u64 = 16;
-    const ENTRY_HEADER: u64 = 16;
+    // Entry header: { off, len, crc64, reserved } — see `pstore::log`.
+    const ENTRY_HEADER: u64 = 32;
     let meta_off = roots.iter().find(|r| r.name == "pstore.meta")?.offset as usize;
     if meta_off.checked_add(40)? > bytes.len() {
         return None;
@@ -194,16 +205,18 @@ fn peek_log(bytes: &[u8], roots: &[RootInfo]) -> Option<LogInfo> {
     }
     let used = read_u64(bytes, log_off as usize);
     let mut entries = 0u64;
+    let mut bad_entries = 0u64;
     let mut truncated_scan = false;
     if LOG_HEADER + used > log_cap {
         // `used` itself is implausible (torn?): report it, scan nothing.
         truncated_scan = true;
     } else {
         let mut pos = 0u64;
-        while pos < used {
+        while pos + ENTRY_HEADER <= used {
             let entry = (log_off + LOG_HEADER + pos) as usize;
             let data_off = read_u64(bytes, entry);
             let len = read_u64(bytes, entry + 8);
+            let crc = read_u64(bytes, entry + 16);
             let span = ENTRY_HEADER + ((len + 15) & !15);
             let in_bounds = pos.checked_add(span).is_some_and(|end| end <= used)
                 && data_off
@@ -212,6 +225,15 @@ fn peek_log(bytes: &[u8], roots: &[RootInfo]) -> Option<LogInfo> {
             if !in_bounds {
                 truncated_scan = true;
                 break;
+            }
+            let mut state = crate::crc::crc64_update(!0, &data_off.to_le_bytes());
+            state = crate::crc::crc64_update(state, &len.to_le_bytes());
+            state = crate::crc::crc64_update(
+                state,
+                &bytes[entry + ENTRY_HEADER as usize..entry + ENTRY_HEADER as usize + len as usize],
+            );
+            if state ^ !0 != crc {
+                bad_entries += 1;
             }
             entries += 1;
             pos += span;
@@ -222,6 +244,7 @@ fn peek_log(bytes: &[u8], roots: &[RootInfo]) -> Option<LogInfo> {
         log_cap,
         used,
         entries,
+        bad_entries,
         truncated_scan,
     })
 }

@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod crc;
 pub mod error;
 pub mod inspect;
 pub mod latency;
@@ -55,6 +56,7 @@ pub mod region;
 pub mod registry;
 pub mod shadow;
 pub mod twolevel;
+pub mod verify;
 
 pub use error::{NvError, Result};
 pub use latency::LatencyModel;
@@ -67,3 +69,4 @@ pub use shadow::{
     CapturedCrash, CrashPointReached, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
 };
 pub use twolevel::{Level, TwoLevelLayout};
+pub use verify::{LogCheck, RootIssue, SlotState, SlotStatus, VerifyReport};

@@ -11,11 +11,13 @@
 
 use crate::alloc::{class_for, AllocHeader, AllocStats, CLASS_SIZES, NUM_CLASSES};
 use crate::error::{NvError, Result};
+use crate::latency;
 use crate::magazine::{self, LocalStats, ThreadCache, REFILL_BATCH};
 use crate::mem::align_up;
 use crate::nvspace::{NvSpace, SegIndex};
 use crate::registry;
 use crate::shadow::{self, FaultPolicy, FaultReport, FaultStamp};
+use crate::verify::{self, VerifyReport};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Read;
@@ -26,44 +28,66 @@ use std::sync::Arc;
 
 /// Magic number identifying a region image ("NVPIRGN1").
 pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"NVPIRGN1");
-/// Current on-media format version.
-pub const HEADER_VERSION: u32 = 1;
+/// Current on-media format version (v2 added the checksummed A/B
+/// metadata slots between the header and the data area).
+pub const HEADER_VERSION: u32 = 2;
 /// Maximum number of named roots per region.
 pub const MAX_ROOTS: usize = 16;
 /// Maximum root name length in bytes (NUL-padded storage).
 pub const ROOT_NAME_CAP: usize = 31;
+/// Number of checksummed metadata slots trailing the header (A/B pair).
+pub const META_SLOT_COUNT: usize = 2;
+/// Bytes reserved per metadata slot: the header snapshot plus a sequence
+/// number and a CRC-64, padded for alignment.
+pub const META_SLOT_SIZE: usize = 1024;
 
 const FLAG_DIRTY: u64 = 1;
 
 #[repr(C)]
 #[derive(Clone, Copy, Debug)]
-struct RootEntry {
-    name: [u8; ROOT_NAME_CAP + 1],
-    offset: u64,
-    type_tag: u64,
+pub(crate) struct RootEntry {
+    pub(crate) name: [u8; ROOT_NAME_CAP + 1],
+    pub(crate) offset: u64,
+    pub(crate) type_tag: u64,
 }
 
 /// On-media region header. Lives at offset 0 of the mapped segment.
 #[repr(C)]
 #[derive(Debug)]
 pub struct RegionHeader {
-    magic: u64,
-    version: u32,
-    rid: u32,
-    size: u64,
-    flags: u64,
-    user_tag: u64,
-    roots: [RootEntry; MAX_ROOTS],
-    alloc: AllocHeader,
+    pub(crate) magic: u64,
+    pub(crate) version: u32,
+    pub(crate) rid: u32,
+    pub(crate) size: u64,
+    pub(crate) flags: u64,
+    pub(crate) user_tag: u64,
+    pub(crate) roots: [RootEntry; MAX_ROOTS],
+    pub(crate) alloc: AllocHeader,
     /// Record of the last injected crash (see [`crate::shadow`]); all
     /// zeroes until a fault-injected crash image stamps it.
-    fault: FaultStamp,
+    pub(crate) fault: FaultStamp,
 }
 
 impl RegionHeader {
-    /// Offset of the first allocatable byte in a region.
-    pub fn data_start() -> u64 {
+    /// Offset of the first A/B metadata slot (just past the header,
+    /// cache-line aligned). Slot `i` lives at
+    /// `meta_slots_off() + i * META_SLOT_SIZE`.
+    pub fn meta_slots_off() -> u64 {
         align_up(std::mem::size_of::<RegionHeader>(), 64) as u64
+    }
+
+    /// Offset of the first allocatable byte in a region (past the header
+    /// and the metadata slots).
+    pub fn data_start() -> u64 {
+        Self::meta_slots_off() + (META_SLOT_COUNT * META_SLOT_SIZE) as u64
+    }
+
+    /// Bytes of the header covered by a metadata-slot snapshot: magic
+    /// through allocator state. The trailing [`FaultStamp`] is diagnostic
+    /// only and deliberately excluded, so this equals
+    /// [`RegionHeader::fault_stamp_offset`].
+    pub fn snapshot_len() -> usize {
+        Self::fault_stamp_offset() as usize
     }
 
     /// Offset of the [`FaultStamp`] within the header (it is the last
@@ -72,6 +96,11 @@ impl RegionHeader {
         (std::mem::size_of::<RegionHeader>() - std::mem::size_of::<FaultStamp>()) as u64
     }
 }
+
+// A slot must hold the snapshot plus its trailing {seq, crc} pair.
+const _: () = assert!(
+    std::mem::size_of::<RegionHeader>() - std::mem::size_of::<FaultStamp>() + 16 <= META_SLOT_SIZE
+);
 
 #[derive(Debug)]
 enum Backing {
@@ -274,6 +303,9 @@ impl Region {
             caches: Mutex::new(Vec::new()),
             retired: Mutex::new(LocalStats::default()),
         };
+        // Seed slot A so even a never-synced image has one valid
+        // checksummed snapshot to recover from.
+        inner.write_meta_slot();
         registry::register(rid, base, size);
         Ok(Region {
             inner: Arc::new(inner),
@@ -308,14 +340,21 @@ impl Region {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let flen = file.metadata()?.len();
 
-        // Pre-validate the header from the file before mapping.
+        // Pre-validate the declared geometry against the actual file
+        // length *before* mapping: a truncated or size-lying image must
+        // yield a typed error, never an out-of-bounds mapping.
+        let min_len = RegionHeader::data_start() + 64;
+        if flen < min_len {
+            return Err(NvError::BadImage(format!(
+                "file of {flen} bytes is too small for a v{HEADER_VERSION} region (minimum {min_len})"
+            )));
+        }
         let mut head = [0u8; 32];
         file.read_exact(&mut head)?;
         let magic = u64::from_le_bytes(head[0..8].try_into().unwrap());
         let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
         let rid = u32::from_le_bytes(head[12..16].try_into().unwrap());
         let size = u64::from_le_bytes(head[16..24].try_into().unwrap());
-        let flags = u64::from_le_bytes(head[24..32].try_into().unwrap());
         if magic != REGION_MAGIC {
             return Err(NvError::BadImage(format!("bad magic {magic:#x}")));
         }
@@ -357,21 +396,58 @@ impl Region {
             return Err(e);
         }
         let base = space.segment_base(seg);
-        // Validate the embedded allocator metadata before trusting it.
-        // SAFETY: the image is mapped and at least `size` bytes long.
-        let check = unsafe {
-            let hdr = &*(base as *const RegionHeader);
-            hdr.alloc.check(base, RegionHeader::data_start())
-        };
-        if let Err(e) = check {
+        // Full corruption walk: primary metadata (roots, allocator free
+        // lists) plus both checksummed slots. A damaged primary is
+        // restored from the newest valid slot; if that still does not
+        // verify, the open fails with a typed error.
+        // SAFETY: the image is mapped read/write and `size` bytes long.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(base as *mut u8, size) };
+        let report = verify::verify_bytes(bytes);
+        let primary_was_ok = report.primary_ok();
+        let mut usable = primary_was_ok;
+        if primary_was_ok {
+            if report.clean && report.slots_agree && report.primary_matches_active == Some(false) {
+                // Clean close converges both slots onto the final
+                // snapshot, so agreeing slots that differ from a clean,
+                // structurally-valid primary mean the primary rotted
+                // after the close: restore the checksummed copy. (On a
+                // dirty image the primary may legitimately be newer than
+                // the last slot write, so no such repair is attempted.)
+                if let Some(s) = report.active_slot {
+                    verify::restore_slot(bytes, s);
+                    usable = verify::verify_bytes(bytes).primary_ok();
+                }
+            }
+        } else if let Some(s) = report.active_slot {
+            verify::restore_slot(bytes, s);
+            usable = verify::verify_bytes(bytes).primary_ok();
+        }
+        if !usable {
             cleanup(seg);
-            return Err(e);
+            return Err(NvError::BadImage(format!(
+                "unrecoverable image: {}",
+                report.damage_summary()
+            )));
+        }
+        // A slot restore rewrites the identity words; re-check them
+        // against what was validated pre-map.
+        // SAFETY: header is mapped.
+        let hdr_now = unsafe { &*(base as *const RegionHeader) };
+        if hdr_now.rid != rid || hdr_now.size != flen {
+            cleanup(seg);
+            return Err(NvError::BadImage(format!(
+                "metadata slot disagrees with the boot block (rid {} vs {rid}, size {} vs {flen})",
+                hdr_now.rid, hdr_now.size
+            )));
         }
         if let Err(e) = space.bind(rid, seg) {
             cleanup(seg);
             return Err(e);
         }
-        let was_dirty = flags & FLAG_DIRTY != 0;
+        // A primary that had to be rebuilt from a slot counts as dirty:
+        // the snapshot may predate the damage, so recovery layers must
+        // run regardless of what the restored flags claim.
+        let was_dirty = hdr_now.flags & FLAG_DIRTY != 0 || !primary_was_ok;
         // Mark dirty for the duration of this writable session.
         // SAFETY: header is mapped read/write.
         unsafe {
@@ -680,6 +756,9 @@ impl Region {
         let hdr = unsafe { self.header_mut() };
         self.inner.reclaim_caches(&mut hdr.alloc);
         self.inner.fold_counters(&mut hdr.alloc);
+        // The fold changed durable allocator state: flip a metadata slot
+        // so the checksummed snapshot keeps up with the primary.
+        self.inner.write_meta_slot();
         Ok(())
     }
 
@@ -721,7 +800,7 @@ impl Region {
         // SAFETY: header mapped; serialized by alloc_lock.
         let hdr = unsafe { self.header_mut() };
         for entry in hdr.roots.iter_mut() {
-            if entry.name[0] != 0 && root_name(entry) == name {
+            if entry_matches(entry, name) {
                 entry.type_tag = type_tag;
                 break;
             }
@@ -734,7 +813,7 @@ impl Region {
         self.header()
             .roots
             .iter()
-            .find(|e| e.name[0] != 0 && root_name(e) == name)
+            .find(|e| entry_matches(e, name))
             .map(|e| e.type_tag)
     }
 
@@ -775,9 +854,14 @@ impl Region {
         for (i, entry) in hdr.roots.iter().enumerate() {
             if entry.name[0] == 0 {
                 free_slot.get_or_insert(i);
-            } else if root_name(entry) == name {
-                hdr.roots[i].offset = off;
-                return Ok(());
+            } else {
+                // A corrupt entry must not be silently shadowed or
+                // clobbered: surface the damage instead.
+                let existing = decode_root_name(entry)?;
+                if existing == name {
+                    hdr.roots[i].offset = off;
+                    return Ok(());
+                }
             }
         }
         let slot = free_slot.ok_or(NvError::RootDirectoryFull)?;
@@ -795,13 +879,16 @@ impl Region {
             .map(|off| self.inner.base + off as usize)
     }
 
-    /// Offset of the named root, if present.
+    /// Offset of the named root, if present. Corrupt directory entries
+    /// (undecodable name, offset outside the data area) match nothing;
+    /// use [`Region::verify`] to surface them.
     pub fn root_off(&self, name: &str) -> Option<u64> {
         let hdr = self.header();
         hdr.roots
             .iter()
-            .find(|e| e.name[0] != 0 && root_name(e) == name)
+            .find(|e| entry_matches(e, name))
             .map(|e| e.offset)
+            .filter(|&off| off >= RegionHeader::data_start() && off < self.inner.size as u64)
     }
 
     /// Removes a named root. Returns whether it existed.
@@ -810,7 +897,7 @@ impl Region {
         // SAFETY: serialized mutation of the mapped header.
         let hdr = unsafe { self.header_mut() };
         for entry in hdr.roots.iter_mut() {
-            if entry.name[0] != 0 && root_name(entry) == name {
+            if entry_matches(entry, name) {
                 entry.name = [0; ROOT_NAME_CAP + 1];
                 entry.offset = 0;
                 return true;
@@ -820,12 +907,18 @@ impl Region {
     }
 
     /// Names of all registered roots.
-    pub fn roots(&self) -> Vec<String> {
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadImage`] if any used directory entry fails to decode
+    /// (corrupt name bytes) — the directory can then only be read through
+    /// [`Region::verify`] / salvage.
+    pub fn roots(&self) -> Result<Vec<String>> {
         self.header()
             .roots
             .iter()
             .filter(|e| e.name[0] != 0)
-            .map(|e| root_name(e).to_string())
+            .map(|e| decode_root_name(e).map(str::to_string))
             .collect()
     }
 
@@ -848,6 +941,7 @@ impl Region {
                 // SAFETY: lock held; region mapped while the handle exists.
                 let hdr = unsafe { self.header_mut() };
                 self.inner.fold_counters(&mut hdr.alloc);
+                self.inner.write_meta_slot();
             }
         }
         if let Backing::File { shared: true, .. } = self.inner.backing {
@@ -951,21 +1045,197 @@ impl Region {
         std::fs::write(&path, &image)?;
         Ok(report)
     }
+
+    // -- corruption robustness -----------------------------------------------
+
+    /// Writes the current header snapshot (identity words, root
+    /// directory, allocator state) into the inactive metadata slot and
+    /// flips it active via its sequence number. Called automatically at
+    /// every durability point ([`Region::sync`],
+    /// [`Region::flush_magazines`], close); exposed so checkpoint-style
+    /// callers and fault-injection harnesses can force a flip.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::RegionClosed`] after close.
+    pub fn update_meta_slots(&self) -> Result<()> {
+        self.check_open()?;
+        let _g = self.inner.alloc_lock.lock();
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(NvError::RegionClosed {
+                rid: self.inner.rid,
+            });
+        }
+        // SAFETY: lock held; region mapped while the handle exists.
+        let hdr = unsafe { self.header_mut() };
+        self.inner.fold_counters(&mut hdr.alloc);
+        self.inner.write_meta_slot();
+        Ok(())
+    }
+
+    /// Runs the full corruption walk over this region's mapped bytes:
+    /// primary header (magic/version/geometry), root-directory decode and
+    /// bounds, allocator free-list sanity, both metadata slots' CRCs and
+    /// sequence numbers, and — when a `pstore` store is present — every
+    /// undo-log entry checksum. Purely diagnostic: nothing is modified.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::RegionClosed`] after close.
+    pub fn verify(&self) -> Result<VerifyReport> {
+        self.check_open()?;
+        let _g = self.inner.alloc_lock.lock();
+        // SAFETY: mapped while the handle exists; lock excludes header
+        // mutation during the walk.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(self.inner.base as *const u8, self.inner.size) };
+        Ok(verify::verify_bytes(bytes))
+    }
+
+    /// Opens a damaged image in salvage mode: the file is mapped
+    /// copy-on-write (`MAP_PRIVATE`, the file itself is never written),
+    /// the primary metadata is repaired from the newest valid slot where
+    /// possible, unverifiable root entries are quarantined (dropped from
+    /// the directory, listed in the report), and an unrecoverable
+    /// allocator is frozen so further allocation fails cleanly instead of
+    /// double-serving memory. The region reports [`Region::was_dirty`] so
+    /// recovery layers run.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::BadImage`] when not even a slot-assisted read-only open
+    /// is possible (boot block and both slots unusable, or the file is
+    /// smaller than a region can be); [`NvError::InvalidRid`] if the
+    /// salvaged rid is already open; plus I/O errors.
+    pub fn open_file_salvage<P: AsRef<Path>>(path: P) -> Result<(Region, VerifyReport)> {
+        let path = path.as_ref();
+        let space = NvSpace::global();
+        let layout = space.layout();
+        // A read-only file is fine: the COW mapping never writes back.
+        let file = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(_) => OpenOptions::new().read(true).open(path)?,
+        };
+        let flen = file.metadata()?.len();
+        let min_len = RegionHeader::data_start() + 64;
+        if flen < min_len {
+            return Err(NvError::BadImage(format!(
+                "file of {flen} bytes is too small to salvage (minimum {min_len})"
+            )));
+        }
+        if flen as usize > layout.segment_size() {
+            return Err(NvError::BadImage(format!(
+                "file of {flen} bytes exceeds segment size {}",
+                layout.segment_size()
+            )));
+        }
+        // The mapping length is the file length — the one geometry fact
+        // that cannot lie — regardless of what the header claims.
+        let size = flen as usize;
+        let seg = space.acquire_segment()?;
+        let cleanup = |seg| {
+            let _ = space.decommit_segment(seg, size);
+            space.release_segment(seg);
+        };
+        if let Err(e) = space.commit_segment_file(seg, size, &file, false) {
+            space.release_segment(seg);
+            return Err(e);
+        }
+        let base = space.segment_base(seg);
+        // SAFETY: mapped copy-on-write and `size` bytes long; repairs land
+        // in the private mapping only.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(base as *mut u8, size) };
+        let report = match verify::salvage_in_place(bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                cleanup(seg);
+                return Err(e);
+            }
+        };
+        // SAFETY: header is mapped; salvage made it structurally valid.
+        let rid = unsafe { (*(base as *const RegionHeader)).rid };
+        if !layout.rid_in_range(rid) {
+            cleanup(seg);
+            return Err(NvError::InvalidRid {
+                rid,
+                reason: "out of range for layout",
+            });
+        }
+        if let Err(e) = space.bind(rid, seg) {
+            cleanup(seg);
+            return Err(e);
+        }
+        // SAFETY: as above.
+        let persisted = unsafe { (*(base as *const RegionHeader)).alloc.stats() };
+        let inner = Inner {
+            space,
+            rid,
+            seg,
+            base,
+            size,
+            was_dirty: true,
+            backing: Backing::File {
+                file,
+                path: path.to_path_buf(),
+                shared: false,
+            },
+            alloc_lock: Mutex::new(()),
+            closed: AtomicBool::new(false),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            magazines: AtomicBool::new(true),
+            caches: Mutex::new(Vec::new()),
+            retired: Mutex::new(seed_stats(&persisted)),
+        };
+        registry::register(rid, base, size);
+        Ok((
+            Region {
+                inner: Arc::new(inner),
+            },
+            report,
+        ))
+    }
 }
 
-fn root_name(entry: &RootEntry) -> &str {
-    let len = entry
-        .name
-        .iter()
-        .position(|&b| b == 0)
-        .unwrap_or(entry.name.len());
-    std::str::from_utf8(&entry.name[..len]).unwrap_or("")
+/// Decodes a root entry's name with bounded, error-returning parsing: a
+/// name without a NUL terminator inside the fixed-size field, or one that
+/// is not valid UTF-8, is a corrupt directory entry and surfaces as
+/// [`NvError::BadImage`] — never a panic, never a silently-empty name.
+pub(crate) fn decode_root_name(entry: &RootEntry) -> Result<&str> {
+    let len = entry.name.iter().position(|&b| b == 0).ok_or_else(|| {
+        NvError::BadImage("root name is not NUL-terminated within its field".to_string())
+    })?;
+    std::str::from_utf8(&entry.name[..len])
+        .map_err(|_| NvError::BadImage("root name is not valid UTF-8".to_string()))
+}
+
+/// Whether a (used) entry decodes cleanly to `name`. Corrupt entries
+/// match nothing.
+fn entry_matches(entry: &RootEntry, name: &str) -> bool {
+    entry.name[0] != 0 && decode_root_name(entry).is_ok_and(|n| n == name)
 }
 
 impl Inner {
     /// Unique id of this open session (not the reusable region id).
     pub(crate) fn instance(&self) -> u64 {
         self.instance
+    }
+
+    /// Composes the current header snapshot and writes it — with the next
+    /// sequence number and its CRC-64 — into the *inactive* metadata
+    /// slot, making that slot the active one. The caller must exclude
+    /// concurrent header mutation (holds `alloc_lock`, or owns the region
+    /// exclusively as in build/teardown). The slot bytes are tracked,
+    /// flushed, and fenced, so a [`crate::shadow::FaultPlan`] can tear
+    /// the flip itself.
+    fn write_meta_slot(&self) {
+        // SAFETY: the region is mapped read/write while `Inner` exists.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(self.base as *mut u8, self.size) };
+        if let Some((slot_off, len)) = verify::stage_next_slot(bytes) {
+            let addr = self.base + slot_off;
+            shadow::track_store(addr, len);
+            latency::clflush_range(addr, len);
+            latency::wbarrier();
+        }
     }
 
     /// Records a thread cache so close-time drain and out-of-memory
@@ -1078,6 +1348,11 @@ impl Inner {
                 self.reclaim_caches(&mut hdr.alloc);
                 self.fold_counters(&mut hdr.alloc);
                 hdr.flags &= !FLAG_DIRTY;
+                // Converge both slots onto the final snapshot: open-time
+                // rot repair relies on a cleanly-closed image having two
+                // agreeing slots, so a mismatch pinpoints primary decay.
+                self.write_meta_slot();
+                self.write_meta_slot();
             }
             if let Backing::File { shared: true, .. } = self.backing {
                 result = self.space.sync_segment(self.seg, self.size);
@@ -1152,7 +1427,7 @@ mod tests {
         r.set_root("head", b).unwrap();
         assert_eq!(r.root("head"), Some(b));
         assert_eq!(r.root("tail"), None);
-        assert_eq!(r.roots(), vec!["head".to_string()]);
+        assert_eq!(r.roots().unwrap(), vec!["head".to_string()]);
         assert!(r.remove_root("head"));
         assert!(!r.remove_root("head"));
         r.close().unwrap();

@@ -64,6 +64,19 @@ pub enum FaultPolicy {
         /// Seed for the per-word keep/revert decision.
         seed: u64,
     },
+    /// Media decay rather than a persistence-protocol failure: every
+    /// store persists (even unflushed ones, like the silent-persist
+    /// baseline), then 1–3 bits are flipped in each of `lines`
+    /// deterministically chosen cache lines of the image — anywhere,
+    /// including header and metadata-slot lines. Composable with the
+    /// [`FaultPlan`] scheduler like any other policy.
+    BitRot {
+        /// Number of distinct cache lines to corrupt (clamped to the
+        /// image's line count).
+        lines: u32,
+        /// Seed for the line/bit choices, so runs reproduce.
+        seed: u64,
+    },
 }
 
 impl FaultPolicy {
@@ -71,6 +84,7 @@ impl FaultPolicy {
         match self {
             FaultPolicy::DropUnflushed => 1,
             FaultPolicy::TearWords { .. } => 2,
+            FaultPolicy::BitRot { .. } => 3,
         }
     }
 
@@ -78,6 +92,7 @@ impl FaultPolicy {
         match self {
             FaultPolicy::DropUnflushed => 0,
             FaultPolicy::TearWords { seed } => *seed,
+            FaultPolicy::BitRot { seed, .. } => *seed,
         }
     }
 }
@@ -98,6 +113,10 @@ pub struct FaultReport {
     pub torn_lines: u64,
     /// Total 8-byte words reverted inside torn lines.
     pub torn_words: u64,
+    /// Cache lines hit by bit-rot (BitRot policy only).
+    pub rotted_lines: u64,
+    /// Total bits flipped across rotted lines.
+    pub flipped_bits: u64,
 }
 
 /// On-media record of the last injected crash, stored in the region
@@ -120,6 +139,10 @@ pub struct FaultStamp {
     pub torn_lines: u64,
     /// Words reverted inside torn lines.
     pub torn_words: u64,
+    /// Cache lines hit by bit-rot.
+    pub rotted_lines: u64,
+    /// Bits flipped across rotted lines.
+    pub flipped_bits: u64,
 }
 
 impl FaultStamp {
@@ -133,6 +156,8 @@ impl FaultStamp {
             dropped_lines: r.dropped_lines,
             torn_lines: r.torn_lines,
             torn_words: r.torn_words,
+            rotted_lines: r.rotted_lines,
+            flipped_bits: r.flipped_bits,
         }
     }
 
@@ -154,6 +179,8 @@ impl FaultStamp {
             dropped_lines: word(4),
             torn_lines: word(5),
             torn_words: word(6),
+            rotted_lines: word(7),
+            flipped_bits: word(8),
         })
     }
 
@@ -166,6 +193,8 @@ impl FaultStamp {
             self.dropped_lines,
             self.torn_lines,
             self.torn_words,
+            self.rotted_lines,
+            self.flipped_bits,
         ]
         .into_iter()
         .enumerate()
@@ -458,6 +487,58 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Targeted bit-rot: flips 1–3 distinct bits (count and positions decided
+/// deterministically by `seed`) inside `[off, off + len)` of `image`. The
+/// range is clamped to the image; returns how many bits were flipped
+/// (0 for an empty/out-of-range target).
+pub fn corrupt_range(image: &mut [u8], off: usize, len: usize, seed: u64) -> u64 {
+    let len = len.min(image.len().saturating_sub(off));
+    if len == 0 {
+        return 0;
+    }
+    let total_bits = (len as u64) * 8;
+    let want = (1 + splitmix64(seed) % 3).min(total_bits);
+    let mut chosen: Vec<u64> = Vec::with_capacity(want as usize);
+    let mut counter = seed ^ 0x5EED_0B17_5EED_0B17;
+    while (chosen.len() as u64) < want {
+        counter = counter.wrapping_add(1);
+        let pos = splitmix64(counter) % total_bits;
+        if chosen.contains(&pos) {
+            continue;
+        }
+        image[off + (pos / 8) as usize] ^= 1 << (pos % 8);
+        chosen.push(pos);
+    }
+    chosen.len() as u64
+}
+
+/// Whole-line bit-rot: picks `lines` distinct cache lines of `image`
+/// (clamped to the line count) deterministically from `seed` and runs
+/// [`corrupt_range`] over each. Returns `(lines_rotted, bits_flipped)`.
+pub fn corrupt_lines(image: &mut [u8], lines: u32, seed: u64) -> (u64, u64) {
+    let nlines = image.len().div_ceil(SHADOW_LINE);
+    if nlines == 0 {
+        return (0, 0);
+    }
+    let want = (lines as usize).min(nlines);
+    let mut chosen: Vec<usize> = Vec::with_capacity(want);
+    let mut counter = seed;
+    while chosen.len() < want {
+        counter = counter.wrapping_add(1);
+        let line = (splitmix64(counter) % nlines as u64) as usize;
+        if chosen.contains(&line) {
+            continue;
+        }
+        chosen.push(line);
+    }
+    let mut bits = 0u64;
+    for (i, &line) in chosen.iter().enumerate() {
+        let off = line * SHADOW_LINE;
+        bits += corrupt_range(image, off, SHADOW_LINE, splitmix64(seed ^ (i as u64) << 17));
+    }
+    (chosen.len() as u64, bits)
+}
+
 /// Captures a crash image of the region mapped at `base` under `policy`:
 /// clean lines keep current memory, non-clean lines are dropped or torn.
 /// The image carries the dirty flag and a [`FaultStamp`]. Returns `None`
@@ -510,7 +591,15 @@ fn capture_at_event(
                     report.torn_words += reverted;
                 }
             }
+            // Bit-rot keeps every store (media decay is orthogonal to the
+            // persistence protocol); corruption is applied below.
+            FaultPolicy::BitRot { .. } => {}
         }
+    }
+    if let FaultPolicy::BitRot { lines, seed } = policy {
+        let (rotted, bits) = corrupt_lines(&mut image, lines, seed);
+        report.rotted_lines = rotted;
+        report.flipped_bits = bits;
     }
     // A crash image is dirty by definition (header flags, offset 24).
     image[24] |= 1;
@@ -779,6 +868,62 @@ mod tests {
             u64::from_le_bytes(view[off..off + 8].try_into().unwrap()),
             3
         );
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn corrupt_range_is_deterministic_and_bounded() {
+        let mut a = vec![0u8; 256];
+        let mut b = vec![0u8; 256];
+        let bits = corrupt_range(&mut a, 64, 64, 42);
+        assert_eq!(bits, corrupt_range(&mut b, 64, 64, 42));
+        assert_eq!(a, b, "same seed, same rot");
+        assert!((1..=3).contains(&bits));
+        // Only the targeted range was touched.
+        assert!(a[..64].iter().all(|&x| x == 0));
+        assert!(a[128..].iter().all(|&x| x == 0));
+        let flipped: u32 = a[64..128].iter().map(|x| x.count_ones()).sum();
+        assert_eq!(flipped as u64, bits, "distinct bit positions");
+        // Out-of-range target is a no-op.
+        assert_eq!(corrupt_range(&mut a, 300, 64, 1), 0);
+    }
+
+    #[test]
+    fn corrupt_lines_hits_distinct_lines() {
+        let mut img = vec![0u8; 1024];
+        let (lines, bits) = corrupt_lines(&mut img, 4, 7);
+        assert_eq!(lines, 4);
+        assert!(bits >= 4);
+        let dirty_lines = img
+            .chunks(SHADOW_LINE)
+            .filter(|c| c.iter().any(|&x| x != 0))
+            .count();
+        assert_eq!(dirty_lines as u64, lines);
+        // Asking for more lines than exist clamps.
+        let mut small = vec![0u8; 128];
+        let (l2, _) = corrupt_lines(&mut small, 100, 7);
+        assert_eq!(l2, 2);
+    }
+
+    #[test]
+    fn bitrot_policy_keeps_stores_and_stamps_the_image() {
+        let r = Region::create(1 << 20).unwrap();
+        let p = r.alloc(64, 16).unwrap().as_ptr() as *mut u64;
+        r.enable_shadow().unwrap();
+        unsafe { p.write(9) }; // untracked and unflushed: bit-rot keeps it
+        let policy = FaultPolicy::BitRot { lines: 3, seed: 11 };
+        let (img1, rep1) = capture_crash_image(r.base(), policy).unwrap();
+        let (img2, rep2) = capture_crash_image(r.base(), policy).unwrap();
+        assert_eq!(img1, img2, "same seed, same rot");
+        assert_eq!(rep1, rep2);
+        assert_eq!(rep1.mode, 3);
+        assert_eq!(rep1.rotted_lines, 3);
+        assert!((3..=9).contains(&rep1.flipped_bits));
+        assert_eq!(rep1.dropped_lines, 0, "bit-rot never drops stores");
+        let stamp = FaultStamp::parse(&img1[stamp_off()..]).unwrap();
+        assert_eq!(stamp.mode, 3);
+        assert_eq!(stamp.rotted_lines, rep1.rotted_lines);
+        assert_eq!(stamp.flipped_bits, rep1.flipped_bits);
         r.close().unwrap();
     }
 

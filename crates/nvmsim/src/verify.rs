@@ -1,0 +1,907 @@
+//! Corruption walk, metadata slots, and salvage for region images.
+//!
+//! The paper's region metadata (magic/version/RID/root directory/allocator
+//! state) is the single point of failure of a persisted image: one rotted
+//! cache line in the first kilobyte used to turn the whole region into a
+//! brick. This module hardens it in three layers:
+//!
+//! * **Checksummed A/B metadata slots.** Every durability point snapshots
+//!   the header (identity words, root directory, allocator state — the
+//!   bytes up to [`RegionHeader::snapshot_len`]) into the *inactive* of two
+//!   1 KiB slots, appends a monotonically increasing sequence number, and
+//!   seals both under a CRC-64. A torn slot write leaves the other slot
+//!   intact; the newest slot that checks out is the *active* one.
+//! * **[`verify_bytes`] — the corruption walk.** Checks the primary header
+//!   (boot words, root-directory decode and bounds, allocator free-list
+//!   sanity), both slots, and — when a `pstore` store is present — every
+//!   undo-log entry checksum. Purely diagnostic, never panics, works on a
+//!   mapped region and on a plain file alike.
+//! * **`salvage_in_place` — repair** (crate-internal, driven by
+//!   [`Region::open_file_salvage`](crate::Region::open_file_salvage)).
+//!   Restores a damaged primary from
+//!   the active slot, pins the header geometry to the mapped length,
+//!   quarantines root entries that still fail to verify, and freezes an
+//!   unverifiable allocator so further allocation fails cleanly instead of
+//!   double-serving memory.
+//!
+//! All byte offsets here mirror the `#[repr(C)]` layout of
+//! [`RegionHeader`]; a compile-time assertion in `region.rs` plus the
+//! layout tests in `inspect.rs` keep them honest.
+
+use crate::alloc::NUM_CLASSES;
+use crate::crc::crc64_update;
+use crate::error::{NvError, Result};
+use crate::region::{
+    RegionHeader, HEADER_VERSION, MAX_ROOTS, META_SLOT_COUNT, META_SLOT_SIZE, REGION_MAGIC,
+    ROOT_NAME_CAP,
+};
+use std::fmt;
+use std::path::Path;
+
+// Byte offsets of the `#[repr(C)]` RegionHeader fields.
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 8;
+const OFF_RID: usize = 12;
+const OFF_SIZE: usize = 16;
+const OFF_FLAGS: usize = 24;
+const OFF_ROOTS: usize = 40;
+const ROOT_ENTRY_SIZE: usize = ROOT_NAME_CAP + 1 + 16;
+const OFF_ALLOC: usize = OFF_ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE;
+/// `AllocHeader`: bump, end, free_heads[NUM_CLASSES], large_head, counters.
+const OFF_ALLOC_BUMP: usize = OFF_ALLOC;
+const OFF_ALLOC_END: usize = OFF_ALLOC + 8;
+const OFF_ALLOC_LISTS: usize = OFF_ALLOC + 16;
+const ALLOC_LISTS_LEN: usize = (NUM_CLASSES + 1) * 8;
+
+/// The `pstore` store magic ("PSTOREV1"); duplicated here because the
+/// dependency points the other way (`pstore` builds on `nvmsim`). The
+/// undo-log walk below and `pstore::log` must agree on the entry format.
+const PSTORE_MAGIC: u64 = u64::from_le_bytes(*b"PSTOREV1");
+/// Region root under which a `pstore` store keeps its metadata.
+const PSTORE_META_ROOT: &[u8] = b"pstore.meta";
+/// Undo-log area header (`used` word + padding).
+const LOG_HEADER_SIZE: u64 = 16;
+/// Undo-log entry header: `{ data_off, len, crc64, reserved }`.
+const LOG_ENTRY_HEADER_SIZE: u64 = 32;
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+fn write_u64(bytes: &mut [u8], off: usize, v: u64) {
+    bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn slot_off(i: usize) -> usize {
+    RegionHeader::meta_slots_off() as usize + i * META_SLOT_SIZE
+}
+
+fn slot_name(i: usize) -> char {
+    (b'A' + i as u8) as char
+}
+
+/// CRC-64 sealing a slot: covers the snapshot payload and the sequence
+/// number, so neither can rot (or tear) undetected.
+fn slot_crc(payload: &[u8], seq: u64) -> u64 {
+    let state = crc64_update(!0, payload);
+    crc64_update(state, &seq.to_le_bytes()) ^ !0
+}
+
+/// The header snapshot with its flags word zeroed: the dirty bit flips
+/// outside any slot update, so snapshots are compared and checksummed
+/// flags-blind.
+fn normalized_primary(bytes: &[u8]) -> Vec<u8> {
+    let mut snap = bytes[..RegionHeader::snapshot_len()].to_vec();
+    snap[OFF_FLAGS..OFF_FLAGS + 8].fill(0);
+    snap
+}
+
+/// Integrity state of one metadata slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// All-zero slot: never written (only slot B of a never-synced image).
+    Empty,
+    /// Sequence number nonzero and CRC-64 checks out.
+    Valid,
+    /// Anything else — torn write or bit rot.
+    Corrupt,
+}
+
+/// What the corruption walk found in one metadata slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotStatus {
+    /// Integrity of the slot.
+    pub state: SlotState,
+    /// The slot's sequence number (0 when empty).
+    pub seq: u64,
+    /// Whether the slot payload equals the (flags-normalized) primary
+    /// header. Meaningful only for valid slots.
+    pub matches_primary: bool,
+}
+
+/// A root-directory entry that failed to verify.
+#[derive(Debug, Clone)]
+pub struct RootIssue {
+    /// Index of the entry in the directory.
+    pub index: usize,
+    /// Best-effort (lossy) rendering of the name bytes.
+    pub name: String,
+    /// Why the entry was rejected.
+    pub reason: String,
+}
+
+/// Result of walking a `pstore` undo log's entry checksums.
+#[derive(Debug, Clone, Copy)]
+pub struct LogCheck {
+    /// Region offset of the log area.
+    pub log_off: u64,
+    /// Capacity of the log area in bytes.
+    pub log_cap: u64,
+    /// The log's `used` word (bytes of entries the commit point covers).
+    pub used: u64,
+    /// Entries whose CRC-64 checks out.
+    pub entries_ok: u64,
+    /// Entries with a structurally plausible header but a failing CRC.
+    pub entries_bad: u64,
+    /// Whether the scan ended early on an implausible entry header (span
+    /// or target out of bounds) — entries past that point are unreadable.
+    pub truncated: bool,
+}
+
+/// Structured result of the corruption walk over one region image.
+///
+/// Produced by [`verify_bytes`] / [`verify_file`] / `Region::verify`, and
+/// (with `repairs` and `quarantined_roots` filled in) by
+/// `Region::open_file_salvage`.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Length of the image in bytes.
+    pub file_len: u64,
+    /// The region ID the boot block claims (reported even when damaged).
+    pub rid: Option<u32>,
+    /// Whether the image was cleanly closed (dirty flag clear).
+    pub clean: bool,
+    /// Boot-block problems: magic, version, declared size vs file length.
+    pub boot_errors: Vec<String>,
+    /// Allocator-metadata problems: bump/end geometry, free-list links.
+    pub alloc_errors: Vec<String>,
+    /// Root-directory entries that failed to decode or point out of
+    /// bounds.
+    pub root_errors: Vec<RootIssue>,
+    /// Per-slot integrity (length [`META_SLOT_COUNT`]).
+    pub slots: Vec<SlotStatus>,
+    /// Index of the newest valid slot, if any.
+    pub active_slot: Option<usize>,
+    /// Whether both slots are valid and carry identical payloads (the
+    /// signature of a clean close, which converges them).
+    pub slots_agree: bool,
+    /// Whether the active slot's payload equals the normalized primary
+    /// header (`None` when no slot is valid).
+    pub primary_matches_active: Option<bool>,
+    /// Undo-log entry checksums, when a `pstore` store is present and its
+    /// metadata is reachable.
+    pub undo_log: Option<LogCheck>,
+    /// Repairs applied (salvage only; empty for the diagnostic walk).
+    pub repairs: Vec<String>,
+    /// Root entries dropped as unverifiable (salvage only).
+    pub quarantined_roots: Vec<String>,
+}
+
+impl VerifyReport {
+    fn new(file_len: u64) -> VerifyReport {
+        VerifyReport {
+            file_len,
+            rid: None,
+            clean: false,
+            boot_errors: Vec::new(),
+            alloc_errors: Vec::new(),
+            root_errors: Vec::new(),
+            slots: Vec::new(),
+            active_slot: None,
+            slots_agree: false,
+            primary_matches_active: None,
+            undo_log: None,
+            repairs: Vec::new(),
+            quarantined_roots: Vec::new(),
+        }
+    }
+
+    /// Whether the boot block (magic, version, geometry) checks out.
+    pub fn boot_ok(&self) -> bool {
+        self.boot_errors.is_empty()
+    }
+
+    /// Whether the allocator metadata checks out.
+    pub fn alloc_ok(&self) -> bool {
+        self.alloc_errors.is_empty()
+    }
+
+    /// Whether the primary header as a whole (boot block, root directory,
+    /// allocator) is structurally valid — the region is usable without
+    /// slot assistance.
+    pub fn primary_ok(&self) -> bool {
+        self.boot_ok() && self.alloc_ok() && self.root_errors.is_empty()
+    }
+
+    /// Whether the image shows no damage at all: valid primary, no
+    /// corrupt slot, an active slot present, a clean image's primary in
+    /// agreement with it, and no bad or unreadable log entries.
+    pub fn healthy(&self) -> bool {
+        self.primary_ok()
+            && self.slots.iter().all(|s| s.state != SlotState::Corrupt)
+            && self.active_slot.is_some()
+            && (!self.clean || self.primary_matches_active == Some(true))
+            && self
+                .undo_log
+                .is_none_or(|l| l.entries_bad == 0 && !l.truncated)
+            && self.quarantined_roots.is_empty()
+    }
+
+    /// One-line summary of everything wrong, for error payloads.
+    pub fn damage_summary(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        parts.extend(self.boot_errors.iter().cloned());
+        parts.extend(self.alloc_errors.iter().cloned());
+        for r in &self.root_errors {
+            parts.push(format!("root {} ({:?}): {}", r.index, r.name, r.reason));
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.state == SlotState::Corrupt {
+                parts.push(format!("metadata slot {} corrupt", slot_name(i)));
+            }
+        }
+        if let Some(l) = self.undo_log {
+            if l.entries_bad > 0 {
+                parts.push(format!("{} undo-log entries fail their CRC", l.entries_bad));
+            }
+            if l.truncated {
+                parts.push("undo-log scan ended on an implausible entry".to_string());
+            }
+        }
+        if parts.is_empty() {
+            "no damage".to_string()
+        } else {
+            parts.join("; ")
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "image:      {} bytes, rid {}, {}",
+            self.file_len,
+            self.rid.map_or("?".to_string(), |r| r.to_string()),
+            if self.clean { "clean" } else { "dirty" }
+        )?;
+        if self.primary_ok() {
+            writeln!(f, "primary:    ok (boot, root directory, allocator)")?;
+        } else {
+            writeln!(f, "primary:    DAMAGED")?;
+            for e in &self.boot_errors {
+                writeln!(f, "  boot:     {e}")?;
+            }
+            for e in &self.alloc_errors {
+                writeln!(f, "  alloc:    {e}")?;
+            }
+            for r in &self.root_errors {
+                writeln!(f, "  root {:2}:  {:?}: {}", r.index, r.name, r.reason)?;
+            }
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            let state = match s.state {
+                SlotState::Empty => "empty".to_string(),
+                SlotState::Corrupt => "CORRUPT".to_string(),
+                SlotState::Valid => format!(
+                    "valid, seq {}{}{}",
+                    s.seq,
+                    if self.active_slot == Some(i) {
+                        ", active"
+                    } else {
+                        ""
+                    },
+                    if s.matches_primary {
+                        ", matches primary"
+                    } else {
+                        ""
+                    }
+                ),
+            };
+            writeln!(f, "slot {}:     {state}", slot_name(i))?;
+        }
+        match self.undo_log {
+            Some(l) => writeln!(
+                f,
+                "undo log:   {} bytes used, {} entries ok, {} bad{}",
+                l.used,
+                l.entries_ok,
+                l.entries_bad,
+                if l.truncated { ", scan truncated" } else { "" }
+            )?,
+            None => writeln!(f, "undo log:   none (no pstore store reachable)")?,
+        }
+        for r in &self.repairs {
+            writeln!(f, "repaired:   {r}")?;
+        }
+        for q in &self.quarantined_roots {
+            writeln!(f, "quarantined: {q}")?;
+        }
+        write!(
+            f,
+            "verdict:    {}",
+            if self.healthy() {
+                "healthy"
+            } else if self.primary_ok() || self.active_slot.is_some() {
+                "damaged (recoverable)"
+            } else {
+                "damaged (unrecoverable)"
+            }
+        )
+    }
+}
+
+fn parse_slot(bytes: &[u8], i: usize) -> (SlotState, u64) {
+    let snap = RegionHeader::snapshot_len();
+    let off = slot_off(i);
+    let area = &bytes[off..off + snap + 16];
+    let seq = read_u64(area, snap);
+    let crc = read_u64(area, snap + 8);
+    if seq == 0 && crc == 0 && area[..snap].iter().all(|&b| b == 0) {
+        return (SlotState::Empty, 0);
+    }
+    if seq != 0 && slot_crc(&area[..snap], seq) == crc {
+        (SlotState::Valid, seq)
+    } else {
+        (SlotState::Corrupt, seq)
+    }
+}
+
+/// Byte-level root-directory walk shared by verify and salvage: calls
+/// `issue` for every used entry that fails to decode or points outside
+/// the data area.
+fn walk_roots(bytes: &[u8], mut issue: impl FnMut(RootIssue)) {
+    let data_start = RegionHeader::data_start();
+    let file_len = bytes.len() as u64;
+    for i in 0..MAX_ROOTS {
+        let off = OFF_ROOTS + i * ROOT_ENTRY_SIZE;
+        let name = &bytes[off..off + ROOT_NAME_CAP + 1];
+        if name[0] == 0 {
+            continue;
+        }
+        let nul = name.iter().position(|&b| b == 0);
+        let label = match nul {
+            Some(n) => String::from_utf8_lossy(&name[..n]).into_owned(),
+            None => format!("{}…", String::from_utf8_lossy(&name[..8])),
+        };
+        let reason = match nul {
+            None => Some("name is not NUL-terminated within its field".to_string()),
+            Some(n) if std::str::from_utf8(&name[..n]).is_err() => {
+                Some("name is not valid UTF-8".to_string())
+            }
+            Some(_) => {
+                let target = read_u64(bytes, off + ROOT_NAME_CAP + 1);
+                if target < data_start || target >= file_len {
+                    Some(format!(
+                        "offset {target} outside the data area [{data_start}, {file_len})"
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(reason) = reason {
+            issue(RootIssue {
+                index: i,
+                name: label,
+                reason,
+            });
+        }
+    }
+}
+
+/// Structural allocator check. The free-list walk dereferences offsets,
+/// so it needs an 8-aligned base and an `end` that does not exceed the
+/// buffer — both are established here before any pointer is chased.
+fn check_alloc(bytes: &[u8], errors: &mut Vec<String>) {
+    let data_start = RegionHeader::data_start();
+    let end = read_u64(bytes, OFF_ALLOC_END);
+    if end != bytes.len() as u64 {
+        errors.push(format!(
+            "allocator end {end} != file length {}",
+            bytes.len()
+        ));
+        // An out-of-range end makes the free-list bounds predicate
+        // meaningless (links up to `end` would be chased off the buffer).
+        return;
+    }
+    let run = |base: usize| {
+        // SAFETY: base is 8-aligned, the buffer is `end` bytes long, and
+        // `check` only dereferences offsets it has bounds-checked against
+        // `[data_start, end)`.
+        unsafe {
+            (*(base as *const RegionHeader))
+                .alloc
+                .check(base, data_start)
+        }
+    };
+    let res = if (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<RegionHeader>()) {
+        run(bytes.as_ptr() as usize)
+    } else {
+        // A plain `fs::read` buffer has no alignment guarantee: rehost the
+        // image in an 8-aligned scratch buffer for the walk.
+        let mut scratch: Vec<u64> = vec![0; bytes.len().div_ceil(8)];
+        // SAFETY: scratch holds at least bytes.len() bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                scratch.as_mut_ptr() as *mut u8,
+                bytes.len(),
+            );
+        }
+        run(scratch.as_ptr() as usize)
+    };
+    if let Err(e) = res {
+        errors.push(e.to_string());
+    }
+}
+
+/// Walks the `pstore` undo log's entry checksums, when a store is
+/// present. Returns `None` when no intact `pstore.meta` root leads to a
+/// plausible store (including when the region simply has no store).
+fn check_undo_log(bytes: &[u8]) -> Option<LogCheck> {
+    let data_start = RegionHeader::data_start();
+    let file_len = bytes.len() as u64;
+    let mut meta_off = None;
+    for i in 0..MAX_ROOTS {
+        let off = OFF_ROOTS + i * ROOT_ENTRY_SIZE;
+        let name = &bytes[off..off + ROOT_NAME_CAP + 1];
+        if let Some(n) = name.iter().position(|&b| b == 0) {
+            if &name[..n] == PSTORE_META_ROOT {
+                meta_off = Some(read_u64(bytes, off + ROOT_NAME_CAP + 1));
+            }
+        }
+    }
+    let meta = meta_off?;
+    if meta < data_start || meta.checked_add(40)? > file_len {
+        return None;
+    }
+    let meta = meta as usize;
+    if read_u64(bytes, meta) != PSTORE_MAGIC {
+        return None;
+    }
+    let log_off = read_u64(bytes, meta + 24);
+    let log_cap = read_u64(bytes, meta + 32);
+    let mut check = LogCheck {
+        log_off,
+        log_cap,
+        used: 0,
+        entries_ok: 0,
+        entries_bad: 0,
+        truncated: false,
+    };
+    if log_off < data_start
+        || log_cap < LOG_HEADER_SIZE
+        || log_off
+            .checked_add(log_cap)
+            .is_none_or(|end| end > file_len)
+    {
+        check.truncated = true;
+        return Some(check);
+    }
+    let used = read_u64(bytes, log_off as usize);
+    check.used = used;
+    if used > log_cap - LOG_HEADER_SIZE {
+        check.truncated = true;
+        return Some(check);
+    }
+    let entries = log_off + LOG_HEADER_SIZE;
+    let mut pos = 0u64;
+    while pos + LOG_ENTRY_HEADER_SIZE <= used {
+        let ent = (entries + pos) as usize;
+        let data_off = read_u64(bytes, ent);
+        let len = read_u64(bytes, ent + 8);
+        let crc = read_u64(bytes, ent + 16);
+        let span = len
+            .checked_add(15)
+            .map(|v| v & !15)
+            .and_then(|v| v.checked_add(LOG_ENTRY_HEADER_SIZE));
+        let intact = span.is_some_and(|s| {
+            pos.checked_add(s).is_some_and(|end| end <= used)
+                && data_off.checked_add(len).is_some_and(|end| end <= file_len)
+        });
+        if !intact {
+            check.truncated = true;
+            break;
+        }
+        let mut state = crc64_update(!0, &data_off.to_le_bytes());
+        state = crc64_update(state, &len.to_le_bytes());
+        state = crc64_update(
+            state,
+            &bytes[ent + LOG_ENTRY_HEADER_SIZE as usize
+                ..ent + LOG_ENTRY_HEADER_SIZE as usize + len as usize],
+        );
+        if state ^ !0 == crc {
+            check.entries_ok += 1;
+        } else {
+            check.entries_bad += 1;
+        }
+        pos += span.unwrap();
+    }
+    Some(check)
+}
+
+/// Runs the full corruption walk over a region image. Never panics and
+/// never modifies `bytes`; every problem lands in the returned report.
+pub fn verify_bytes(bytes: &[u8]) -> VerifyReport {
+    let mut report = VerifyReport::new(bytes.len() as u64);
+    let min_len = RegionHeader::data_start() as usize + 64;
+    if bytes.len() < min_len {
+        report.boot_errors.push(format!(
+            "file of {} bytes is too small for a v{HEADER_VERSION} region (minimum {min_len})",
+            bytes.len()
+        ));
+        return report;
+    }
+    let magic = read_u64(bytes, OFF_MAGIC);
+    if magic != REGION_MAGIC {
+        report.boot_errors.push(format!("bad magic {magic:#x}"));
+    }
+    let version = read_u32(bytes, OFF_VERSION);
+    if version != HEADER_VERSION {
+        report
+            .boot_errors
+            .push(format!("unsupported version {version}"));
+    }
+    let size = read_u64(bytes, OFF_SIZE);
+    if size != bytes.len() as u64 {
+        report
+            .boot_errors
+            .push(format!("header size {size} != file length {}", bytes.len()));
+    }
+    report.rid = Some(read_u32(bytes, OFF_RID));
+    report.clean = read_u64(bytes, OFF_FLAGS) & 1 == 0;
+    walk_roots(bytes, |issue| report.root_errors.push(issue));
+    check_alloc(bytes, &mut report.alloc_errors);
+
+    let primary = normalized_primary(bytes);
+    let snap = RegionHeader::snapshot_len();
+    let mut best: Option<(usize, u64)> = None;
+    for i in 0..META_SLOT_COUNT {
+        let (state, seq) = parse_slot(bytes, i);
+        let off = slot_off(i);
+        let matches_primary = state == SlotState::Valid && bytes[off..off + snap] == primary[..];
+        report.slots.push(SlotStatus {
+            state,
+            seq,
+            matches_primary,
+        });
+        if state == SlotState::Valid && best.is_none_or(|(_, s)| seq > s) {
+            best = Some((i, seq));
+        }
+    }
+    report.active_slot = best.map(|(i, _)| i);
+    report.slots_agree =
+        report.slots.iter().all(|s| s.state == SlotState::Valid) && META_SLOT_COUNT >= 2 && {
+            let a = slot_off(0);
+            let b = slot_off(1);
+            bytes[a..a + snap] == bytes[b..b + snap]
+        };
+    report.primary_matches_active = report.active_slot.map(|i| report.slots[i].matches_primary);
+    report.undo_log = check_undo_log(bytes);
+    report
+}
+
+/// [`verify_bytes`] over a file on disk, without mapping it.
+///
+/// # Errors
+///
+/// I/O errors reading the file. Damage is *not* an error — it is the
+/// report's content.
+pub fn verify_file<P: AsRef<Path>>(path: P) -> Result<VerifyReport> {
+    let data = std::fs::read(path)?;
+    Ok(verify_bytes(&data))
+}
+
+/// Composes the current header snapshot into the *inactive* metadata slot
+/// with the next sequence number and its CRC-64, returning the byte range
+/// written (`(offset, len)`) so the caller can flush and fence it. The
+/// write order within the slot does not matter for correctness: the slot
+/// only becomes active once its CRC seals seq+payload, so any torn state
+/// parses as `Corrupt` and the previously active slot still wins.
+///
+/// Returns `None` when `bytes` cannot hold the slot area.
+pub(crate) fn stage_next_slot(bytes: &mut [u8]) -> Option<(usize, usize)> {
+    let snap = RegionHeader::snapshot_len();
+    if bytes.len() < RegionHeader::data_start() as usize {
+        return None;
+    }
+    let mut best: Option<(usize, u64)> = None;
+    for i in 0..META_SLOT_COUNT {
+        if let (SlotState::Valid, seq) = parse_slot(bytes, i) {
+            if best.is_none_or(|(_, s)| seq > s) {
+                best = Some((i, seq));
+            }
+        }
+    }
+    let (target, seq) = match best {
+        Some((i, s)) => ((i + 1) % META_SLOT_COUNT, s + 1),
+        None => (0, 1),
+    };
+    let off = slot_off(target);
+    bytes.copy_within(0..snap, off);
+    bytes[off + OFF_FLAGS..off + OFF_FLAGS + 8].fill(0);
+    let seq_bytes = seq.to_le_bytes();
+    bytes[off + snap..off + snap + 8].copy_from_slice(&seq_bytes);
+    let crc = slot_crc(&bytes[off..off + snap], seq);
+    bytes[off + snap + 8..off + snap + 16].copy_from_slice(&crc.to_le_bytes());
+    Some((off, snap + 16))
+}
+
+/// Overwrites the primary header snapshot with slot `slot`'s payload.
+/// The caller re-verifies afterwards; the restored flags word is the
+/// normalized (zero) one, so the image reads as clean until the caller
+/// marks it otherwise.
+pub(crate) fn restore_slot(bytes: &mut [u8], slot: usize) {
+    let snap = RegionHeader::snapshot_len();
+    let off = slot_off(slot);
+    bytes.copy_within(off..off + snap, 0);
+}
+
+/// Repairs a damaged image in place (in the caller's private mapping):
+/// restore from the active slot, pin the header geometry to the mapped
+/// length, quarantine unverifiable roots, freeze an unverifiable
+/// allocator, and mark the image dirty so recovery layers run.
+///
+/// # Errors
+///
+/// [`NvError::BadImage`] when the boot block is damaged and no valid slot
+/// exists, or when the primary still fails verification after repair.
+pub(crate) fn salvage_in_place(bytes: &mut [u8]) -> Result<VerifyReport> {
+    let mut repairs: Vec<String> = Vec::new();
+    let first = verify_bytes(bytes);
+    if !first.primary_ok() {
+        if let Some(s) = first.active_slot {
+            restore_slot(bytes, s);
+            repairs.push(format!(
+                "restored primary metadata from slot {} (seq {})",
+                slot_name(s),
+                first.slots[s].seq
+            ));
+        } else if !first.boot_ok() {
+            return Err(NvError::BadImage(format!(
+                "unsalvageable image (boot block damaged, no valid metadata slot): {}",
+                first.damage_summary()
+            )));
+        }
+        // Root-directory or allocator damage without a usable slot falls
+        // through to quarantine / freeze below.
+    }
+    // The mapped length is the one geometry fact that cannot lie; a
+    // size-lying (or truncated) header is pinned to it.
+    if read_u64(bytes, OFF_SIZE) != bytes.len() as u64 {
+        write_u64(bytes, OFF_SIZE, bytes.len() as u64);
+        repairs.push(format!(
+            "header size pinned to mapped length {}",
+            bytes.len()
+        ));
+    }
+    let mid = verify_bytes(bytes);
+    let mut quarantined = Vec::new();
+    for issue in &mid.root_errors {
+        let off = OFF_ROOTS + issue.index * ROOT_ENTRY_SIZE;
+        bytes[off..off + ROOT_ENTRY_SIZE].fill(0);
+        quarantined.push(format!(
+            "root {} ({:?}): {}",
+            issue.index, issue.name, issue.reason
+        ));
+    }
+    if !quarantined.is_empty() {
+        repairs.push(format!(
+            "quarantined {} unverifiable root directory entr{}",
+            quarantined.len(),
+            if quarantined.len() == 1 { "y" } else { "ies" }
+        ));
+    }
+    if !mid.alloc_ok() {
+        // Freeze: no free blocks, bump pinned to the end. Every further
+        // allocation fails with OutOfMemory instead of double-serving
+        // memory through a rotted free-list link.
+        let end = bytes.len() as u64;
+        write_u64(bytes, OFF_ALLOC_BUMP, end);
+        write_u64(bytes, OFF_ALLOC_END, end);
+        bytes[OFF_ALLOC_LISTS..OFF_ALLOC_LISTS + ALLOC_LISTS_LEN].fill(0);
+        repairs.push(
+            "allocator metadata unverifiable: allocation frozen (free lists cleared, \
+             bump pinned to end)"
+                .to_string(),
+        );
+    }
+    // A salvaged image must run recovery layers regardless of what the
+    // restored flags claim.
+    bytes[OFF_FLAGS] |= 1;
+    let mut last = verify_bytes(bytes);
+    if !last.primary_ok() {
+        return Err(NvError::BadImage(format!(
+            "unsalvageable image (primary still invalid after repair): {}",
+            last.damage_summary()
+        )));
+    }
+    last.repairs = repairs;
+    last.quarantined_roots = quarantined;
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use std::path::PathBuf;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "nvmsim-verify-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn build_image(name: &str) -> (PathBuf, Vec<u8>) {
+        let path = tmpfile(name);
+        let r = Region::create_file(&path, 1 << 20).unwrap();
+        let p = r.alloc(64, 8).unwrap();
+        r.set_root("head", p.as_ptr() as usize).unwrap();
+        r.close().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    #[test]
+    fn clean_image_verifies_healthy() {
+        let (path, bytes) = build_image("healthy.nvr");
+        let rep = verify_bytes(&bytes);
+        assert!(rep.primary_ok(), "{}", rep.damage_summary());
+        assert!(rep.healthy(), "{rep}");
+        assert!(rep.clean);
+        assert!(rep.slots_agree, "clean close converges both slots");
+        assert_eq!(rep.primary_matches_active, Some(true));
+        assert_eq!(rep.slots.len(), META_SLOT_COUNT);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stage_next_slot_alternates_and_bumps_seq() {
+        let (path, mut bytes) = build_image("stage.nvr");
+        let before: Vec<(SlotState, u64)> = (0..META_SLOT_COUNT)
+            .map(|i| parse_slot(&bytes, i))
+            .collect();
+        let best = before.iter().map(|&(_, s)| s).max().unwrap();
+        let (off1, len) = stage_next_slot(&mut bytes).unwrap();
+        assert_eq!(len, RegionHeader::snapshot_len() + 16);
+        let (off2, _) = stage_next_slot(&mut bytes).unwrap();
+        assert_ne!(off1, off2, "consecutive stages alternate slots");
+        let after: Vec<(SlotState, u64)> = (0..META_SLOT_COUNT)
+            .map(|i| parse_slot(&bytes, i))
+            .collect();
+        assert!(after.iter().all(|&(st, _)| st == SlotState::Valid));
+        assert_eq!(after.iter().map(|&(_, s)| s).max().unwrap(), best + 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rotted_primary_restores_from_slot() {
+        let (path, mut bytes) = build_image("restore.nvr");
+        // Rot the magic: primary dies, slots untouched.
+        bytes[0] ^= 0xFF;
+        let rep = verify_bytes(&bytes);
+        assert!(!rep.primary_ok());
+        let active = rep.active_slot.expect("slots survive primary rot");
+        restore_slot(&mut bytes, active);
+        assert!(verify_bytes(&bytes).primary_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_slot_is_detected_and_other_slot_wins() {
+        let (path, mut bytes) = build_image("slotrot.nvr");
+        let a = slot_off(0);
+        bytes[a + 100] ^= 0x40;
+        let rep = verify_bytes(&bytes);
+        assert_eq!(rep.slots[0].state, SlotState::Corrupt);
+        assert_eq!(rep.slots[1].state, SlotState::Valid);
+        assert_eq!(rep.active_slot, Some(1));
+        assert!(!rep.slots_agree);
+        assert!(!rep.healthy());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_quarantines_out_of_bounds_root() {
+        let (path, mut bytes) = build_image("quarantine.nvr");
+        // Point the first (only) root way outside the file, in both the
+        // primary and the slots, so no checksummed copy can repair it.
+        let entry = OFF_ROOTS + ROOT_NAME_CAP + 1;
+        let poison = (bytes.len() as u64 + 4096).to_le_bytes();
+        bytes[entry..entry + 8].copy_from_slice(&poison);
+        for i in 0..META_SLOT_COUNT {
+            let off = slot_off(i) + entry;
+            bytes[off..off + 8].copy_from_slice(&poison);
+            // Reseal the slot so the bad root is its checksummed truth.
+            let s = slot_off(i);
+            let snap = RegionHeader::snapshot_len();
+            let seq = read_u64(&bytes, s + snap);
+            let crc = slot_crc(&bytes[s..s + snap], seq);
+            write_u64(&mut bytes, s + snap + 8, crc);
+        }
+        let rep = salvage_in_place(&mut bytes).unwrap();
+        assert_eq!(rep.quarantined_roots.len(), 1, "{rep}");
+        assert!(rep.primary_ok());
+        let clean = verify_bytes(&bytes);
+        assert!(clean.root_errors.is_empty());
+        assert!(!clean.clean, "salvage marks the image dirty");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_freezes_unverifiable_allocator() {
+        let (path, mut bytes) = build_image("freeze.nvr");
+        // Rot a free-list head in the primary AND both slots so the
+        // allocator state has no good copy anywhere.
+        let poison = 0x1337u64.to_le_bytes(); // unaligned, in-bounds-ish junk
+        for base in std::iter::once(0).chain((0..META_SLOT_COUNT).map(slot_off)) {
+            let off = base + OFF_ALLOC_LISTS;
+            bytes[off..off + 8].copy_from_slice(&poison);
+            if base != 0 {
+                let snap = RegionHeader::snapshot_len();
+                let seq = read_u64(&bytes, base + snap);
+                let crc = slot_crc(&bytes[base..base + snap], seq);
+                write_u64(&mut bytes, base + snap + 8, crc);
+            }
+        }
+        assert!(!verify_bytes(&bytes).alloc_ok());
+        let rep = salvage_in_place(&mut bytes).unwrap();
+        assert!(rep.primary_ok(), "{rep}");
+        assert!(rep.repairs.iter().any(|r| r.contains("frozen")), "{rep}");
+        let frozen = verify_bytes(&bytes);
+        assert!(frozen.alloc_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsalvageable_when_boot_and_slots_are_gone() {
+        let (path, mut bytes) = build_image("gone.nvr");
+        bytes[0] ^= 0xFF; // magic
+        for i in 0..META_SLOT_COUNT {
+            let off = slot_off(i);
+            bytes[off + 200] ^= 0x01; // break both CRCs
+        }
+        assert!(matches!(
+            salvage_in_place(&mut bytes),
+            Err(NvError::BadImage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_never_reads_past_a_lying_alloc_end() {
+        let (path, mut bytes) = build_image("liar.nvr");
+        // An `end` far beyond the file must be reported, not chased.
+        write_u64(&mut bytes, OFF_ALLOC_END, u64::MAX / 2);
+        let rep = verify_bytes(&bytes);
+        assert!(!rep.alloc_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_buffer_reports_instead_of_panicking() {
+        let rep = verify_bytes(&[0u8; 64]);
+        assert!(!rep.boot_ok());
+        assert!(rep.active_slot.is_none());
+    }
+}

@@ -41,7 +41,7 @@ pub mod store;
 pub mod tx;
 
 pub use error::{Result, StoreError};
-pub use log::UndoLog;
+pub use log::{RecoveryStats, UndoLog};
 pub use object::{ObjHeader, OBJ_HEADER_SIZE};
 pub use redo::RedoLog;
 pub use store::{ObjectStore, StoreStats, DEFAULT_LOG_CAPACITY};

@@ -12,23 +12,66 @@
 //! +--------+---------+-----------------------------------+
 //! |  used  |  (pad)  |  entry | entry | entry | ...      |
 //! +--------+---------+-----------------------------------+
-//!   u64       u64       each entry: { off, len, bytes…, pad to 16 }
+//!   u64       u64       each entry: { off, len, crc64, rsvd, bytes…, pad to 16 }
 //! ```
 //!
 //! The `used` word is the commit point: an entry only becomes part of the
 //! log once `used` covers it, and `used` is only advanced after the entry
 //! bytes are flushed (write-ahead ordering, paid for with the emulated
 //! `clflush`/`wbarrier` latencies of [`nvmsim::latency`]).
+//!
+//! Each entry carries a CRC-64 over its header words and payload, so
+//! recovery on a *corrupted* image (media bit rot, not just a crash)
+//! skips damaged snapshots — counted in [`RecoveryStats`] — instead of
+//! replaying garbage over live data.
 
 use crate::error::{Result, StoreError};
+use nvmsim::crc::crc64_update;
 use nvmsim::latency;
 use nvmsim::shadow;
 use nvmsim::Region;
 
 /// Byte overhead of the log-area header (`used` + padding).
 pub const LOG_HEADER_SIZE: u64 = 16;
-/// Byte overhead of one entry's header (`off` + `len`).
-pub const ENTRY_HEADER_SIZE: u64 = 16;
+/// Byte overhead of one entry's header (`off` + `len` + `crc64` +
+/// reserved).
+pub const ENTRY_HEADER_SIZE: u64 = 32;
+
+/// What a log recovery pass did — how many entries were applied, how many
+/// were skipped for failing their checksum, and whether the scan ended
+/// early on a structurally implausible entry.
+///
+/// `skipped > 0 || truncated` means the image was damaged beyond what the
+/// crash protocol alone explains: recovery degraded gracefully rather
+/// than replaying garbage, but the affected ranges hold post-crash bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Entries whose checksums verified and whose snapshots were applied.
+    pub applied: u64,
+    /// Entries with plausible headers but failing CRCs — not applied.
+    pub skipped: u64,
+    /// Whether the forward scan stopped early on an implausible entry
+    /// header (span or target out of bounds); later entries are
+    /// unreachable.
+    pub truncated: bool,
+}
+
+impl RecoveryStats {
+    /// Whether recovery saw any damage (skipped entries or a truncated
+    /// scan).
+    pub fn degraded(&self) -> bool {
+        self.skipped > 0 || self.truncated
+    }
+}
+
+/// CRC-64 sealing one log entry: covers the `off` and `len` header words
+/// and the payload, so neither a rotted header nor a rotted snapshot can
+/// be replayed undetected. Must match `nvmsim::verify`'s undo-log walk.
+pub(crate) fn entry_crc(data_off: u64, len: u64, payload: &[u8]) -> u64 {
+    let mut state = crc64_update(!0, &data_off.to_le_bytes());
+    state = crc64_update(state, &len.to_le_bytes());
+    crc64_update(state, payload) ^ !0
+}
 
 /// Handle to a region's undo-log area.
 ///
@@ -106,6 +149,12 @@ impl UndoLog {
         unsafe {
             entry.write(data_off);
             entry.add(1).write(len as u64);
+            entry.add(2).write(entry_crc(
+                data_off,
+                len as u64,
+                std::slice::from_raw_parts(addr as *const u8, len),
+            ));
+            entry.add(3).write(0);
             std::ptr::copy_nonoverlapping(
                 addr as *const u8,
                 (entry as *mut u8).add(ENTRY_HEADER_SIZE as usize),
@@ -145,11 +194,15 @@ impl UndoLog {
     /// pre-transaction bytes, then truncates the log. Used by abort and by
     /// recovery after a crash.
     ///
-    /// The forward scan validates each entry header before trusting it;
-    /// a malformed entry (corrupted image) ends the scan there, and only
-    /// the intact prefix is applied.
-    pub fn rollback(&self) {
+    /// The forward scan validates each entry header before trusting it; a
+    /// malformed entry (corrupted image) ends the scan there, and only
+    /// the intact prefix is considered. Within that prefix, entries whose
+    /// CRC-64 fails are *skipped* — restoring a rotted snapshot would
+    /// trade known-new bytes for garbage — and counted in the returned
+    /// [`RecoveryStats`].
+    pub fn rollback(&self) -> RecoveryStats {
         let used = self.used();
+        let mut stats = RecoveryStats::default();
         // Forward scan to collect entry offsets, then apply in reverse so
         // the oldest snapshot of any doubly-logged range wins.
         let mut offs = Vec::new();
@@ -157,11 +210,23 @@ impl UndoLog {
         while pos + ENTRY_HEADER_SIZE <= used {
             let entry = self.region.ptr_at(self.log_off + LOG_HEADER_SIZE + pos) as *const u64;
             // SAFETY: pos + header <= used <= capacity.
-            let (data_off, len) = unsafe { (*entry, *entry.add(1)) };
+            let (data_off, len, crc) = unsafe { (*entry, *entry.add(1), *entry.add(2)) };
             if !self.entry_intact(pos, data_off, len) {
+                stats.truncated = true;
                 break;
             }
-            offs.push(pos);
+            // SAFETY: span validated against `used` by entry_intact.
+            let payload = unsafe {
+                std::slice::from_raw_parts(
+                    (entry as *const u8).add(ENTRY_HEADER_SIZE as usize),
+                    len as usize,
+                )
+            };
+            if entry_crc(data_off, len, payload) == crc {
+                offs.push(pos);
+            } else {
+                stats.skipped += 1;
+            }
             pos += Self::entry_span(len);
         }
         for &pos in offs.iter().rev() {
@@ -179,8 +244,10 @@ impl UndoLog {
                 latency::clflush_range(self.region.ptr_at(data_off), len as usize);
             }
         }
+        stats.applied = offs.len() as u64;
         latency::wbarrier();
         self.truncate();
+        stats
     }
 
     /// Truncates the log (the commit point of a transaction).
@@ -276,7 +343,7 @@ mod tests {
         log.append(data as usize, 8).unwrap();
         log.append(data as usize, 24).unwrap();
         assert_eq!(log.entry_count(), 2);
-        assert_eq!(log.used(), (16 + 16) + (16 + 32));
+        assert_eq!(log.used(), (32 + 16) + (32 + 32));
         log.truncate();
         assert_eq!(log.entry_count(), 0);
         region.close().unwrap();
@@ -285,13 +352,54 @@ mod tests {
     #[test]
     fn log_full_is_reported() {
         let region = Region::create(1 << 20).unwrap();
-        let log_off = region.alloc_off(64, 16).unwrap();
+        let log_off = region.alloc_off(80, 16).unwrap();
         let data = region.alloc(64, 8).unwrap().as_ptr();
-        let log = UndoLog::new(region.clone(), log_off, 64);
+        let log = UndoLog::new(region.clone(), log_off, 80);
         log.format();
         log.append(data as usize, 16).unwrap();
         let err = log.append(data as usize, 16).unwrap_err();
         assert!(matches!(err, StoreError::LogFull { .. }));
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn rollback_skips_checksum_failing_entries() {
+        let (region, log, data) = setup();
+        let data2 = region.alloc(64, 8).unwrap().as_ptr() as *mut u64;
+        unsafe {
+            data.write(1);
+            data2.write(2);
+            log.append(data as usize, 8).unwrap();
+            log.append(data2 as usize, 8).unwrap();
+            data.write(91);
+            data2.write(92);
+            // Rot the first entry's payload byte: its snapshot can no
+            // longer be trusted and must not be replayed.
+            let payload0 = region.ptr_at(log.log_off + LOG_HEADER_SIZE + ENTRY_HEADER_SIZE);
+            *(payload0 as *mut u8) ^= 0xFF;
+            let stats = log.rollback();
+            assert_eq!(stats.applied, 1);
+            assert_eq!(stats.skipped, 1);
+            assert!(!stats.truncated);
+            assert!(stats.degraded());
+            assert_eq!(data.read(), 91, "rotted snapshot not replayed");
+            assert_eq!(data2.read(), 2, "intact snapshot restored");
+        }
+        assert!(!log.is_dirty());
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn clean_rollback_reports_no_degradation() {
+        let (region, log, data) = setup();
+        unsafe {
+            data.write(7);
+            log.append(data as usize, 8).unwrap();
+            data.write(8);
+        }
+        let stats = log.rollback();
+        assert_eq!(stats.applied, 1);
+        assert!(!stats.degraded());
         region.close().unwrap();
     }
 

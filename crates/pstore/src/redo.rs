@@ -23,18 +23,24 @@
 //! +--------+--------+-------------------------------+
 //! | used   | sealed |  entry | entry | ...          |
 //! +--------+--------+-------------------------------+
-//!    u64      u64      each entry: { off, len, new bytes…, pad to 16 }
+//!    u64      u64      each entry: { off, len, crc64, rsvd, new bytes…, pad to 16 }
 //! ```
+//!
+//! As with the undo log, every entry carries a CRC-64 over its header
+//! words and payload: recovery of a sealed log on a corrupted image skips
+//! (and counts) rotted entries instead of applying garbage.
 
 use crate::error::{Result, StoreError};
+use crate::log::{entry_crc, RecoveryStats};
 use nvmsim::latency;
 use nvmsim::shadow;
 use nvmsim::Region;
 
 /// Byte overhead of the log-area header (`used` + `sealed`).
 pub const REDO_HEADER_SIZE: u64 = 16;
-/// Byte overhead of one entry's header (`off` + `len`).
-pub const REDO_ENTRY_HEADER_SIZE: u64 = 16;
+/// Byte overhead of one entry's header (`off` + `len` + `crc64` +
+/// reserved).
+pub const REDO_ENTRY_HEADER_SIZE: u64 = 32;
 
 /// Handle to a region's redo-log area. See the module docs.
 #[derive(Debug, Clone)]
@@ -119,6 +125,8 @@ impl RedoLog {
         unsafe {
             entry.write(data_off);
             entry.add(1).write(len);
+            entry.add(2).write(entry_crc(data_off, len, bytes));
+            entry.add(3).write(0);
             std::ptr::copy_nonoverlapping(
                 bytes.as_ptr(),
                 (entry as *mut u8).add(REDO_ENTRY_HEADER_SIZE as usize),
@@ -143,8 +151,8 @@ impl RedoLog {
             return Vec::new();
         };
         let mut latest: Option<&[u8]> = None;
-        self.for_each_entry(|off, bytes| {
-            if off == data_off && bytes.len() == len {
+        self.for_each_entry(|off, bytes, crc_ok| {
+            if crc_ok && off == data_off && bytes.len() == len {
                 latest = Some(bytes);
             }
         });
@@ -155,23 +163,38 @@ impl RedoLog {
         }
     }
 
-    fn for_each_entry<'a>(&'a self, mut f: impl FnMut(u64, &'a [u8])) {
+    /// Walks the log's entries. Each callback receives the target offset,
+    /// the payload, and whether the entry's CRC-64 verified. The scan
+    /// validates each header's span and target bounds before trusting it
+    /// and stops (returning `true` for "truncated") on the first
+    /// implausible entry — defense against corrupted images, as in
+    /// [`crate::UndoLog`].
+    fn for_each_entry<'a>(&'a self, mut f: impl FnMut(u64, &'a [u8], bool)) -> bool {
         let used = self.used();
+        let region_size = self.region.size() as u64;
         let mut pos = 0u64;
-        while pos < used {
+        while pos + REDO_ENTRY_HEADER_SIZE <= used {
             let entry = self.region.ptr_at(self.log_off + REDO_HEADER_SIZE + pos) as *const u64;
-            // SAFETY: entries in [0, used) were written by record.
-            unsafe {
-                let off = *entry;
-                let len = *entry.add(1);
-                let bytes = std::slice::from_raw_parts(
+            // SAFETY: pos + header <= used <= capacity.
+            let (off, len, crc) = unsafe { (*entry, *entry.add(1), *entry.add(2)) };
+            let span_ok = Self::entry_span(len)
+                .checked_add(pos)
+                .is_some_and(|end| end <= used);
+            let target_ok = off.checked_add(len).is_some_and(|end| end <= region_size);
+            if !span_ok || !target_ok {
+                return true;
+            }
+            // SAFETY: span validated against `used` above.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
                     (entry as *const u8).add(REDO_ENTRY_HEADER_SIZE as usize),
                     len as usize,
-                );
-                f(off, bytes);
-            }
-            pos += Self::entry_span(unsafe { *entry.add(1) });
+                )
+            };
+            f(off, bytes, entry_crc(off, len, bytes) == crc);
+            pos += Self::entry_span(len);
         }
+        false
     }
 
     /// Commit: seal the log (the durability point), apply every entry in
@@ -188,11 +211,20 @@ impl RedoLog {
     }
 
     /// Applies a sealed log and truncates it (used by commit and by
-    /// recovery).
-    pub fn apply(&self) {
+    /// recovery). Entries failing their CRC-64 are skipped — counted in
+    /// the returned [`RecoveryStats`] — rather than applied as garbage.
+    pub fn apply(&self) -> RecoveryStats {
         debug_assert!(self.is_sealed());
+        let mut stats = RecoveryStats::default();
         let mut writes: Vec<(u64, &[u8])> = Vec::new();
-        self.for_each_entry(|off, bytes| writes.push((off, bytes)));
+        stats.truncated = self.for_each_entry(|off, bytes, crc_ok| {
+            if crc_ok {
+                writes.push((off, bytes));
+            } else {
+                stats.skipped += 1;
+            }
+        });
+        stats.applied = writes.len() as u64;
         for (off, bytes) in writes {
             // SAFETY: offsets validated at record time.
             unsafe {
@@ -214,6 +246,7 @@ impl RedoLog {
         shadow::track_store(self.used_ptr() as usize, 16);
         latency::clflush_range(self.used_ptr() as usize, 16);
         latency::wbarrier();
+        stats
     }
 
     /// Abort: drop the buffered writes (in-place data was never touched).
@@ -229,14 +262,21 @@ impl RedoLog {
     /// Crash recovery: discard an unsealed log, re-apply a sealed one.
     /// Returns whether a sealed log was applied.
     pub fn recover(&self) -> bool {
+        self.recover_report().0
+    }
+
+    /// As [`RedoLog::recover`], additionally reporting how the apply pass
+    /// degraded on a corrupted image (entries skipped for bad CRCs, scan
+    /// truncation). The stats are zero when the log was unsealed or
+    /// empty.
+    pub fn recover_report(&self) -> (bool, RecoveryStats) {
         if self.is_sealed() {
-            self.apply();
-            true
+            (true, self.apply())
         } else if self.used() != 0 {
             self.abort();
-            false
+            (false, RecoveryStats::default())
         } else {
-            false
+            (false, RecoveryStats::default())
         }
     }
 }
@@ -316,6 +356,31 @@ mod tests {
             // Idempotent: recovering again is a no-op.
             assert!(!log.recover());
             assert_eq!(data.read(), 7);
+        }
+        region.close().unwrap();
+    }
+
+    #[test]
+    fn sealed_recovery_skips_rotted_entries() {
+        let (region, log, data) = setup();
+        let data2 = region.alloc(64, 8).unwrap().as_ptr() as *mut u64;
+        unsafe {
+            data.write(1);
+            data2.write(2);
+            log.record(data as usize, &11u64.to_le_bytes()).unwrap();
+            log.record(data2 as usize, &22u64.to_le_bytes()).unwrap();
+            // Seal without applying (crash mid-commit), then rot the
+            // first entry's payload.
+            (log.sealed_ptr()).write(1);
+            let payload0 = region.ptr_at(log.log_off + REDO_HEADER_SIZE + REDO_ENTRY_HEADER_SIZE);
+            *(payload0 as *mut u8) ^= 0xFF;
+            let (applied, stats) = log.recover_report();
+            assert!(applied);
+            assert_eq!(stats.applied, 1);
+            assert_eq!(stats.skipped, 1);
+            assert!(stats.degraded());
+            assert_eq!(data.read(), 1, "rotted redo entry not applied");
+            assert_eq!(data2.read(), 22, "intact redo entry applied");
         }
         region.close().unwrap();
     }

@@ -15,7 +15,7 @@
 //! are untouched).
 
 use crate::error::{Result, StoreError};
-use crate::log::UndoLog;
+use crate::log::{RecoveryStats, UndoLog};
 use crate::object::{header_off, payload_off, ObjHeader, OBJ_HEADER_SIZE};
 use crate::tx::Tx;
 use nvmsim::{latency, shadow, Region};
@@ -47,6 +47,8 @@ pub struct ObjectStore {
     tx_lock: Arc<Mutex<()>>,
     /// Whether attach had to roll back an interrupted transaction.
     recovered: bool,
+    /// How the attach-time rollback went (all-zero when no recovery ran).
+    recovery: RecoveryStats,
 }
 
 impl ObjectStore {
@@ -92,6 +94,7 @@ impl ObjectStore {
             log,
             tx_lock: Arc::new(Mutex::new(())),
             recovered: false,
+            recovery: RecoveryStats::default(),
         })
     }
 
@@ -114,9 +117,12 @@ impl ObjectStore {
         };
         let log = UndoLog::new(region.clone(), log_off, log_cap);
         let mut recovered = false;
+        let mut recovery = RecoveryStats::default();
         if log.is_dirty() {
             // Interrupted transaction: restore the pre-transaction image.
-            log.rollback();
+            // On a corrupted image the rollback may skip checksum-failing
+            // entries; the stats report that degradation.
+            recovery = log.rollback();
             recovered = true;
         }
         Ok(ObjectStore {
@@ -125,6 +131,7 @@ impl ObjectStore {
             log,
             tx_lock: Arc::new(Mutex::new(())),
             recovered,
+            recovery,
         })
     }
 
@@ -132,6 +139,15 @@ impl ObjectStore {
     /// transaction.
     pub fn recovered(&self) -> bool {
         self.recovered
+    }
+
+    /// How the attach-time rollback went: entries applied, entries
+    /// skipped for failing checksums, and whether the log scan was cut
+    /// short by an implausible entry. All-zero when no recovery ran;
+    /// [`RecoveryStats::degraded`] flags a corrupted (not merely crashed)
+    /// image.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// The underlying region.

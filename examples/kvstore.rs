@@ -51,7 +51,17 @@ type Db = (Region, ObjectStore, PMap<Riv, u64>);
 fn open_db() -> Result<Db, Box<dyn std::error::Error>> {
     let path = db_path();
     let (region, store, map) = if path.exists() {
-        let region = Region::open_file(&path)?;
+        let region = match Region::open_file(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                // A stale image from an older on-media format (or one
+                // damaged beyond slot-assisted repair) fails with a typed
+                // error; for a demo cache in /tmp, starting over is fine.
+                eprintln!("note: discarding unusable image ({e}); starting fresh");
+                std::fs::remove_file(&path)?;
+                return open_db();
+            }
+        };
         let store = ObjectStore::attach(&region)?;
         if store.recovered() {
             eprintln!("note: recovered from an interrupted transaction");

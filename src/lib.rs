@@ -64,11 +64,11 @@ pub use pstore;
 
 pub use nvmsim::{
     CapturedCrash, CrashPointReached, ExactLayout, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
-    LatencyModel, Layout, NvError, NvSpace, Region, RegionPool,
+    LatencyModel, Layout, NvError, NvSpace, Region, RegionPool, VerifyReport,
 };
 pub use pds::{NodeArena, PBst, PGraph, PHashSet, PList, PMap, PTrie, PVec, PdsError, WordCount};
 pub use pi_core::{
     is_persistent, AtomicPPtr, BasedPtr, FatPtr, FatPtrCached, NormalPtr, NvRef, OffHolder, PPtr,
     PersistentI, PersistentX, PtrRepr, Riv, SwizzledPtr, TypeError,
 };
-pub use pstore::{ObjectStore, StoreError, Tx};
+pub use pstore::{ObjectStore, RecoveryStats, StoreError, Tx};
