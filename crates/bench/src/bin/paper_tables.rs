@@ -1,20 +1,38 @@
-//! Regenerates the paper's tables and figures as text tables.
+//! Regenerates the paper's tables and figures as text tables and
+//! machine-readable JSON reports.
 //!
 //! ```text
 //! paper_tables [EXPERIMENT ...] [--quick] [--markdown] [--n N] [--reps R]
+//!              [--latency paper|off] [--json FILE]
+//! paper_tables --validate FILE
 //!
 //! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl all
 //! ```
+//!
+//! `--json FILE` writes every row plus the `nvmsim::metrics` delta
+//! captured around each experiment section (schema in EXPERIMENTS.md);
+//! `--validate FILE` schema-checks such a report and exits nonzero on any
+//! violation — CI's bench-smoke gate.
 
-use bench::{experiments, render, render_markdown, Config, Row};
+use bench::{experiments, json, render, render_json, render_markdown, Config, ReportConfig, Row};
+use nvmsim::latency::{self, LatencyModel};
+use nvmsim::metrics;
 use std::env;
 
 fn usage() -> ! {
     eprintln!(
         "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|all ...] \
-         [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]]"
+         [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]] \
+         [--latency paper|off] [--json FILE]\n       paper_tables --validate FILE"
     );
     std::process::exit(2);
+}
+
+struct Section {
+    id: &'static str,
+    title: &'static str,
+    rows: Vec<Row>,
+    metrics: metrics::Snapshot,
 }
 
 fn main() {
@@ -23,6 +41,8 @@ fn main() {
     let mut markdown = false;
     let mut selected: Vec<String> = Vec::new();
     let mut word_sizes: Vec<usize> = vec![1_000_000, 2_000_000];
+    let mut latency_model = LatencyModel::OFF;
+    let mut json_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -54,6 +74,24 @@ fn main() {
                     .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
                     .unwrap_or_else(|| usage());
             }
+            "--latency" => {
+                i += 1;
+                latency_model = match args.get(i).map(String::as_str) {
+                    Some("paper") => LatencyModel::PAPER,
+                    Some("off") => LatencyModel::OFF,
+                    _ => usage(),
+                };
+            }
+            "--json" => {
+                i += 1;
+                json_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--validate" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| usage());
+                validate(&path);
+                return;
+            }
             flag if flag.starts_with('-') => usage(),
             exp => selected.push(exp.to_string()),
         }
@@ -65,78 +103,167 @@ fn main() {
     let all = selected.iter().any(|s| s == "all");
     let want = |name: &str| all || selected.iter().any(|s| s == name);
 
-    let mut sections: Vec<(&str, Vec<Row>)> = Vec::new();
+    // Install the model before any timing: set_model(nonzero) eagerly
+    // calibrates, so the first measured barrier pays no calibration cost.
+    latency::set_model(latency_model);
+
+    let mut sections: Vec<Section> = Vec::new();
+    fn run_section(
+        sections: &mut Vec<Section>,
+        cfg: &Config,
+        id: &'static str,
+        title: &'static str,
+        f: &dyn Fn(&Config) -> Vec<Row>,
+    ) {
+        eprintln!("running {id} ({title})...");
+        let before = metrics::snapshot();
+        let rows = f(cfg);
+        let delta = metrics::snapshot().delta(&before);
+        sections.push(Section {
+            id,
+            title,
+            rows,
+            metrics: delta,
+        });
+    }
+    let run =
+        |sections: &mut Vec<Section>,
+         id: &'static str,
+         title: &'static str,
+         f: &dyn Fn(&Config) -> Vec<Row>| { run_section(sections, &cfg, id, title, f) };
     if want("fig12") {
-        eprintln!("running FIG12 (non-transactional slowdowns, 32 B payload)...");
-        sections.push((
+        run(
+            &mut sections,
+            "FIG12",
             "Figure 12 — slowdown, non-transactional, single region",
-            experiments::fig12(&cfg),
-        ));
+            &|cfg| experiments::fig12(cfg),
+        );
     }
     if want("pay256") {
-        eprintln!("running PAY256 (256 B payload sweep)...");
-        sections.push((
+        run(
+            &mut sections,
+            "PAY256",
             "Section 6.2 — 256 B payload sweep",
-            experiments::pay256(&cfg),
-        ));
+            &|cfg| experiments::pay256(cfg),
+        );
     }
     if want("tab1") {
-        eprintln!("running TAB1 (swizzling overhead vs #traversals)...");
-        sections.push((
+        run(
+            &mut sections,
+            "TAB1",
             "Table 1 — swizzling overhead vs number of traversals",
-            experiments::tab1(&cfg),
-        ));
+            &|cfg| experiments::tab1(cfg),
+        );
     }
     if want("fig13") {
-        eprintln!("running FIG13 (transactional, single region)...");
-        sections.push((
+        run(
+            &mut sections,
+            "FIG13",
             "Figure 13 — slowdown, transactional, single NVRegion",
-            experiments::fig13(&cfg),
-        ));
+            &|cfg| experiments::fig13(cfg),
+        );
     }
     if want("fig14") {
-        eprintln!("running FIG14 (transactional, 10 regions)...");
-        sections.push((
+        run(
+            &mut sections,
+            "FIG14",
             "Figure 14 — slowdown, transactional, 10 NVRegions",
-            experiments::fig14(&cfg, 10),
-        ));
+            &|cfg| experiments::fig14(cfg, 10),
+        );
     }
     if want("regs") {
-        eprintln!("running REGS (2/4/8-region sweep)...");
-        sections.push((
+        run(
+            &mut sections,
+            "REGS",
             "Section 6.3 — region-count sweep",
-            experiments::region_sweep(&cfg),
-        ));
+            &|cfg| experiments::region_sweep(cfg),
+        );
     }
     if want("fig15") {
-        eprintln!("running FIG15 (wordcount, {word_sizes:?} words)...");
-        sections.push((
-            "Figure 15 — wordcount execution times",
-            experiments::fig15(&cfg, &word_sizes),
-        ));
+        let sizes = word_sizes.clone();
+        eprintln!("running FIG15 (wordcount, {sizes:?} words)...");
+        let before = metrics::snapshot();
+        let rows = experiments::fig15(&cfg, &sizes);
+        let delta = metrics::snapshot().delta(&before);
+        sections.push(Section {
+            id: "FIG15",
+            title: "Figure 15 — wordcount execution times",
+            rows,
+            metrics: delta,
+        });
     }
     if want("rivbrk") {
-        eprintln!("running RIVBRK (RIV read-cost breakdown)...");
-        sections.push((
+        run(
+            &mut sections,
+            "RIVBRK",
             "Section 6.2 — RIV dereference cost breakdown",
-            experiments::riv_breakdown(&cfg),
-        ));
+            &|cfg| experiments::riv_breakdown(cfg),
+        );
     }
     if want("abl") {
-        eprintln!("running ABL (design-choice ablations)...");
-        sections.push(("Ablations (DESIGN.md)", experiments::ablations(&cfg)));
+        run(&mut sections, "ABL", "Ablations (DESIGN.md)", &|cfg| {
+            experiments::ablations(cfg)
+        });
     }
     if sections.is_empty() {
         usage();
     }
 
-    for (title, rows) in sections {
+    for s in &sections {
         if markdown {
-            println!("\n### {title}\n");
-            print!("{}", render_markdown(&rows));
+            println!("\n### {}\n", s.title);
+            print!("{}", render_markdown(&s.rows));
         } else {
-            println!("\n=== {title} ===\n");
-            print!("{}", render(&rows));
+            println!("\n=== {} ===\n", s.title);
+            print!("{}", render(&s.rows));
+        }
+    }
+
+    if let Some(path) = json_out {
+        let report_sections: Vec<bench::Section> = sections
+            .iter()
+            .map(|s| bench::Section {
+                id: s.id.to_string(),
+                title: s.title.to_string(),
+                rows: s.rows.clone(),
+                metrics: s.metrics,
+            })
+            .collect();
+        let rc = ReportConfig {
+            n: cfg.n,
+            reps: cfg.reps,
+            seed: cfg.seed,
+            searches: cfg.searches,
+            latency: latency_model,
+        };
+        let text = render_json(&report_sections, &rc);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} ({} sections)", report_sections.len());
+    }
+}
+
+fn validate(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match json::validate_report(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: OK — {} sections, {} rows, wbarrier_calls={}, \
+                 clflush_calls={}, fat_lookups={}",
+                s.sections, s.rows, s.wbarrier_calls, s.clflush_calls, s.fat_lookups
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -17,9 +17,12 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod report;
 pub mod reprs;
 pub mod workloads;
 
 pub use harness::{Config, OpTimes, ReprKind};
-pub use report::{normalize, render, render_markdown, Row};
+pub use report::{
+    normalize, render, render_json, render_markdown, ReportConfig, Row, Section, SCHEMA_VERSION,
+};

@@ -1,5 +1,8 @@
-//! Result rows and table rendering for the experiment runners.
+//! Result rows and table rendering for the experiment runners, plus the
+//! machine-readable report format (`BENCH_paper_tables.json`).
 
+use nvmsim::metrics::Snapshot;
+use nvmsim::LatencyModel;
 use std::fmt::Write as _;
 
 /// One measured data point of an experiment.
@@ -124,6 +127,125 @@ pub fn render(rows: &[Row]) -> String {
     for row in &cells {
         write_row(&mut out, row);
     }
+    out
+}
+
+/// Version of the JSON report schema emitted by [`render_json`]. Bump on
+/// any breaking change to field names or nesting; see EXPERIMENTS.md.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One experiment section of a report: its rows plus the process-wide
+/// metrics delta captured around the section's timed run.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Stable machine id (e.g. `FIG12`), matching [`Row::experiment`].
+    pub id: String,
+    /// Human title as printed in the text tables.
+    pub title: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+    /// `metrics::snapshot()` delta over the section's run.
+    pub metrics: Snapshot,
+}
+
+/// The run configuration recorded in a JSON report.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Elements per structure.
+    pub n: usize,
+    /// Timed repetitions per measurement.
+    pub reps: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Random searches per search measurement.
+    pub searches: usize,
+    /// Latency model installed for the run.
+    pub latency: LatencyModel,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to 0 (cannot occur for sane runs).
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a full report as schema-versioned JSON (see EXPERIMENTS.md for
+/// the schema). Every counter of every section is emitted — zeros
+/// included — so reports from different PRs diff field-for-field.
+pub fn render_json(sections: &[Section], cfg: &ReportConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    out.push_str("  \"tool\": \"paper_tables\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"n\": {}, \"reps\": {}, \"seed\": {}, \"searches\": {}, \
+         \"latency_model\": {{\"wbarrier_ns\": {}, \"clflush_ns\": {}}}}},",
+        cfg.n, cfg.reps, cfg.seed, cfg.searches, cfg.latency.wbarrier_ns, cfg.latency.clflush_ns
+    );
+    out.push_str("  \"sections\": [\n");
+    for (si, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", json_escape(&s.id));
+        let _ = writeln!(out, "      \"title\": \"{}\",", json_escape(&s.title));
+        out.push_str("      \"rows\": [\n");
+        for (ri, r) in s.rows.iter().enumerate() {
+            let slowdown = r
+                .slowdown
+                .map_or("null".to_string(), |v| json_f64(v).to_string());
+            let _ = write!(
+                out,
+                "        {{\"experiment\": \"{}\", \"structure\": \"{}\", \"op\": \"{}\", \
+                 \"repr\": \"{}\", \"nanos\": {}, \"slowdown\": {}, \"note\": \"{}\"}}",
+                json_escape(r.experiment),
+                json_escape(&r.structure),
+                json_escape(&r.op),
+                json_escape(&r.repr),
+                json_f64(r.nanos),
+                slowdown,
+                json_escape(&r.note)
+            );
+            out.push_str(if ri + 1 < s.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"metrics\": {");
+        let mut first = true;
+        for (name, value) in s.metrics.iter() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\": {value}");
+        }
+        out.push_str("}\n");
+        out.push_str(if si + 1 < sections.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -103,7 +103,9 @@ impl FatPtrCached {
 }
 
 // SAFETY: same encoding as FatPtr; the cache is transparently coherent
-// because the registry invalidates it on region close/rebind.
+// because every fat-table mutation (region close *and* rebind) bumps the
+// registry's table generation, which any cached entry must match to be
+// served — see `registry::fat_lookup_cached`.
 unsafe impl PtrRepr for FatPtrCached {
     const NAME: &'static str = "fat+cache";
 
@@ -180,6 +182,30 @@ mod tests {
         let mut f = FatPtr::default();
         f.store(p);
         assert_eq!(f, FatPtr::from_parts(r.rid(), (p - r.base()) as u64));
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn rebind_invalidates_cache_through_load() {
+        // Regression: rebinding a live rid (remap-at-different-address
+        // reopen) used to leave the lastID/lastAddr cache serving the old
+        // base through FatPtrCached::load.
+        let r = Region::create(1 << 20).unwrap();
+        let p = r.alloc(64, 8).unwrap().as_ptr() as usize;
+        let mut f = FatPtrCached::default();
+        f.store(p);
+        assert_eq!(f.load(), p, "warm the cache with the current base");
+        // Simulate a remap by rebinding the live rid 1 MiB away, then
+        // restore it before closing.
+        let shifted = r.base() + (1 << 20);
+        registry::rebind_for_tests(r.rid(), shifted, r.size());
+        assert_eq!(
+            f.load(),
+            shifted + (p - r.base()),
+            "load must resolve against the rebound base, not a cached one"
+        );
+        registry::rebind_for_tests(r.rid(), r.base(), r.size());
+        assert_eq!(f.load(), p);
         r.close().unwrap();
     }
 

@@ -6,6 +6,8 @@
 //!                                          # slots, log entries); exit 1 on damage
 //! nvr_inspect scrub <image.nvr> [...]      # verify + freshen the inactive
 //!                                          # metadata slot of healthy images
+//! nvr_inspect stats <image.nvr> [...]      # allocator counters, roots, and
+//!                                          # the nvmsim::metrics delta of the open
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
@@ -14,8 +16,59 @@
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub] <image.nvr> [...]");
+    eprintln!("usage: nvr_inspect [verify|scrub|stats] <image.nvr> [...]");
     ExitCode::from(2)
+}
+
+/// Opens each image and dumps its allocator counters and named roots,
+/// followed by the process-wide [`nvmsim::metrics`] delta the open/walk
+/// itself generated (every nonzero counter) — a quick way to see what a
+/// region open costs in instrumented events.
+fn stats(paths: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        println!("=== {path}");
+        let before = nvmsim::metrics::snapshot();
+        match nvmsim::Region::open_file(path) {
+            Ok(region) => {
+                let s = region.stats();
+                println!("rid:         {}", region.rid());
+                println!("size:        {} bytes", region.size());
+                println!("live_bytes:  {}", s.live_bytes);
+                println!("live_allocs: {}", s.live_allocs);
+                println!("alloc_calls: {}", s.alloc_calls);
+                println!("free_calls:  {}", s.free_calls);
+                println!("bump/end:    {}/{}", s.bump, s.end);
+                match region.roots() {
+                    Ok(roots) if roots.is_empty() => println!("roots:       (none)"),
+                    Ok(roots) => println!("roots:       {}", roots.join(", ")),
+                    Err(e) => println!("roots:       error: {e}"),
+                }
+                if let Err(e) = region.close() {
+                    eprintln!("error: {e}");
+                    status = ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::FAILURE;
+                continue;
+            }
+        }
+        let delta = nvmsim::metrics::snapshot().delta(&before);
+        println!("metrics delta for this open:");
+        let mut any = false;
+        for (name, value) in delta.iter() {
+            if value != 0 {
+                println!("  {name}: {value}");
+                any = true;
+            }
+        }
+        if !any {
+            println!("  (all zero)");
+        }
+    }
+    status
 }
 
 /// Runs the corruption walk over each image, printing the report. Returns
@@ -90,6 +143,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 scrub(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "stats" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                stats(rest)
             }
         }
         _ => {

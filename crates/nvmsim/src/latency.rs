@@ -12,6 +12,7 @@
 //! monotonic clock, so a requested 115 ns barrier really costs ~115 ns of
 //! CPU time regardless of machine speed.
 
+use crate::metrics::{self, Counter};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -51,11 +52,25 @@ static WBARRIER_NS: AtomicU64 = AtomicU64::new(0);
 static CLFLUSH_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Installs a latency model process-wide. Returns the previous model.
+///
+/// Installing a nonzero model eagerly runs [`calibrate`], so the first
+/// timed `wbarrier`/`clflush_range` afterwards does not absorb the ~2 ms
+/// one-time spin calibration.
 pub fn set_model(m: LatencyModel) -> LatencyModel {
     let prev = model();
     WBARRIER_NS.store(m.wbarrier_ns, Ordering::Relaxed);
     CLFLUSH_NS.store(m.clflush_ns, Ordering::Relaxed);
+    if m.wbarrier_ns != 0 || m.clflush_ns != 0 {
+        calibrate();
+    }
     prev
+}
+
+/// Forces the once-per-process spin calibration to run now instead of
+/// lazily inside the first nonzero [`delay_ns`]. Idempotent and cheap
+/// after the first call; benchmarks call this from their warmup.
+pub fn calibrate() {
+    spins_per_us();
 }
 
 /// The currently installed latency model.
@@ -109,7 +124,12 @@ pub fn delay_ns(ns: u64) {
 pub fn wbarrier() {
     std::sync::atomic::fence(Ordering::SeqCst);
     crate::shadow::on_fence();
-    delay_ns(WBARRIER_NS.load(Ordering::Relaxed));
+    metrics::incr(Counter::WbarrierCalls);
+    let ns = WBARRIER_NS.load(Ordering::Relaxed);
+    if ns != 0 {
+        metrics::add(Counter::WbarrierDelayNs, ns);
+        delay_ns(ns);
+    }
 }
 
 /// Emulates flushing the cache lines covering `[addr, addr+len)` to the
@@ -117,13 +137,19 @@ pub fn wbarrier() {
 #[inline]
 pub fn clflush_range(addr: usize, len: usize) {
     crate::shadow::on_flush(addr, len);
-    let per_line = CLFLUSH_NS.load(Ordering::Relaxed);
-    if per_line == 0 || len == 0 {
+    if len == 0 {
         return;
     }
     let first = addr & !63;
     let last = (addr + len - 1) & !63;
     let lines = ((last - first) / 64 + 1) as u64;
+    metrics::incr(Counter::ClflushCalls);
+    metrics::add(Counter::ClflushLines, lines);
+    let per_line = CLFLUSH_NS.load(Ordering::Relaxed);
+    if per_line == 0 {
+        return;
+    }
+    metrics::add(Counter::ClflushDelayNs, per_line * lines);
     delay_ns(per_line * lines);
 }
 
@@ -172,6 +198,31 @@ mod tests {
         assert!(
             d.as_nanos() >= 10_000,
             "three-line flush should cost >= one line"
+        );
+    }
+
+    #[test]
+    fn first_delay_after_calibrate_matches_later_ones() {
+        // The lazy calibration used to run (2M spin iterations, ~ms) inside
+        // the first timed delay. After an explicit calibrate(), the first
+        // delay must be in family with subsequent ones.
+        calibrate();
+        let measure = || {
+            let t0 = Instant::now();
+            delay_ns(200_000);
+            t0.elapsed().as_nanos()
+        };
+        let first = measure();
+        let mut later: Vec<u128> = (0..5).map(|_| measure()).collect();
+        later.sort_unstable();
+        let median = later[later.len() / 2];
+        // Generous bound: scheduler noise aside, an uncalibrated first call
+        // would exceed this by an order of magnitude (2M iterations vs the
+        // ~40K needed for 200us).
+        assert!(
+            first < median.saturating_mul(8) + 1_000_000,
+            "first delay {first}ns vs median {median}ns: calibration leaked \
+             into the first timed delay"
         );
     }
 

@@ -50,6 +50,7 @@ pub mod latency;
 pub mod layout;
 pub mod magazine;
 pub mod mem;
+pub mod metrics;
 pub mod nvspace;
 pub mod persist;
 pub mod region;

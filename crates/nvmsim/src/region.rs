@@ -554,6 +554,7 @@ impl Region {
     /// As [`Region::alloc`].
     pub fn alloc_off(&self, size: usize, align: usize) -> Result<u64> {
         self.check_open()?;
+        crate::metrics::incr(crate::metrics::Counter::RegionAllocs);
         assert!(size > 0, "zero-size allocation");
         assert!(
             align <= crate::alloc::MIN_ALIGN
@@ -587,6 +588,7 @@ impl Region {
     /// [`REFILL_BATCH`] blocks from the shared free list (bump frontier as
     /// fallback), serves the first and caches the rest.
     fn refill(&self, cache: &ThreadCache, class: usize) -> Result<u64> {
+        crate::metrics::incr(crate::metrics::Counter::MagazineRefills);
         let _g = self.inner.alloc_lock.lock();
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NvError::RegionClosed {
@@ -658,6 +660,7 @@ impl Region {
     /// `size`, must not have been freed already, and no live references into
     /// the block may remain.
     pub unsafe fn dealloc(&self, ptr: NonNull<u8>, size: usize) {
+        crate::metrics::incr(crate::metrics::Counter::RegionFrees);
         let off = (ptr.as_ptr() as usize - self.inner.base) as u64;
         let rounded = AllocHeader::rounded_size(size);
         if let Some(class) = class_for(rounded) {
@@ -746,6 +749,7 @@ impl Region {
     /// [`NvError::RegionClosed`] after close.
     pub fn flush_magazines(&self) -> Result<()> {
         self.check_open()?;
+        crate::metrics::incr(crate::metrics::Counter::MagazineFlushes);
         let _g = self.inner.alloc_lock.lock();
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NvError::RegionClosed {
@@ -1249,6 +1253,7 @@ impl Inner {
     /// base, and unregisters the cache. No-op once the region is closed —
     /// teardown already drained the blocks.
     pub(crate) fn retire_thread_cache(&self, cache: &Arc<ThreadCache>) {
+        crate::metrics::incr(crate::metrics::Counter::MagazineFlushes);
         let _g = self.alloc_lock.lock();
         if self.closed.load(Ordering::Acquire) {
             return;
@@ -1320,6 +1325,7 @@ impl Inner {
     /// on a lost race with close they become (bounded) leaks rather than
     /// writes into an unmapped page.
     fn restore_overflow(&self, class: usize, blocks: &[u64]) {
+        crate::metrics::incr(crate::metrics::Counter::MagazineFlushes);
         let _g = self.alloc_lock.lock();
         if self.closed.load(Ordering::Acquire) {
             return;

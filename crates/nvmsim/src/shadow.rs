@@ -400,6 +400,7 @@ pub(crate) fn on_flush(addr: usize, len: usize) {
     if len == 0 || !ENABLED.load(Ordering::Relaxed) {
         return;
     }
+    crate::metrics::incr(crate::metrics::Counter::ShadowFlushEvents);
     let n = EVENTS.fetch_add(1, Ordering::Relaxed) + 1;
     run_plan(n);
     let Some(t) = tracker_covering(addr) else {
@@ -434,6 +435,7 @@ pub(crate) fn on_fence() {
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
+    crate::metrics::incr(crate::metrics::Counter::ShadowFenceEvents);
     let n = EVENTS.fetch_add(1, Ordering::Relaxed) + 1;
     run_plan(n);
     let trackers: Vec<Arc<Tracker>> = lock(&TRACKERS).clone();

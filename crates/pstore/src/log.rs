@@ -170,6 +170,7 @@ impl UndoLog {
         shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
+        nvmsim::metrics::incr(nvmsim::metrics::Counter::UndoEntries);
         Ok(())
     }
 
@@ -245,6 +246,7 @@ impl UndoLog {
             }
         }
         stats.applied = offs.len() as u64;
+        nvmsim::metrics::add(nvmsim::metrics::Counter::RecoverySkips, stats.skipped);
         latency::wbarrier();
         self.truncate();
         stats

@@ -140,6 +140,7 @@ impl RedoLog {
         shadow::track_store(self.used_ptr() as usize, 8);
         latency::clflush_range(self.used_ptr() as usize, 8);
         latency::wbarrier();
+        nvmsim::metrics::incr(nvmsim::metrics::Counter::RedoEntries);
         Ok(())
     }
 
@@ -225,6 +226,7 @@ impl RedoLog {
             }
         });
         stats.applied = writes.len() as u64;
+        nvmsim::metrics::add(nvmsim::metrics::Counter::RecoverySkips, stats.skipped);
         for (off, bytes) in writes {
             // SAFETY: offsets validated at record time.
             unsafe {

@@ -289,6 +289,7 @@ impl ObjectStore {
     /// at a time; this call blocks until the previous one finishes.
     pub fn begin(&self) -> Tx<'_> {
         let guard = self.tx_lock.lock();
+        nvmsim::metrics::incr(nvmsim::metrics::Counter::TxBegins);
         Tx::new(self, guard)
     }
 

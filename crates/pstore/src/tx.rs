@@ -97,6 +97,7 @@ impl<'s> Tx<'s> {
         latency::wbarrier();
         self.store.log_ref().truncate();
         self.committed = true;
+        nvmsim::metrics::incr(nvmsim::metrics::Counter::TxCommits);
     }
 
     /// Aborts explicitly, rolling back every snapshotted range.
@@ -109,6 +110,7 @@ impl<'s> Tx<'s> {
 impl Drop for Tx<'_> {
     fn drop(&mut self) {
         if !self.committed {
+            nvmsim::metrics::incr(nvmsim::metrics::Counter::TxAborts);
             self.store.log_ref().rollback();
         }
     }
