@@ -6,7 +6,7 @@
 //!              [--latency paper|off] [--json FILE]
 //! paper_tables --validate FILE
 //!
-//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl all
+//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl all
 //! ```
 //!
 //! `--json FILE` writes every row plus the `nvmsim::metrics` delta
@@ -21,7 +21,7 @@ use std::env;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|all ...] \
+        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|all ...] \
          [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]] \
          [--latency paper|off] [--json FILE]\n       paper_tables --validate FILE"
     );
@@ -204,6 +204,14 @@ fn main() {
         run(&mut sections, "ABL", "Ablations (DESIGN.md)", &|cfg| {
             experiments::ablations(cfg)
         });
+    }
+    if want("repl") {
+        run(
+            &mut sections,
+            "REPLLAG",
+            "Replication lag — backpressure policies (EXPERIMENTS.md)",
+            &|cfg| experiments::repl_lag(cfg),
+        );
     }
     if sections.is_empty() {
         usage();

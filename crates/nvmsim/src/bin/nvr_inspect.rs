@@ -8,15 +8,19 @@
 //!                                          # metadata slot of healthy images
 //! nvr_inspect stats <image.nvr> [...]      # allocator counters, roots, and
 //!                                          # the nvmsim::metrics delta of the open
+//! nvr_inspect repl <stream.nvd> [...]      # dump a replication delta stream:
+//!                                          # header, records, epochs, seal, lag
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
 //! damage was found (the report says what), 2 means usage/IO trouble.
+//! `repl` follows the same convention: 0 for a sealed intact stream, 1
+//! for a torn or unsealed one.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub|stats] <image.nvr> [...]");
+    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl] <file> [...]");
     ExitCode::from(2)
 }
 
@@ -127,6 +131,66 @@ fn scrub(paths: &[String]) -> ExitCode {
     status
 }
 
+/// Dumps each replication delta stream: identity header, one line per
+/// record (kind, epoch range, lines, payload size), whether the stream is
+/// sealed, and the replica lag a promotion from this stream would carry.
+fn repl(paths: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        println!("=== {path}");
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        let dump = nvmsim::repl::inspect_stream(&bytes);
+        match dump.meta {
+            Some(meta) => {
+                println!("stream:      v{} for rid {}", meta.version, meta.rid);
+                println!("region_size: {} bytes", meta.region_size);
+            }
+            None => println!("stream:      (header unreadable)"),
+        }
+        println!("bytes:       {}", dump.total_bytes);
+        for r in &dump.records {
+            match r.kind {
+                "base" => println!(
+                    "  base   epoch 0            {:>8} bytes  @{}",
+                    r.payload_bytes, r.offset
+                ),
+                "delta" => println!(
+                    "  delta  epoch {:>3} <- {:<3} {:>5} lines ({} bytes)  @{}",
+                    r.epoch, r.prev_epoch, r.lines, r.payload_bytes, r.offset
+                ),
+                _ => println!("  seal   epoch {:>3}  @{}", r.epoch, r.offset),
+            }
+        }
+        let deltas = dump.records.iter().filter(|r| r.kind == "delta").count();
+        println!("deltas:      {deltas}");
+        println!("last_epoch:  {}", dump.last_epoch);
+        println!("sealed:      {}", dump.sealed);
+        if let Some(p) = &dump.problem {
+            println!("problem:     {p}");
+        }
+        // Lag of a replica promoted from this stream, in epochs: zero for
+        // a sealed stream, unknowable-but-nonzero otherwise (the primary
+        // was still emitting when the stream stopped).
+        if dump.sealed && dump.problem.is_none() {
+            println!("lag:         0 epochs (sealed, promotable)");
+        } else {
+            println!(
+                "lag:         >= 1 epoch (unsealed; replica stops at {})",
+                dump.last_epoch
+            );
+            status = ExitCode::FAILURE;
+        }
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -150,6 +214,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 stats(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "repl" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                repl(rest)
             }
         }
         _ => {

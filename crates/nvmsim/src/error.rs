@@ -53,6 +53,19 @@ pub enum NvError {
         /// ID of the closed region.
         rid: u32,
     },
+    /// Shadow persistence tracking was required (fault injection,
+    /// replication capture) but `enable_shadow` was never called on the
+    /// region.
+    ShadowNotEnabled {
+        /// Base address of the untracked region.
+        base: usize,
+    },
+    /// An operation named a region by base address but no open region is
+    /// mapped there.
+    RegionUnknown {
+        /// The offending base address.
+        base: usize,
+    },
     /// Underlying OS-level failure (mmap, msync, file I/O).
     Io(io::Error),
 }
@@ -76,6 +89,12 @@ impl fmt::Display for NvError {
             NvError::RootNameTooLong(name) => write!(f, "root name too long: {name}"),
             NvError::BadLayout(msg) => write!(f, "bad NV-space layout: {msg}"),
             NvError::RegionClosed { rid } => write!(f, "region {rid} is closed"),
+            NvError::ShadowNotEnabled { base } => {
+                write!(f, "shadow tracking not enabled for region at {base:#x}")
+            }
+            NvError::RegionUnknown { base } => {
+                write!(f, "no open region mapped at {base:#x}")
+            }
             NvError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -119,6 +138,8 @@ mod tests {
             NvError::RootNameTooLong("x".repeat(99)),
             NvError::BadLayout("l4 < l2".into()),
             NvError::RegionClosed { rid: 7 },
+            NvError::ShadowNotEnabled { base: 0x7000_0000 },
+            NvError::RegionUnknown { base: 0x7000_0000 },
             NvError::Io(io::Error::other("boom")),
         ];
         for c in cases {

@@ -55,6 +55,7 @@ pub mod nvspace;
 pub mod persist;
 pub mod region;
 pub mod registry;
+pub mod repl;
 pub mod shadow;
 pub mod twolevel;
 pub mod verify;
@@ -66,8 +67,12 @@ pub use nvspace::NvSpace;
 pub use persist::RegionPool;
 pub use region::Region;
 pub use registry::RegionInfo;
+pub use repl::{
+    ApplyReport, Backpressure, Delta, DeltaLine, ReplError, ReplSink, ReplSource, Replicator,
+    ReplicatorConfig,
+};
 pub use shadow::{
-    CapturedCrash, CrashPointReached, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
+    CapturedCrash, CrashPointReached, FaultPlan, FaultPolicy, FaultReport, FaultStamp, ShadowError,
 };
 pub use twolevel::{Level, TwoLevelLayout};
 pub use verify::{LogCheck, RootIssue, SlotState, SlotStatus, VerifyReport};

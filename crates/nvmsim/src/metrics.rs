@@ -108,6 +108,26 @@ counters! {
     RedoEntries => "redo_entries",
     /// Log entries skipped during recovery for failing their CRC.
     RecoverySkips => "recovery_skips",
+    /// Replication deltas captured at durability points and enqueued.
+    ReplDeltasEmitted => "repl_deltas_emitted",
+    /// Replication deltas merged into a queued delta under coalescing
+    /// backpressure.
+    ReplDeltasCoalesced => "repl_deltas_coalesced",
+    /// Replication deltas appended to the delta stream by the
+    /// replicator worker.
+    ReplDeltasShipped => "repl_deltas_shipped",
+    /// Bytes of encoded stream records appended to replication sinks.
+    ReplBytesShipped => "repl_bytes_shipped",
+    /// Sum over emitted deltas of the epochs the replica was behind at
+    /// enqueue time (integrated replica lag).
+    ReplLagEpochs => "repl_lag_epochs",
+    /// Replication deltas replayed into a replica image.
+    ReplDeltasApplied => "repl_deltas_applied",
+    /// Delta-stream decode or replay failures (torn stream, CRC or
+    /// epoch-chain violations).
+    ReplApplyFailures => "repl_apply_failures",
+    /// Transient replication-sink I/O errors retried with backoff.
+    ReplRetries => "repl_retries",
 }
 
 /// Number of counter shards. Power of two; threads are assigned
@@ -250,7 +270,7 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         assert_eq!(
             names.last().copied(),
-            Some("recovery_skips"),
+            Some("repl_retries"),
             "serialization order is the declaration order"
         );
     }

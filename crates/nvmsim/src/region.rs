@@ -956,6 +956,9 @@ impl Region {
         // A full-image sync is a durability point: every line is now
         // persisted as far as the shadow tracker is concerned.
         shadow::checkpoint(self.inner.base);
+        // Let an attached replication source ship the lines this
+        // durability point made durable.
+        crate::repl::on_durability_point(self.inner.base);
         Ok(())
     }
 
@@ -1041,10 +1044,7 @@ impl Region {
                 ))
             }
         };
-        let (image, report) =
-            shadow::capture_crash_image(self.inner.base, policy).ok_or_else(|| {
-                NvError::BadImage("crash_with_faults requires enable_shadow()".to_string())
-            })?;
+        let (image, report) = shadow::capture_crash_image(self.inner.base, policy)?;
         self.crash();
         std::fs::write(&path, &image)?;
         Ok(report)
@@ -1064,16 +1064,21 @@ impl Region {
     /// [`NvError::RegionClosed`] after close.
     pub fn update_meta_slots(&self) -> Result<()> {
         self.check_open()?;
-        let _g = self.inner.alloc_lock.lock();
-        if self.inner.closed.load(Ordering::Acquire) {
-            return Err(NvError::RegionClosed {
-                rid: self.inner.rid,
-            });
+        {
+            let _g = self.inner.alloc_lock.lock();
+            if self.inner.closed.load(Ordering::Acquire) {
+                return Err(NvError::RegionClosed {
+                    rid: self.inner.rid,
+                });
+            }
+            // SAFETY: lock held; region mapped while the handle exists.
+            let hdr = unsafe { self.header_mut() };
+            self.inner.fold_counters(&mut hdr.alloc);
+            self.inner.write_meta_slot();
         }
-        // SAFETY: lock held; region mapped while the handle exists.
-        let hdr = unsafe { self.header_mut() };
-        self.inner.fold_counters(&mut hdr.alloc);
-        self.inner.write_meta_slot();
+        // A slot flip is a durability point: ship it (outside the
+        // allocator lock — capture takes the shadow and repl locks).
+        crate::repl::on_durability_point(self.inner.base);
         Ok(())
     }
 
@@ -1367,6 +1372,13 @@ impl Inner {
         // A crash teardown (clean=false) deliberately skips the drain:
         // magazine contents are volatile, so whatever the last fold wrote
         // is what recovery sees — cached blocks become bounded leaks.
+        //
+        // A clean close is the final durability point: converge an
+        // attached replication source on the closed image (including the
+        // cleared dirty flag) before the tracker disappears. A crash
+        // detaches without capturing — the replica keeps lagging, which
+        // is exactly what a dead primary looks like.
+        crate::repl::on_region_close(self.base, clean);
         shadow::unregister_rid(self.rid);
         registry::unregister(self.rid);
         self.space.unbind(self.rid, self.seg);

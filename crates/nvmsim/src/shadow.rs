@@ -47,6 +47,60 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// Cache-line size assumed by the tracker (matches `clflush_range`).
 pub const SHADOW_LINE: usize = 64;
 
+/// Typed failure of a shadow-tracker query that names a region by its
+/// base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowError {
+    /// A region is mapped at `base` but [`crate::Region::enable_shadow`]
+    /// was never called on it.
+    ShadowNotEnabled {
+        /// Base address of the untracked region.
+        base: usize,
+    },
+    /// No open region is mapped at `base` at all.
+    RegionUnknown {
+        /// The offending base address.
+        base: usize,
+    },
+}
+
+impl std::fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShadowError::ShadowNotEnabled { base } => {
+                write!(f, "shadow tracking not enabled for region at {base:#x}")
+            }
+            ShadowError::RegionUnknown { base } => {
+                write!(f, "no open region mapped at {base:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShadowError {}
+
+impl From<ShadowError> for crate::NvError {
+    fn from(e: ShadowError) -> crate::NvError {
+        match e {
+            ShadowError::ShadowNotEnabled { base } => crate::NvError::ShadowNotEnabled { base },
+            ShadowError::RegionUnknown { base } => crate::NvError::RegionUnknown { base },
+        }
+    }
+}
+
+/// Classifies why `base` has no tracker: known-but-untracked region vs.
+/// no region at all.
+fn not_tracked(base: usize) -> ShadowError {
+    if crate::registry::open_regions()
+        .iter()
+        .any(|r| r.base == base)
+    {
+        ShadowError::ShadowNotEnabled { base }
+    } else {
+        ShadowError::RegionUnknown { base }
+    }
+}
+
 /// Magic identifying a valid [`FaultStamp`] in a region header
 /// (`"NVPIFLT1"`).
 pub const FAULT_STAMP_MAGIC: u64 = u64::from_le_bytes(*b"NVPIFLT1");
@@ -256,6 +310,10 @@ struct TrackState {
     pending: Vec<u32>,
     /// The durable view: what the device would hold after a power cut.
     persisted: Vec<u8>,
+    /// Per-line "durable bytes changed since the last replication
+    /// capture" flags, maintained only while a [`crate::repl`] source is
+    /// attached (`None` otherwise, keeping the hot path unchanged).
+    repl_dirty: Option<Vec<bool>>,
 }
 
 #[derive(Debug)]
@@ -264,6 +322,9 @@ struct Tracker {
     base: usize,
     size: usize,
     stamp_off: usize,
+    /// Persistence events (flushes of this region + fences) observed for
+    /// this region, relative to the last [`reset_events_for`].
+    events: AtomicU64,
     state: Mutex<TrackState>,
 }
 
@@ -321,11 +382,13 @@ pub(crate) fn register(rid: u32, base: usize, size: usize, stamp_off: usize) {
         base,
         size,
         stamp_off,
+        events: AtomicU64::new(0),
         state: Mutex::new(TrackState {
             lines: vec![CLEAN; nlines],
             staged: HashMap::new(),
             pending: Vec::new(),
             persisted,
+            repl_dirty: None,
         }),
     });
     let mut trackers = lock(&TRACKERS);
@@ -360,7 +423,24 @@ pub(crate) fn checkpoint(base: usize) {
     s.pending.clear();
     // SAFETY: the region is mapped while registered.
     let mem = unsafe { std::slice::from_raw_parts(t.base as *const u8, t.size) };
-    s.persisted.copy_from_slice(mem);
+    let TrackState {
+        persisted,
+        repl_dirty,
+        ..
+    } = &mut *s;
+    if let Some(dirty) = repl_dirty.as_mut() {
+        // A checkpoint is the one durability point where *untracked*
+        // stores become durable, so the replication dirty set must pick
+        // up every line whose durable bytes change here.
+        for (line, d) in dirty.iter_mut().enumerate() {
+            let off = line * SHADOW_LINE;
+            let end = (off + SHADOW_LINE).min(t.size);
+            if persisted[off..end] != mem[off..end] {
+                *d = true;
+            }
+        }
+    }
+    persisted.copy_from_slice(mem);
 }
 
 fn line_range(t: &Tracker, addr: usize, len: usize) -> std::ops::Range<usize> {
@@ -401,11 +481,13 @@ pub(crate) fn on_flush(addr: usize, len: usize) {
         return;
     }
     crate::metrics::incr(crate::metrics::Counter::ShadowFlushEvents);
-    let n = EVENTS.fetch_add(1, Ordering::Relaxed) + 1;
-    run_plan(n);
+    EVENTS.fetch_add(1, Ordering::Relaxed);
     let Some(t) = tracker_covering(addr) else {
         return;
     };
+    // A flush is an event of the region it lands in, and only that one.
+    let n = t.events.fetch_add(1, Ordering::Relaxed) + 1;
+    run_plan(t.base, n);
     let mut s = lock(&t.state);
     for line in line_range(&t, addr, len) {
         if s.lines[line] == CLEAN {
@@ -436,41 +518,138 @@ pub(crate) fn on_fence() {
         return;
     }
     crate::metrics::incr(crate::metrics::Counter::ShadowFenceEvents);
-    let n = EVENTS.fetch_add(1, Ordering::Relaxed) + 1;
-    run_plan(n);
+    EVENTS.fetch_add(1, Ordering::Relaxed);
     let trackers: Vec<Arc<Tracker>> = lock(&TRACKERS).clone();
+    // A fence is ambient: it is an event of *every* tracked region. The
+    // plan (if armed) sees its own region's event number, before the
+    // commit below takes effect.
+    for t in &trackers {
+        let n = t.events.fetch_add(1, Ordering::Relaxed) + 1;
+        run_plan(t.base, n);
+    }
     for t in trackers {
         let mut s = lock(&t.state);
         if s.pending.is_empty() {
             continue;
         }
         let pending = std::mem::take(&mut s.pending);
+        let TrackState {
+            lines,
+            staged,
+            persisted,
+            repl_dirty,
+            ..
+        } = &mut *s;
         for line in pending {
             let idx = line as usize;
             // Entries whose line was re-dirtied since the flush are stale:
             // their staged bytes were discarded by `track_store`.
-            if s.lines[idx] != PENDING {
+            if lines[idx] != PENDING {
                 continue;
             }
-            if let Some(bytes) = s.staged.remove(&line) {
+            if let Some(bytes) = staged.remove(&line) {
                 let off = idx * SHADOW_LINE;
                 let take = SHADOW_LINE.min(t.size - off);
-                s.persisted[off..off + take].copy_from_slice(&bytes[..take]);
+                if let Some(dirty) = repl_dirty.as_mut() {
+                    if persisted[off..off + take] != bytes[..take] {
+                        dirty[idx] = true;
+                    }
+                }
+                persisted[off..off + take].copy_from_slice(&bytes[..take]);
             }
-            s.lines[idx] = CLEAN;
+            lines[idx] = CLEAN;
         }
     }
 }
 
-/// The number of persistence events (flushes + fences) observed so far.
+/// The number of persistence events observed for the region mapped at
+/// `base`: flushes landing in that region plus every fence (fences are
+/// ambient and count for each tracked region). Returns 0 when the region
+/// is not tracked. Two concurrently shadowed regions keep independent
+/// counts; [`FaultPlan`] event numbers refer to this counter of the
+/// planned region.
+pub fn event_count_for(base: usize) -> u64 {
+    tracker_for_base(base).map_or(0, |t| t.events.load(Ordering::Relaxed))
+}
+
+/// Resets the per-region event counter of the region mapped at `base`
+/// (typically right before arming a [`FaultPlan`] so event numbers are
+/// workload-relative). A no-op when the region is not tracked.
+pub fn reset_events_for(base: usize) {
+    if let Some(t) = tracker_for_base(base) {
+        t.events.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global count of persistence events (flushes + fences)
+/// observed while tracking was enabled, in any region or none.
+///
+/// Deprecated alias: with more than one shadowed region the global count
+/// interleaves unrelated workloads — prefer [`event_count_for`].
 pub fn event_count() -> u64 {
     EVENTS.load(Ordering::Relaxed)
 }
 
-/// Resets the event counter (typically right before arming a
-/// [`FaultPlan`] so event numbers are workload-relative).
+/// Resets the global event counter *and* every per-region counter.
+///
+/// Deprecated alias of [`reset_events_for`]; kept for single-region
+/// callers.
 pub fn reset_events() {
     EVENTS.store(0, Ordering::Relaxed);
+    for t in lock(&TRACKERS).iter() {
+        t.events.store(0, Ordering::Relaxed);
+    }
+}
+
+// -- replication support (see `crate::repl`) ---------------------------------
+
+/// Starts maintaining the replication dirty-line set for the region
+/// mapped at `base`.
+///
+/// # Errors
+///
+/// [`ShadowError`] when the region is unknown or not shadow-tracked.
+pub(crate) fn repl_attach(base: usize) -> Result<(), ShadowError> {
+    let t = tracker_for_base(base).ok_or_else(|| not_tracked(base))?;
+    let mut s = lock(&t.state);
+    let nlines = s.lines.len();
+    s.repl_dirty = Some(vec![false; nlines]);
+    Ok(())
+}
+
+/// Stops maintaining the replication dirty-line set for `base`.
+pub(crate) fn repl_detach(base: usize) {
+    if let Some(t) = tracker_for_base(base) {
+        lock(&t.state).repl_dirty = None;
+    }
+}
+
+/// Drains the replication dirty-line set: every line whose *durable*
+/// bytes changed since the previous drain is returned with its persisted
+/// contents, and its flag is cleared — writers are only blocked for the
+/// duration of this copy. Returns `None` when no repl source is attached.
+pub(crate) fn repl_drain(base: usize) -> Option<Vec<(u32, [u8; SHADOW_LINE])>> {
+    let t = tracker_for_base(base)?;
+    let mut s = lock(&t.state);
+    let TrackState {
+        persisted,
+        repl_dirty,
+        ..
+    } = &mut *s;
+    let dirty = repl_dirty.as_mut()?;
+    let mut out = Vec::new();
+    for (line, d) in dirty.iter_mut().enumerate() {
+        if !*d {
+            continue;
+        }
+        *d = false;
+        let off = line * SHADOW_LINE;
+        let take = SHADOW_LINE.min(t.size - off);
+        let mut bytes = [0u8; SHADOW_LINE];
+        bytes[..take].copy_from_slice(&persisted[off..off + take]);
+        out.push((line as u32, bytes));
+    }
+    Some(out)
 }
 
 /// A copy of the persisted (durable) view of the region mapped at `base`,
@@ -543,9 +722,17 @@ pub fn corrupt_lines(image: &mut [u8], lines: u32, seed: u64) -> (u64, u64) {
 
 /// Captures a crash image of the region mapped at `base` under `policy`:
 /// clean lines keep current memory, non-clean lines are dropped or torn.
-/// The image carries the dirty flag and a [`FaultStamp`]. Returns `None`
-/// if the region is not tracked.
-pub fn capture_crash_image(base: usize, policy: FaultPolicy) -> Option<(Vec<u8>, FaultReport)> {
+/// The image carries the dirty flag and a [`FaultStamp`].
+///
+/// # Errors
+///
+/// [`ShadowError::ShadowNotEnabled`] when the region is open but
+/// untracked, [`ShadowError::RegionUnknown`] when nothing is mapped at
+/// `base`.
+pub fn capture_crash_image(
+    base: usize,
+    policy: FaultPolicy,
+) -> Result<(Vec<u8>, FaultReport), ShadowError> {
     capture_at_event(base, policy, 0)
 }
 
@@ -553,8 +740,8 @@ fn capture_at_event(
     base: usize,
     policy: FaultPolicy,
     event: u64,
-) -> Option<(Vec<u8>, FaultReport)> {
-    let t = tracker_for_base(base)?;
+) -> Result<(Vec<u8>, FaultReport), ShadowError> {
+    let t = tracker_for_base(base).ok_or_else(|| not_tracked(base))?;
     let s = lock(&t.state);
     // SAFETY: the region is mapped while registered.
     let mut image = unsafe { std::slice::from_raw_parts(t.base as *const u8, t.size) }.to_vec();
@@ -607,20 +794,25 @@ fn capture_at_event(
     image[24] |= 1;
     let stamp = FaultStamp::from_report(&report);
     stamp.write_to(&mut image[t.stamp_off..t.stamp_off + std::mem::size_of::<FaultStamp>()]);
-    Some((image, report))
+    Ok((image, report))
 }
 
-fn run_plan(n: u64) {
+fn run_plan(base: usize, n: u64) {
     let mut abort_event = None;
     {
         let mut plan = lock(&PLAN);
         if let Some(p) = plan.as_mut() {
+            // Events are per-region: a flush or fence of another region
+            // never advances this plan's crash clock.
+            if p.base != base {
+                return;
+            }
             let capture = match p.mode {
                 PlanMode::CaptureAll => true,
                 PlanMode::AtNth { at, .. } => at == n && !p.fired,
             };
             if capture {
-                if let Some((image, report)) = capture_at_event(p.base, p.policy, n) {
+                if let Ok((image, report)) = capture_at_event(p.base, p.policy, n) {
                     p.crashes.push(CapturedCrash {
                         event: n,
                         image,
@@ -646,10 +838,11 @@ fn run_plan(n: u64) {
 /// Deterministic crash-point scheduler. At most one plan is armed
 /// process-wide; dropping the plan disarms it.
 ///
-/// Events are numbered from 1 (relative to the last [`reset_events`]);
-/// the captured image at event `n` reflects events `1..n` *minus* event
-/// `n` itself — the crash happens just before the n-th flush or fence
-/// takes effect.
+/// Events are numbered from 1 *per region* (relative to the planned
+/// region's last [`reset_events_for`]): flushes landing in the region
+/// plus every fence. The captured image at event `n` reflects events
+/// `1..n` *minus* event `n` itself — the crash happens just before the
+/// n-th flush or fence takes effect.
 #[derive(Debug)]
 pub struct FaultPlan {
     active: bool,
@@ -926,6 +1119,90 @@ mod tests {
         assert_eq!(stamp.mode, 3);
         assert_eq!(stamp.rotted_lines, rep1.rotted_lines);
         assert_eq!(stamp.flipped_bits, rep1.flipped_bits);
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn capture_errors_are_typed() {
+        let r = Region::create(1 << 20).unwrap();
+        let base = r.base();
+        let err = capture_crash_image(base, FaultPolicy::DropUnflushed).unwrap_err();
+        assert_eq!(err, ShadowError::ShadowNotEnabled { base });
+        assert!(!err.to_string().is_empty());
+        r.close().unwrap();
+        let err = capture_crash_image(base, FaultPolicy::DropUnflushed).unwrap_err();
+        assert_eq!(err, ShadowError::RegionUnknown { base });
+        let nv: crate::NvError = err.into();
+        assert!(matches!(nv, crate::NvError::RegionUnknown { .. }));
+    }
+
+    #[test]
+    fn flushes_only_count_for_their_region() {
+        let a = Region::create(1 << 20).unwrap();
+        let b = Region::create(1 << 20).unwrap();
+        a.enable_shadow().unwrap();
+        b.enable_shadow().unwrap();
+        let pa = a.alloc(256, 16).unwrap().as_ptr() as usize;
+        let a0 = event_count_for(a.base());
+        let b0 = event_count_for(b.base());
+        for _ in 0..100 {
+            track_store(pa, 64);
+            latency::clflush_range(pa, 64);
+        }
+        assert!(event_count_for(a.base()) >= a0 + 100);
+        // Concurrent sibling tests may fence (ambient events), but the
+        // 100 flushes of region A must not land on region B's counter.
+        assert!(
+            event_count_for(b.base()) < b0 + 100,
+            "a flush of region A counted as events of region B"
+        );
+        a.close().unwrap();
+        b.close().unwrap();
+    }
+
+    #[test]
+    fn repl_drain_returns_durably_changed_lines_once() {
+        let r = Region::create(1 << 20).unwrap();
+        r.enable_shadow().unwrap();
+        repl_attach(r.base()).unwrap();
+        let p = r.alloc(64, 16).unwrap().as_ptr() as *mut u64;
+        unsafe { p.write(42) };
+        track_store(p as usize, 8);
+        latency::clflush_range(p as usize, 8);
+        latency::wbarrier();
+        let lines = repl_drain(r.base()).unwrap();
+        let line = (p as usize - r.base()) / SHADOW_LINE;
+        assert!(
+            lines
+                .iter()
+                .any(|(l, bytes)| *l as usize == line && bytes[..8] == 42u64.to_le_bytes()),
+            "fenced store must appear in the drained delta"
+        );
+        assert!(
+            repl_drain(r.base()).unwrap().is_empty(),
+            "drain clears the dirty set"
+        );
+        repl_detach(r.base());
+        assert!(repl_drain(r.base()).is_none(), "detached: no repl set");
+        r.close().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_feeds_untracked_stores_into_repl_set() {
+        let r = Region::create(1 << 20).unwrap();
+        r.enable_shadow().unwrap();
+        repl_attach(r.base()).unwrap();
+        let _ = repl_drain(r.base()); // discard registration noise
+        let p = r.alloc(64, 16).unwrap().as_ptr() as *mut u64;
+        unsafe { p.write(7) }; // untracked, unflushed
+        checkpoint(r.base());
+        let lines = repl_drain(r.base()).unwrap();
+        let line = (p as usize - r.base()) / SHADOW_LINE;
+        assert!(
+            lines.iter().any(|(l, _)| *l as usize == line),
+            "checkpoint must mark durably-changed untracked lines"
+        );
+        repl_detach(r.base());
         r.close().unwrap();
     }
 

@@ -238,7 +238,7 @@ fn torn_slot_flip_always_opens_a_consistent_snapshot() {
         let b = region.alloc_off(64, 16).unwrap();
         region.set_root_off("beta", b).unwrap(); // primary-only until the flip
         region.enable_shadow().unwrap();
-        shadow::reset_events();
+        shadow::reset_events_for(region.base());
         let plan = FaultPlan::capture_all(&region, policy);
         region.update_meta_slots().unwrap(); // stages the {alpha, beta} snapshot
         let crashes = plan.disarm();

@@ -89,12 +89,12 @@ fn run_cell<S>(
     let mut s = create(NodeArena::transactional(store.clone()));
     region.sync().unwrap();
     region.enable_shadow().unwrap();
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     let plan = FaultPlan::capture_all(&region, policy);
     let mut commit_events = Vec::with_capacity(N_OPS);
     for k in 0..N_OPS {
         apply(&mut s, &store, k);
-        commit_events.push(shadow::event_count());
+        commit_events.push(shadow::event_count_for(region.base()));
     }
     let crashes = plan.disarm();
     let live_ctx = format!("{label} {policy:?} live");
@@ -377,7 +377,7 @@ fn run_parity(label: &str, use_redo: bool, policy: FaultPolicy) -> (BTreeSet<usi
     }
     region.sync().unwrap();
     region.enable_shadow().unwrap();
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     let plan = FaultPlan::capture_all(&region, policy);
     // Per-tx durability event: the fence after which the tx survives any
     // crash. Undo: the truncate fence (commit point). Redo: the seal
@@ -390,7 +390,7 @@ fn run_parity(label: &str, use_redo: bool, policy: FaultPolicy) -> (BTreeSet<usi
         if use_redo {
             let log = RedoLog::new(region.clone(), log_off, PARITY_LOG);
             log.record(addr, &val.to_le_bytes()).unwrap();
-            let pre = shadow::event_count();
+            let pre = shadow::event_count_for(region.base());
             log.commit();
             durability.push(pre + 2);
         } else {
@@ -402,7 +402,7 @@ fn run_parity(label: &str, use_redo: bool, policy: FaultPolicy) -> (BTreeSet<usi
             latency::clflush_range(addr, 8);
             latency::wbarrier();
             log.truncate();
-            durability.push(shadow::event_count());
+            durability.push(shadow::event_count_for(region.base()));
         }
     }
     let crashes = plan.disarm();
@@ -525,7 +525,7 @@ fn flush_omission_is_caught_as_durability_violation() {
     unsafe { p.write(1) };
     region.sync().unwrap();
     region.enable_shadow().unwrap();
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     // Deliberately buggy mutation: undo-logged and shadow-tracked, but
     // never flushed before commit.
     {
@@ -577,7 +577,7 @@ fn flush_omission_is_caught_as_durability_violation() {
     unsafe { p.write(1) };
     region.sync().unwrap();
     region.enable_shadow().unwrap();
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     {
         let mut tx = store.begin();
         // SAFETY: p is a valid store object pointer.
@@ -620,16 +620,16 @@ fn abort_at_nth_event_stops_the_workload_at_the_crash_point() {
     // Measure the event cost of one transaction so the abort point lands
     // on the first event of the *second* loop transaction regardless of
     // how the tx implementation evolves.
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     {
         let mut tx = store.begin();
         // SAFETY: valid object pointer.
         unsafe { tx.set(p, 50).unwrap() };
         tx.commit();
     }
-    let per_tx = shadow::event_count();
+    let per_tx = shadow::event_count_for(region.base());
     assert!(per_tx >= 1);
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     let at = per_tx + 1;
     let mut plan = FaultPlan::abort_at_nth_event(&region, FaultPolicy::DropUnflushed, at);
     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -694,7 +694,7 @@ fn recovery_is_idempotent_when_reinterrupted() {
     let region = Region::open_file(&orig).unwrap();
     assert!(region.was_dirty());
     region.enable_shadow().unwrap();
-    shadow::reset_events();
+    shadow::reset_events_for(region.base());
     let plan = FaultPlan::capture_all(&region, FaultPolicy::DropUnflushed);
     let store = ObjectStore::attach(&region).unwrap();
     assert!(store.recovered(), "attach must roll the open tx back");

@@ -1,0 +1,525 @@
+//! Replication matrix: incremental checkpoint/replication of regions
+//! over dirty-line delta streams (`nvmsim::repl`).
+//!
+//! Each cell runs one persistent structure (list / bst / hashset / trie)
+//! under a position-independent pointer representation with a
+//! [`Replicator`] attached, drives several transactional epochs, seals
+//! the stream, and promotes a replica **at a different mapping address**
+//! than the primary ever had. The replica must pass the corruption walk
+//! (`verify`), the structure's own `check_invariants`, and content
+//! equality with the primary. A control cell repeats the exercise with
+//! raw volatile pointers (`NormalPtr`) and shows the replica is
+//! demonstrably broken — its head pointer still aims at the primary's
+//! old mapping. A crash-composition cell interrupts capture mid-delta
+//! with a [`FaultPlan`] and checks the replica fully has or fully lacks
+//! the interrupted epoch, byte-truncation sweep included.
+//!
+//! The shadow tracker and replication session registry are
+//! process-global, so every test serializes on `SERIAL`. The workload
+//! seed comes from `REPL_MATRIX_SEED` (decimal or 0x-hex); set
+//! `REPL_MATRIX_ARTIFACT_DIR` to keep streams and replica images of
+//! failing runs for upload.
+
+use nvm_pi::nvmsim::repl::{self, Replicator, ReplicatorConfig};
+use nvm_pi::nvmsim::{metrics, shadow, verify};
+use nvm_pi::pstore::ObjectStore;
+use nvm_pi::{
+    CrashPointReached, FaultPlan, FaultPolicy, NodeArena, NormalPtr, OffHolder, PBst, PHashSet,
+    PList, PTrie, Region, Riv,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const REGION_SIZE: usize = 512 << 10;
+const LOG_CAP: u64 = 32 << 10;
+const N_OPS: usize = 6;
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Workload seed: `REPL_MATRIX_SEED` env (decimal or `0x`-prefixed hex),
+/// defaulting to a fixed value so the default run is deterministic.
+fn seed() -> u64 {
+    match std::env::var("REPL_MATRIX_SEED") {
+        Ok(s) => {
+            let t = s.trim();
+            let parsed = match t.strip_prefix("0x") {
+                Some(h) => u64::from_str_radix(h, 16),
+                None => t.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("REPL_MATRIX_SEED must be a u64, got {s:?}"))
+        }
+        Err(_) => 0x5EED_2026,
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scratch directory for one cell. With `REPL_MATRIX_ARTIFACT_DIR` set,
+/// files land there (and are left behind for CI artifact upload);
+/// otherwise a temp dir that the caller removes on success.
+fn tdir(label: &str) -> (PathBuf, bool) {
+    match std::env::var("REPL_MATRIX_ARTIFACT_DIR") {
+        Ok(root) => {
+            let d = PathBuf::from(root).join(label);
+            std::fs::create_dir_all(&d).unwrap();
+            (d, true)
+        }
+        Err(_) => {
+            let d =
+                std::env::temp_dir().join(format!("repl-matrix-{}-{label}", std::process::id()));
+            std::fs::create_dir_all(&d).unwrap();
+            (d, false)
+        }
+    }
+}
+
+/// Promotes `stream` to `img`, retrying with placeholder regions pinning
+/// freed segments until the replica maps at a base different from
+/// `avoid` — the different-mapping-address guarantee the cell asserts.
+fn promote_elsewhere(stream: &PathBuf, img: &PathBuf, avoid: usize) -> Region {
+    let mut placeholders = Vec::new();
+    for _ in 0..8 {
+        let replica = repl::promote(stream, img).unwrap();
+        if replica.base() != avoid {
+            return replica;
+        }
+        // Same segment got reused: park a placeholder region on it and
+        // re-open the replica, which must land elsewhere.
+        replica.close().unwrap();
+        placeholders.push(Region::create(REGION_SIZE).unwrap());
+    }
+    panic!("could not map the replica away from {avoid:#x}");
+}
+
+/// One cell: runs `N_OPS` transactional operations with a replicator
+/// attached, seals, promotes at a different address, and checks the
+/// replica against the primary's final contents.
+fn run_repl_cell<S>(
+    label: &str,
+    create: impl Fn(NodeArena) -> S,
+    attach: impl Fn(NodeArena) -> S,
+    apply: impl Fn(&mut S, &ObjectStore, usize),
+    contents: impl Fn(&S, &str) -> Vec<u64>,
+) {
+    let (dir, keep) = tdir(label);
+    let orig = dir.join("orig.nvr");
+    let stream = dir.join("stream.nvd");
+    let img = dir.join("replica.nvr");
+    let before = metrics::snapshot();
+
+    let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+    let primary_base = region.base();
+    let store = ObjectStore::format_with_log(&region, LOG_CAP).unwrap();
+    let mut s = create(NodeArena::transactional(store.clone()));
+    region.sync().unwrap();
+    region.enable_shadow().unwrap();
+    let repl = Replicator::attach(&region, &stream, ReplicatorConfig::default()).unwrap();
+    for k in 0..N_OPS {
+        // Every committed transaction is a durability point and emits
+        // one delta epoch.
+        apply(&mut s, &store, k);
+    }
+    let live = contents(&s, &format!("{label} live"));
+    drop(s);
+    drop(store);
+    // Clean close: the final durability point; the replica converges on
+    // the closed (clean-flag) image.
+    region.close().unwrap();
+    let final_epoch = repl.seal().unwrap();
+    assert!(
+        final_epoch >= 3,
+        "[{label}] expected >= 3 delta epochs, got {final_epoch}"
+    );
+
+    // The sealed stream decodes strictly and carries >= 3 deltas.
+    let bytes = std::fs::read(&stream).unwrap();
+    let (meta, records) = repl::decode_stream(&bytes).unwrap();
+    assert_eq!(
+        meta.region_size as usize, REGION_SIZE,
+        "[{label}] header size"
+    );
+    let n_deltas = records
+        .iter()
+        .filter(|r| matches!(r, repl::Record::Delta(_)))
+        .count();
+    assert!(n_deltas >= 3, "[{label}] {n_deltas} deltas in stream");
+
+    // Promote at a different mapping address and check health + content.
+    let replica = promote_elsewhere(&stream, &img, primary_base);
+    assert_ne!(replica.base(), primary_base, "[{label}] replica address");
+    let report = verify::verify_file(&img).unwrap();
+    assert!(
+        report.healthy(),
+        "[{label}] replica failed verify:\n{report}"
+    );
+    let store2 = ObjectStore::attach(&replica).unwrap();
+    let s2 = attach(NodeArena::transactional(store2.clone()));
+    let got = contents(&s2, &format!("{label} replica"));
+    assert_eq!(got, live, "[{label}] replica contents == primary contents");
+    drop(s2);
+    drop(store2);
+    replica.close().unwrap();
+
+    // Replication metrics moved.
+    let delta = metrics::snapshot().delta(&before);
+    let get = |name: &str| {
+        delta
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("[{label}] metrics must carry {name}"))
+    };
+    assert!(get("repl_deltas_emitted") >= 3, "[{label}] emitted counter");
+    assert!(get("repl_deltas_shipped") >= 3, "[{label}] shipped counter");
+    assert!(get("repl_deltas_applied") >= 3, "[{label}] applied counter");
+    assert!(get("repl_bytes_shipped") > 0, "[{label}] bytes counter");
+
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn repl_matrix_list() {
+    let _g = lock();
+    // The workload keys come from the (CI-randomizable) seed; the cell's
+    // checks compare replica against live primary, so any key set works.
+    let mut st = seed();
+    let keys: [u64; 5] = std::array::from_fn(|_| splitmix(&mut st) % 1000 + 1);
+    run_repl_cell(
+        "list-offholder",
+        |a| PList::<OffHolder, 32>::create_rooted(a, "s").unwrap(),
+        |a| PList::<OffHolder, 32>::attach(a, "s").unwrap(),
+        move |s, store, k| match k {
+            0 => s.push_front_tx(store, keys[0]).unwrap(),
+            1 => s.push_front_tx(store, keys[1]).unwrap(),
+            2 => s.push_front_tx(store, keys[2]).unwrap(),
+            3 => assert!(s.remove_tx(store, keys[2]).unwrap()),
+            4 => s.push_front_tx(store, keys[3]).unwrap(),
+            _ => s.push_front_tx(store, keys[4]).unwrap(),
+        },
+        |s, ctx| {
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+            s.keys()
+        },
+    );
+    run_repl_cell(
+        "list-riv",
+        |a| PList::<Riv, 32>::create_rooted(a, "s").unwrap(),
+        |a| PList::<Riv, 32>::attach(a, "s").unwrap(),
+        move |s, store, k| match k {
+            0 => s.push_front_tx(store, keys[0]).unwrap(),
+            1 => s.push_front_tx(store, keys[1]).unwrap(),
+            2 => s.push_front_tx(store, keys[2]).unwrap(),
+            3 => assert!(s.remove_tx(store, keys[2]).unwrap()),
+            4 => s.push_front_tx(store, keys[3]).unwrap(),
+            _ => s.push_front_tx(store, keys[4]).unwrap(),
+        },
+        |s, ctx| {
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+            s.keys()
+        },
+    );
+}
+
+#[test]
+fn repl_matrix_bst() {
+    let _g = lock();
+    for pi in [true, false] {
+        if pi {
+            run_repl_cell(
+                "bst-offholder",
+                |a| PBst::<OffHolder, 32>::create_rooted(a, "s").unwrap(),
+                |a| PBst::<OffHolder, 32>::attach(a, "s").unwrap(),
+                |s, st, k| match k {
+                    0 => assert!(s.insert_tx(st, 50).unwrap()),
+                    1 => assert!(s.insert_tx(st, 30).unwrap()),
+                    2 => assert!(s.insert_tx(st, 70).unwrap()),
+                    3 => assert!(s.insert_tx(st, 60).unwrap()),
+                    4 => assert!(s.remove_tx(st, 50).unwrap()),
+                    _ => assert!(s.remove_tx(st, 30).unwrap()),
+                },
+                |s, ctx| {
+                    s.check_invariants()
+                        .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+                    s.keys_in_order()
+                },
+            );
+        } else {
+            run_repl_cell(
+                "bst-riv",
+                |a| PBst::<Riv, 32>::create_rooted(a, "s").unwrap(),
+                |a| PBst::<Riv, 32>::attach(a, "s").unwrap(),
+                |s, st, k| match k {
+                    0 => assert!(s.insert_tx(st, 50).unwrap()),
+                    1 => assert!(s.insert_tx(st, 30).unwrap()),
+                    2 => assert!(s.insert_tx(st, 70).unwrap()),
+                    3 => assert!(s.insert_tx(st, 60).unwrap()),
+                    4 => assert!(s.remove_tx(st, 50).unwrap()),
+                    _ => assert!(s.remove_tx(st, 30).unwrap()),
+                },
+                |s, ctx| {
+                    s.check_invariants()
+                        .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+                    s.keys_in_order()
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn repl_matrix_hashset() {
+    let _g = lock();
+    let mut st = seed() ^ 0xA5A5;
+    let mut distinct = std::collections::BTreeSet::new();
+    while distinct.len() < 5 {
+        distinct.insert(splitmix(&mut st) % 900 + 1);
+    }
+    let keys: Vec<u64> = distinct.into_iter().collect();
+    let k = keys.clone();
+    run_repl_cell(
+        "hashset-offholder",
+        |a| PHashSet::<OffHolder, 32>::create_rooted(a, 8, "s").unwrap(),
+        |a| PHashSet::<OffHolder, 32>::attach(a, "s").unwrap(),
+        move |s, store, op| match op {
+            0 => assert!(s.insert_tx(store, k[0]).unwrap()),
+            1 => assert!(s.insert_tx(store, k[1]).unwrap()),
+            2 => assert!(s.insert_tx(store, k[2]).unwrap()),
+            3 => assert!(s.remove_tx(store, k[1]).unwrap()),
+            4 => assert!(s.insert_tx(store, k[3]).unwrap()),
+            _ => assert!(s.insert_tx(store, k[4]).unwrap()),
+        },
+        |s, ctx| {
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+            let mut keys = s.keys();
+            keys.sort_unstable();
+            keys
+        },
+    );
+    let k = keys.clone();
+    run_repl_cell(
+        "hashset-riv",
+        |a| PHashSet::<Riv, 32>::create_rooted(a, 8, "s").unwrap(),
+        |a| PHashSet::<Riv, 32>::attach(a, "s").unwrap(),
+        move |s, store, op| match op {
+            0 => assert!(s.insert_tx(store, k[0]).unwrap()),
+            1 => assert!(s.insert_tx(store, k[1]).unwrap()),
+            2 => assert!(s.insert_tx(store, k[2]).unwrap()),
+            3 => assert!(s.remove_tx(store, k[1]).unwrap()),
+            4 => assert!(s.insert_tx(store, k[3]).unwrap()),
+            _ => assert!(s.insert_tx(store, k[4]).unwrap()),
+        },
+        |s, ctx| {
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+            let mut keys = s.keys();
+            keys.sort_unstable();
+            keys
+        },
+    );
+}
+
+#[test]
+fn repl_matrix_trie() {
+    let _g = lock();
+    for pi in [true, false] {
+        if pi {
+            run_repl_cell(
+                "trie-offholder",
+                |a| PTrie::<OffHolder, 32>::create_rooted(a, "s").unwrap(),
+                |a| PTrie::<OffHolder, 32>::attach(a, "s").unwrap(),
+                |s, st, k| match k {
+                    0 => assert_eq!(s.insert_tx(st, "cat").unwrap(), 1),
+                    1 => assert_eq!(s.insert_tx(st, "car").unwrap(), 1),
+                    2 => assert_eq!(s.insert_tx(st, "cat").unwrap(), 2),
+                    3 => assert!(s.remove_tx(st, "cat").unwrap()),
+                    4 => assert_eq!(s.insert_tx(st, "do").unwrap(), 1),
+                    _ => assert!(s.remove_tx(st, "car").unwrap()),
+                },
+                |s, ctx| {
+                    s.check_invariants()
+                        .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+                    vec![
+                        s.count("cat"),
+                        s.count("car"),
+                        s.count("do"),
+                        s.word_count(),
+                    ]
+                },
+            );
+        } else {
+            run_repl_cell(
+                "trie-riv",
+                |a| PTrie::<Riv, 32>::create_rooted(a, "s").unwrap(),
+                |a| PTrie::<Riv, 32>::attach(a, "s").unwrap(),
+                |s, st, k| match k {
+                    0 => assert_eq!(s.insert_tx(st, "cat").unwrap(), 1),
+                    1 => assert_eq!(s.insert_tx(st, "car").unwrap(), 1),
+                    2 => assert_eq!(s.insert_tx(st, "cat").unwrap(), 2),
+                    3 => assert!(s.remove_tx(st, "cat").unwrap()),
+                    4 => assert_eq!(s.insert_tx(st, "do").unwrap(), 1),
+                    _ => assert!(s.remove_tx(st, "car").unwrap()),
+                },
+                |s, ctx| {
+                    s.check_invariants()
+                        .unwrap_or_else(|e| panic!("[{ctx}] invariants: {e}"));
+                    vec![
+                        s.count("cat"),
+                        s.count("car"),
+                        s.count("do"),
+                        s.word_count(),
+                    ]
+                },
+            );
+        }
+    }
+}
+
+/// Control: the same replication pipeline under raw volatile pointers.
+/// The stream itself is fine — the bytes replicate faithfully — but the
+/// *pointers inside them* still aim at the primary's old mapping, so the
+/// promoted replica is demonstrably broken at a different address. The
+/// head value is inspected raw (never dereferenced: it dangles).
+#[test]
+fn repl_volatile_pointer_control_breaks() {
+    let _g = lock();
+    let (dir, keep) = tdir("control-normalptr");
+    let orig = dir.join("orig.nvr");
+    let stream = dir.join("stream.nvd");
+    let img = dir.join("replica.nvr");
+
+    let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+    let primary_base = region.base();
+    let store = ObjectStore::format_with_log(&region, LOG_CAP).unwrap();
+    let mut s = PList::<NormalPtr, 32>::create_rooted(NodeArena::transactional(store.clone()), "s")
+        .unwrap();
+    region.sync().unwrap();
+    region.enable_shadow().unwrap();
+    let repl = Replicator::attach(&region, &stream, ReplicatorConfig::default()).unwrap();
+    for key in [10, 20, 30] {
+        s.push_front_tx(&store, key).unwrap();
+    }
+    assert_eq!(s.keys(), vec![30, 20, 10], "primary list is fine in place");
+    drop(s);
+    drop(store);
+    region.close().unwrap();
+    repl.seal().unwrap();
+
+    let replica = promote_elsewhere(&stream, &img, primary_base);
+    let rbase = replica.base();
+    assert_ne!(rbase, primary_base);
+    // The image replicated byte-for-byte...
+    assert!(verify::verify_file(&img).unwrap().healthy());
+    // ...but the list head is an absolute pointer into the *old* mapping.
+    let header = replica.root("s").expect("root survives replication");
+    // SAFETY: `header` is inside the mapped replica; only the head WORD
+    // is read — the dangling address it holds is never dereferenced.
+    let head = unsafe { std::ptr::read(header as *const usize) };
+    assert_ne!(head, 0, "three inserts left a non-empty list");
+    let in_replica = head >= rbase && head < rbase + REGION_SIZE;
+    assert!(
+        !in_replica,
+        "volatile head {head:#x} would need to point into replica [{rbase:#x}, +{REGION_SIZE:#x}) \
+         to be usable — position dependence must break it"
+    );
+    assert!(
+        head >= primary_base && head < primary_base + REGION_SIZE,
+        "volatile head {head:#x} still points at the dead primary mapping {primary_base:#x}"
+    );
+    replica.close().unwrap();
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Crash-composition: a [`FaultPlan`] interrupts the writer mid-delta
+/// (between fence events of an open transaction). The interrupted epoch
+/// must be fully absent from the replica — never partially applied —
+/// both for the in-flight capture and for every byte-level truncation of
+/// the shipped stream.
+#[test]
+fn repl_crash_mid_capture_is_atomic() {
+    let _g = lock();
+    let (dir, keep) = tdir("crash-composition");
+    let orig = dir.join("orig.nvr");
+    let stream = dir.join("stream.nvd");
+    let img = dir.join("replica.nvr");
+
+    let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+    let store = ObjectStore::format_with_log(&region, LOG_CAP).unwrap();
+    let mut s = PList::<OffHolder, 32>::create_rooted(NodeArena::transactional(store.clone()), "s")
+        .unwrap();
+    region.sync().unwrap();
+    region.enable_shadow().unwrap();
+    let repl = Replicator::attach(&region, &stream, ReplicatorConfig::default()).unwrap();
+    for key in [10, 20, 30] {
+        s.push_front_tx(&store, key).unwrap();
+    }
+    // Arm a crash two events into the next transaction: mid-delta, after
+    // some lines of epoch 4 were flushed but before its commit fence.
+    shadow::reset_events_for(region.base());
+    let plan = FaultPlan::abort_at_nth_event(&region, FaultPolicy::DropUnflushed, 2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        s.push_front_tx(&store, 40).unwrap();
+    }));
+    let err = result.expect_err("the fault plan must interrupt the fourth insert");
+    let cp = err
+        .downcast_ref::<CrashPointReached>()
+        .expect("panic payload must be CrashPointReached");
+    assert_eq!(cp.event, 2);
+    drop(plan);
+    drop(s);
+    drop(store);
+    // The primary dies: no clean-close capture, stream stays unsealed.
+    region.crash();
+    drop(repl);
+
+    let bytes = std::fs::read(&stream).unwrap();
+    let (image, report) = repl::apply_stream(&bytes, false).unwrap();
+    assert!(!report.sealed, "a crashed primary leaves no seal");
+    assert_eq!(
+        report.epoch, 3,
+        "epoch 4 was interrupted mid-delta and must be fully absent"
+    );
+    // The replica at epoch 3 recovers to exactly the three-key prefix.
+    std::fs::write(&img, &image).unwrap();
+    let replica = Region::open_file(&img).unwrap();
+    let store2 = ObjectStore::attach(&replica).unwrap();
+    let s2 = PList::<OffHolder, 32>::attach(NodeArena::transactional(store2.clone()), "s").unwrap();
+    s2.check_invariants().unwrap();
+    assert_eq!(s2.keys(), vec![30, 20, 10]);
+    drop(s2);
+    drop(store2);
+    replica.close().unwrap();
+
+    // Byte-truncation sweep over the tail record: every cut inside the
+    // last delta yields the previous epoch in full — all-or-nothing.
+    let dump = repl::inspect_stream(&bytes);
+    let last = dump.records.last().expect("stream has records");
+    assert_eq!(last.kind, "delta");
+    for cut in last.offset..bytes.len() {
+        let (_, r) = repl::apply_stream(&bytes[..cut], false)
+            .unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        assert_eq!(r.epoch, 2, "cut at {cut} must drop epoch 3 entirely");
+        assert!(r.tail_discarded || cut == last.offset);
+    }
+
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

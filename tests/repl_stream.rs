@@ -1,0 +1,155 @@
+//! Property-based tests of the replication delta-stream codec
+//! (`nvmsim::repl`): encode/decode round-trips over random line sets and
+//! epoch chains, and the torn-stream guarantee — truncation at *every*
+//! byte boundary yields a clean error (or a clean shorter prefix), never
+//! a panic and never a silently partial apply.
+
+use nvm_pi::nvmsim::repl::{
+    self, Delta, DeltaLine, Record, ReplError, RECORD_HEADER_LEN, STREAM_HEADER_LEN,
+};
+use nvm_pi::nvmsim::shadow::SHADOW_LINE;
+use proptest::prelude::*;
+
+const LINES: usize = 64; // simulated region: 64 cache lines
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a chained random stream: base image + `ndeltas` deltas with
+/// random line sets, returning the encoded stream and the image a full
+/// replay must produce.
+fn build_stream(seed: u64, ndeltas: usize) -> (Vec<u8>, Vec<u8>, Vec<Delta>) {
+    let mut st = seed;
+    let size = LINES * SHADOW_LINE;
+    let mut image = vec![0u8; size];
+    for b in image.iter_mut() {
+        *b = splitmix(&mut st) as u8;
+    }
+    let mut stream = repl::encode_header(9, size as u64).to_vec();
+    stream.extend_from_slice(&repl::encode_base(&image));
+    let mut deltas = Vec::new();
+    for e in 1..=ndeltas as u64 {
+        let nlines = (splitmix(&mut st) as usize % LINES).max(1);
+        let mut lines: Vec<u32> = (0..nlines)
+            .map(|_| (splitmix(&mut st) as usize % LINES) as u32)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let d = Delta {
+            epoch: e,
+            prev_epoch: e - 1,
+            lines: lines
+                .into_iter()
+                .map(|line| {
+                    let mut bytes = [0u8; SHADOW_LINE];
+                    for b in bytes.iter_mut() {
+                        *b = splitmix(&mut st) as u8;
+                    }
+                    let off = line as usize * SHADOW_LINE;
+                    image[off..off + SHADOW_LINE].copy_from_slice(&bytes);
+                    DeltaLine { line, bytes }
+                })
+                .collect(),
+        };
+        stream.extend_from_slice(&repl::encode_delta(&d));
+        deltas.push(d);
+    }
+    stream.extend_from_slice(&repl::encode_seal(ndeltas as u64));
+    (stream, image, deltas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random chained streams decode back to exactly the records that
+    /// were encoded, and replay to the model image.
+    #[test]
+    fn random_streams_roundtrip(seed in any::<u64>(), ndeltas in 1usize..6) {
+        let (stream, model, deltas) = build_stream(seed, ndeltas);
+        let (meta, records) = repl::decode_stream(&stream).unwrap();
+        prop_assert_eq!(meta.rid, 9);
+        prop_assert_eq!(meta.region_size as usize, LINES * SHADOW_LINE);
+        prop_assert_eq!(records.len(), ndeltas + 2, "base + deltas + seal");
+        for (i, d) in deltas.iter().enumerate() {
+            prop_assert_eq!(&records[i + 1], &Record::Delta(d.clone()));
+        }
+        let (image, report) = repl::apply_stream(&stream, true).unwrap();
+        prop_assert_eq!(image, model);
+        prop_assert!(report.sealed);
+        prop_assert_eq!(report.epoch, ndeltas as u64);
+        prop_assert_eq!(report.deltas_applied, ndeltas as u64);
+    }
+
+    /// Truncating a random stream at a random byte boundary is always a
+    /// clean typed error under promotion rules, and with lenient tail
+    /// handling yields a whole-epoch prefix — never a partial apply.
+    #[test]
+    fn random_truncation_never_panics_or_partially_applies(
+        seed in any::<u64>(),
+        ndeltas in 1usize..5,
+        cut_pick in any::<u64>(),
+    ) {
+        let (stream, _, _) = build_stream(seed, ndeltas);
+        let cut = (cut_pick as usize) % stream.len();
+        let torn = &stream[..cut];
+
+        // Promotion-strict: must be an error, not a panic.
+        let err = repl::apply_stream(torn, true).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ReplError::TornStream { .. } | ReplError::Unsealed | ReplError::MissingBase
+            ),
+            "cut {}: unexpected {:?}", cut, err
+        );
+
+        // Lenient: whatever applies is a whole-epoch prefix, identical
+        // to replaying the stream cut at that record boundary.
+        match repl::apply_stream(torn, false) {
+            Ok((image, report)) => {
+                prop_assert!(report.epoch <= ndeltas as u64);
+                let boundary = STREAM_HEADER_LEN
+                    + record_span(&stream, STREAM_HEADER_LEN, report.deltas_applied + 1);
+                let (clean_image, clean_report) =
+                    repl::apply_stream(&stream[..boundary], false).unwrap();
+                prop_assert_eq!(clean_report.epoch, report.epoch);
+                prop_assert_eq!(image, clean_image, "cut {} must equal its epoch prefix", cut);
+            }
+            Err(e) => prop_assert!(
+                matches!(e, ReplError::TornStream { .. } | ReplError::MissingBase),
+                "cut {}: unexpected lenient error {:?}", cut, e
+            ),
+        }
+    }
+}
+
+/// Total encoded length of the first `n` records starting at `from`.
+fn record_span(stream: &[u8], from: usize, n: u64) -> usize {
+    let mut offset = from;
+    for _ in 0..n {
+        let len = u64::from_le_bytes(stream[offset + 24..offset + 32].try_into().unwrap());
+        offset += RECORD_HEADER_LEN + len as usize;
+    }
+    offset - from
+}
+
+/// Deterministic exhaustive sweep (the proptest above samples cuts; this
+/// nails every boundary of one stream, including header bytes).
+#[test]
+fn every_byte_truncation_of_a_small_stream_errors_cleanly() {
+    let (stream, _, _) = build_stream(0xD1CE, 3);
+    for cut in 0..stream.len() {
+        match repl::apply_stream(&stream[..cut], true) {
+            Ok(_) => panic!("cut {cut}: a truncated sealed stream must not apply"),
+            Err(ReplError::TornStream { .. } | ReplError::Unsealed | ReplError::MissingBase) => {}
+            Err(e) => panic!("cut {cut}: unexpected error {e:?}"),
+        }
+    }
+    // And the full stream still applies.
+    repl::apply_stream(&stream, true).unwrap();
+}
