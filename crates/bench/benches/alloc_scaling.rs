@@ -1,24 +1,78 @@
-//! ALLOC-SCALING — multi-thread allocator throughput, magazine fast path
-//! versus the single-lock baseline.
+//! ALLOC-SCALING — multi-thread allocator throughput across the three
+//! allocator representations, on two workloads.
 //!
-//! Threads churn alloc/free bursts of mixed size classes on one shared
-//! region at 1/2/4/8 threads, once with per-thread magazines enabled
-//! (the default) and once with `Region::set_magazines(false)`, which
-//! routes every operation through the region lock. Reports aggregate
-//! operations per second and the magazine/locked speedup per thread
-//! count.
+//! Representations (selected per cell on a fresh shared region):
 //!
-//! Run with `--quick` for a CI-sized smoke pass.
+//! * `locked`   — `set_lockfree(false)` + `set_magazines(false)`: every
+//!   operation takes the region lock (the original free-list core).
+//! * `magazine` — `set_lockfree(false)`: per-thread magazines over the
+//!   locked core; refills/flushes still serialize on the lock.
+//! * `llalloc`  — the default lock-free two-level bitmap allocator.
+//!
+//! Workloads, at 1/2/4/8/16 threads:
+//!
+//! * `churn`    — each thread alloc/frees bursts of mixed size classes
+//!   (same-thread free, the magazine-friendly pattern).
+//! * `prodcons` — thread pairs: producers allocate and hand blocks over
+//!   a channel, consumers free them. Cross-thread dealloc defeats
+//!   magazine reuse and hammers remote subtrees, the llalloc stress case.
+//!
+//! Reports aggregate and per-thread ops/s, the `llalloc_cas_retries`
+//! delta per cell, and (with `--json FILE`) a schema-versioned report.
+//! `--gate` exits nonzero when the 8-thread llalloc churn throughput is
+//! below 4x single-thread (auto-relaxed on hosts with fewer than 8
+//! CPUs). `--quick` runs a CI-sized smoke pass.
 
+use bench::report::{render_json, ReportConfig, Row, Section};
+use nvmsim::metrics::{self, Counter};
 use nvmsim::Region;
-use std::sync::{Arc, Barrier};
+use std::sync::{mpsc, Arc, Barrier};
 use std::time::Instant;
 
 /// Size classes exercised by the churn (one small, two mid, one large).
 const SIZES: [usize; 4] = [16, 64, 256, 1024];
 
-/// Blocks allocated per burst before the burst is freed in LIFO order.
+/// Blocks allocated per burst before the burst is freed (or handed off).
 const BURST: usize = 64;
+
+/// One allocator representation under test.
+#[derive(Clone, Copy)]
+struct Repr {
+    name: &'static str,
+    lockfree: bool,
+    magazines: bool,
+}
+
+const REPRS: [Repr; 3] = [
+    Repr {
+        name: "locked",
+        lockfree: false,
+        magazines: false,
+    },
+    Repr {
+        name: "magazine",
+        lockfree: false,
+        magazines: true,
+    },
+    Repr {
+        name: "llalloc",
+        lockfree: true,
+        magazines: true,
+    },
+];
+
+/// One measured cell: aggregate ops/s plus its `llalloc_cas_retries`.
+struct Cell {
+    ops_per_sec: f64,
+    cas_retries: u64,
+}
+
+fn make_region(repr: Repr) -> Region {
+    let region = Region::create(64 << 20).expect("create bench region");
+    region.set_lockfree(repr.lockfree);
+    region.set_magazines(repr.magazines);
+    region
+}
 
 fn churn(region: &Region, ops: usize, seed: usize) -> usize {
     let mut done = 0;
@@ -41,18 +95,23 @@ fn churn(region: &Region, ops: usize, seed: usize) -> usize {
     done
 }
 
-/// Runs one (mode, threads) cell and returns aggregate ops/s, where one
-/// op is an alloc or a free (each churn iteration counts two).
-fn run_cell(threads: usize, ops_per_thread: usize, magazines: bool) -> f64 {
-    let region = Region::create(64 << 20).expect("create bench region");
-    region.set_magazines(magazines);
-    // Pre-warm the free lists so both modes measure steady-state reuse,
-    // not first-touch bump carving.
+/// Wall-clock interval over per-thread (start, end) stamps: first start
+/// to last finish. (Timing from the main thread undercounts badly on
+/// few-core hosts, where workers can finish before main is rescheduled.)
+fn interval(results: &[(Instant, Instant)]) -> f64 {
+    let first = results.iter().map(|&(s, _)| s).min().unwrap();
+    let last = results.iter().map(|&(_, e)| e).max().unwrap();
+    (last - first).as_secs_f64()
+}
+
+/// Same-thread alloc/free churn at `threads` threads; one op is an alloc
+/// or a free.
+fn run_churn(threads: usize, ops_per_thread: usize, repr: Repr) -> Cell {
+    let region = make_region(repr);
+    // Pre-warm so every mode measures steady-state reuse, not
+    // first-touch bump carving.
     churn(&region, 2 * BURST * SIZES.len(), 0);
-    // Threads time themselves between the start barrier and their last
-    // op; the wall interval is first-start to last-finish. (Timing from
-    // the main thread undercounts badly on few-core hosts, where workers
-    // can run to completion before the main thread is rescheduled.)
+    let before = metrics::snapshot();
     let barrier = Arc::new(Barrier::new(threads));
     let handles: Vec<_> = (0..threads)
         .map(|t| {
@@ -67,50 +126,196 @@ fn run_cell(threads: usize, ops_per_thread: usize, magazines: bool) -> f64 {
         })
         .collect();
     let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    let first = results.iter().map(|(s, _, _)| *s).min().unwrap();
-    let last = results.iter().map(|(_, e, _)| *e).max().unwrap();
-    let total: usize = results.iter().map(|(_, _, n)| n).sum();
-    let secs = (last - first).as_secs_f64();
+    let stamps: Vec<_> = results.iter().map(|&(s, e, _)| (s, e)).collect();
+    let total: usize = results.iter().map(|&(_, _, n)| n).sum();
+    let cas_retries = metrics::snapshot()
+        .delta(&before)
+        .get(Counter::LlallocCasRetries);
     region.close().expect("close bench region");
-    (total * 2) as f64 / secs
+    Cell {
+        ops_per_sec: (total * 2) as f64 / interval(&stamps),
+        cas_retries,
+    }
+}
+
+/// Producer/consumer pairs: producers allocate bursts and hand the
+/// blocks over a bounded channel; consumers free them. Every block is
+/// freed by a different thread than the one that allocated it.
+fn run_prodcons(threads: usize, ops_per_thread: usize, repr: Repr) -> Cell {
+    assert!(threads >= 2 && threads.is_multiple_of(2));
+    let pairs = threads / 2;
+    let region = make_region(repr);
+    churn(&region, 2 * BURST * SIZES.len(), 0);
+    let before = metrics::snapshot();
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for pair in 0..pairs {
+        // Blocks cross threads as raw (address, size); the consumer
+        // rebuilds the pointer. Bounded, so producers cannot outrun
+        // consumers by more than a few bursts.
+        let (tx, rx) = mpsc::sync_channel::<(usize, usize)>(4 * BURST);
+        let (rp, bp) = (region.clone(), Arc::clone(&barrier));
+        handles.push(std::thread::spawn(move || {
+            bp.wait();
+            let start = Instant::now();
+            let mut i = pair * 7919;
+            for _ in 0..ops_per_thread {
+                let size = SIZES[i % SIZES.len()];
+                i = i.wrapping_add(1);
+                let p = rp.alloc(size, 8).expect("bench region sized for churn");
+                unsafe { p.as_ptr().write(i as u8) };
+                tx.send((p.as_ptr() as usize, size)).unwrap();
+            }
+            drop(tx);
+            (start, Instant::now(), ops_per_thread)
+        }));
+        let (rc, bc) = (region.clone(), Arc::clone(&barrier));
+        handles.push(std::thread::spawn(move || {
+            bc.wait();
+            let start = Instant::now();
+            let mut freed = 0usize;
+            while let Ok((addr, size)) = rx.recv() {
+                let p = std::ptr::NonNull::new(addr as *mut u8).unwrap();
+                unsafe { rc.dealloc(p, size) };
+                freed += 1;
+            }
+            (start, Instant::now(), freed)
+        }));
+    }
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stamps: Vec<_> = results.iter().map(|&(s, e, _)| (s, e)).collect();
+    let total: usize = results.iter().map(|&(_, _, n)| n).sum();
+    let cas_retries = metrics::snapshot()
+        .delta(&before)
+        .get(Counter::LlallocCasRetries);
+    region.close().expect("close bench region");
+    Cell {
+        ops_per_sec: total as f64 / interval(&stamps),
+        cas_retries,
+    }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let gate = args.iter().any(|a| a == "--gate");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let ops_per_thread = if quick { 4_000 } else { 100_000 };
-    let thread_counts = [1usize, 2, 4, 8];
+    let thread_counts = [1usize, 2, 4, 8, 16];
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("ALLOC-SCALING — shared-region alloc/free throughput");
     println!(
         "  {} ops/thread, burst {}, classes {:?}, {} host cpus",
-        ops_per_thread,
-        BURST,
-        SIZES,
-        std::thread::available_parallelism().map_or(0, |n| n.get())
-    );
-    println!(
-        "  {:>7} | {:>16} | {:>16} | {:>7}",
-        "threads", "locked ops/s", "magazine ops/s", "speedup"
+        ops_per_thread, BURST, SIZES, cpus
     );
 
-    let mut single_thread = (0.0f64, 0.0f64);
-    for &threads in &thread_counts {
-        let locked = run_cell(threads, ops_per_thread, false);
-        let magazine = run_cell(threads, ops_per_thread, true);
-        if threads == 1 {
-            single_thread = (locked, magazine);
-        }
+    let mut sections = Vec::new();
+    let mut llalloc_churn: Vec<(usize, f64)> = Vec::new();
+    for (workload, min_threads) in [("churn", 1usize), ("prodcons", 2usize)] {
+        println!("\n  [{workload}]");
         println!(
-            "  {:>7} | {:>16.0} | {:>16.0} | {:>6.2}x",
-            threads,
-            locked,
-            magazine,
-            magazine / locked
+            "  {:>7} | {:>14} | {:>14} | {:>14} | {:>9} | {:>11}",
+            "threads",
+            "locked ops/s",
+            "magazine ops/s",
+            "llalloc ops/s",
+            "ll/locked",
+            "cas_retries"
         );
+        let before = metrics::snapshot();
+        let mut rows = Vec::new();
+        for &threads in thread_counts.iter().filter(|&&t| t >= min_threads) {
+            let mut line: Vec<(f64, u64)> = Vec::new();
+            for repr in REPRS {
+                let cell = match workload {
+                    "churn" => run_churn(threads, ops_per_thread, repr),
+                    _ => run_prodcons(threads, ops_per_thread, repr),
+                };
+                if workload == "churn" && repr.name == "llalloc" {
+                    llalloc_churn.push((threads, cell.ops_per_sec));
+                }
+                rows.push(Row::new(
+                    "ALLOCSCALE",
+                    workload,
+                    "alloc_free",
+                    repr.name,
+                    1e9 / cell.ops_per_sec,
+                    format!(
+                        "threads={} ops_per_sec={:.0} per_thread_ops_per_sec={:.0} \
+                         llalloc_cas_retries={}",
+                        threads,
+                        cell.ops_per_sec,
+                        cell.ops_per_sec / threads as f64,
+                        cell.cas_retries
+                    ),
+                ));
+                line.push((cell.ops_per_sec, cell.cas_retries));
+            }
+            println!(
+                "  {:>7} | {:>14.0} | {:>14.0} | {:>14.0} | {:>8.2}x | {:>11}",
+                threads,
+                line[0].0,
+                line[1].0,
+                line[2].0,
+                line[2].0 / line[0].0,
+                line[2].1
+            );
+        }
+        sections.push(Section {
+            id: format!("ALLOCSCALE_{}", workload.to_uppercase()),
+            title: format!("alloc scaling — {workload}"),
+            rows,
+            metrics: metrics::snapshot().delta(&before),
+        });
     }
-    let (l1, m1) = single_thread;
-    println!(
-        "  single-thread magazine/locked ratio: {:.3} (>= 0.95 required)",
-        m1 / l1
-    );
+
+    // Scaling gate: 8-thread llalloc churn must beat 4x single-thread.
+    let t1 = llalloc_churn
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map(|&(_, v)| v);
+    let t8 = llalloc_churn
+        .iter()
+        .find(|&&(t, _)| t == 8)
+        .map(|&(_, v)| v);
+    let mut gate_failed = false;
+    if let (Some(t1), Some(t8)) = (t1, t8) {
+        let scaling = t8 / t1;
+        println!("\n  llalloc churn scaling 8T/1T: {scaling:.2}x (target >= 4x)");
+        if scaling < 4.0 {
+            if cpus < 8 {
+                println!(
+                    "  note: host has only {cpus} cpus; the 4x gate does not \
+                     apply (needs 8 hardware threads)"
+                );
+            } else {
+                gate_failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let rc = ReportConfig {
+            n: ops_per_thread,
+            reps: 1,
+            seed: 0,
+            searches: 0,
+            latency: nvmsim::latency::model(),
+        };
+        let text = render_json(&sections, &rc);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  json report written to {path}");
+    }
+    if gate && gate_failed {
+        eprintln!("GATE FAILED: 8-thread llalloc churn below 4x single-thread");
+        std::process::exit(1);
+    }
 }

@@ -76,6 +76,11 @@ pub struct AllocHeader {
     live_allocs: u64,
     alloc_calls: u64,
     free_calls: u64,
+    /// Offset of the first `llalloc` bitmap page (0 = none: the region
+    /// predates the two-level allocator, or is too small to host it, and
+    /// runs on the legacy free lists alone). Appended after the v2
+    /// counters so every pre-existing field keeps its media offset.
+    ll_dir: u64,
 }
 
 impl AllocHeader {
@@ -91,6 +96,62 @@ impl AllocHeader {
         self.live_allocs = 0;
         self.alloc_calls = 0;
         self.free_calls = 0;
+        self.ll_dir = 0;
+    }
+
+    /// An all-zero header (no managed range yet); call
+    /// [`AllocHeader::init`] before use.
+    #[cfg(test)]
+    pub(crate) fn zeroed() -> AllocHeader {
+        AllocHeader {
+            bump: 0,
+            end: 0,
+            free_heads: [0; NUM_CLASSES],
+            large_head: 0,
+            live_bytes: 0,
+            live_allocs: 0,
+            alloc_calls: 0,
+            free_calls: 0,
+            ll_dir: 0,
+        }
+    }
+
+    /// Offset of the first `llalloc` bitmap page (0 = legacy-only).
+    pub(crate) fn ll_dir(&self) -> u64 {
+        self.ll_dir
+    }
+
+    /// Points the bitmap-page directory at `off`.
+    pub(crate) fn set_ll_dir(&mut self, off: u64) {
+        self.ll_dir = off;
+    }
+
+    /// Bytes available at the bump frontier once it is rounded up to
+    /// `align`.
+    pub(crate) fn remaining_aligned(&self, align: u64) -> u64 {
+        let aligned = self.bump.next_multiple_of(align);
+        self.end.saturating_sub(aligned)
+    }
+
+    /// Carves `bytes` from the bump frontier at `align` alignment (for
+    /// `llalloc` spans and bitmap pages; the alignment gap is discarded).
+    /// Statistics counters are not touched — the carved span is
+    /// allocator metadata or bitmap-managed capacity, not an application
+    /// block.
+    pub(crate) fn carve_aligned(&mut self, bytes: u64, align: u64) -> Result<u64> {
+        let off = self.bump.next_multiple_of(align);
+        let next = off.checked_add(bytes).ok_or(NvError::OutOfMemory {
+            region: 0,
+            requested: bytes as usize,
+        })?;
+        if next > self.end {
+            return Err(NvError::OutOfMemory {
+                region: 0,
+                requested: bytes as usize,
+            });
+        }
+        self.bump = next;
+        Ok(off)
     }
 
     /// Rounds a request up to its served size.
@@ -329,33 +390,58 @@ impl AllocHeader {
         // batches that were never individually `dealloc`ed.)
         let max_blocks = (self.end - data_start) / MIN_ALIGN as u64 + 1;
         for (class, &head) in self.free_heads.iter().enumerate() {
-            let mut cur = head;
-            let mut steps = 0u64;
-            while cur != 0 {
-                if !in_bounds(cur) {
-                    return Err(NvError::BadImage(format!(
-                        "class {class} free list link {cur:#x} out of bounds"
-                    )));
-                }
-                cur = Self::read_u64(base, cur);
-                steps += 1;
-                if steps > max_blocks {
-                    return Err(NvError::BadImage(format!("class {class} free list cycle")));
-                }
-            }
+            Self::walk_list(
+                base,
+                head,
+                max_blocks,
+                &in_bounds,
+                &format!("class {class} free list"),
+            )?;
         }
-        let mut cur = self.large_head;
+        Self::walk_list(
+            base,
+            self.large_head,
+            max_blocks,
+            &in_bounds,
+            "large free list",
+        )?;
+        Ok(())
+    }
+
+    /// Walks one offset-linked free list, validating every link. Cycle
+    /// detection is Brent's algorithm — a corrupted next-pointer that
+    /// forms an in-range cycle is caught after O(cycle length) steps
+    /// instead of grinding through the worst-case block count of the
+    /// region — with the structural `max_blocks` bound kept as a
+    /// belt-and-braces limit.
+    unsafe fn walk_list(
+        base: usize,
+        head: u64,
+        max_blocks: u64,
+        in_bounds: &dyn Fn(u64) -> bool,
+        what: &str,
+    ) -> Result<()> {
+        let mut anchor = head;
+        let mut cur = head;
         let mut steps = 0u64;
+        let mut next_teleport = 2u64;
         while cur != 0 {
             if !in_bounds(cur) {
                 return Err(NvError::BadImage(format!(
-                    "large list link {cur:#x} out of bounds"
+                    "{what} link {cur:#x} out of bounds"
                 )));
             }
             cur = Self::read_u64(base, cur);
             steps += 1;
+            if cur != 0 && cur == anchor {
+                return Err(NvError::BadImage(format!("{what} cycle")));
+            }
+            if steps == next_teleport {
+                anchor = cur;
+                next_teleport = next_teleport.saturating_mul(2);
+            }
             if steps > max_blocks {
-                return Err(NvError::BadImage("large free list cycle".into()));
+                return Err(NvError::BadImage(format!("{what} cycle")));
             }
         }
         Ok(())
@@ -376,16 +462,7 @@ mod tests {
         fn new(size: usize) -> Arena {
             let mut a = Arena {
                 mem: vec![0u8; size],
-                hdr: AllocHeader {
-                    bump: 0,
-                    end: 0,
-                    free_heads: [0; NUM_CLASSES],
-                    large_head: 0,
-                    live_bytes: 0,
-                    live_allocs: 0,
-                    alloc_calls: 0,
-                    free_calls: 0,
-                },
+                hdr: AllocHeader::zeroed(),
             };
             a.hdr.init(16, size as u64);
             a
@@ -598,6 +675,52 @@ mod tests {
         // Corrupt the free head to point out of bounds.
         a.hdr.free_heads[class_for(64).unwrap()] = (1 << 20) as u64;
         assert!(unsafe { a.hdr.check(base, 16) }.is_err());
+    }
+
+    #[test]
+    fn check_detects_in_range_free_list_cycle() {
+        // A corrupted next-pointer that stays in range and 16-aligned
+        // forms a cycle the bounds checks cannot see; Brent's walk must
+        // report it (and do so in O(cycle length), not O(region size)).
+        let mut a = Arena::new(1 << 14);
+        let class = class_for(64).unwrap();
+        let o1 = a.alloc(64).unwrap();
+        let o2 = a.alloc(64).unwrap();
+        let o3 = a.alloc(64).unwrap();
+        a.free(o1, 64);
+        a.free(o2, 64);
+        a.free(o3, 64);
+        let base = a.base();
+        // List is o3 -> o2 -> o1 -> 0; corrupt o1's link back to o3.
+        unsafe { *((base + o1 as usize) as *mut u64) = o3 };
+        let err = unsafe { a.hdr.check(base, 16) }.unwrap_err();
+        assert!(
+            err.to_string().contains("cycle"),
+            "expected a cycle report, got: {err}"
+        );
+        assert_eq!(a.hdr.free_heads[class], o3);
+    }
+
+    #[test]
+    fn check_detects_large_list_self_cycle() {
+        let mut a = Arena::new(1 << 16);
+        let o = a.alloc(10_000).unwrap();
+        a.free(o, 10_000);
+        let base = a.base();
+        // Self-loop: the block's next pointer names itself.
+        unsafe { *((base + o as usize) as *mut u64) = o };
+        let err = unsafe { a.hdr.check(base, 16) }.unwrap_err();
+        assert!(err.to_string().contains("large free list cycle"));
+    }
+
+    #[test]
+    fn carve_aligned_respects_alignment_and_bounds() {
+        let mut a = Arena::new(1 << 14);
+        let _ = a.alloc(16).unwrap(); // push bump off alignment
+        let off = a.hdr.carve_aligned(1024, 1024).unwrap();
+        assert_eq!(off % 1024, 0);
+        assert!(a.hdr.stats().bump == off + 1024);
+        assert!(a.hdr.carve_aligned(1 << 20, 1024).is_err());
     }
 
     #[test]

@@ -10,18 +10,75 @@
 //!                                          # the nvmsim::metrics delta of the open
 //! nvr_inspect repl <stream.nvd> [...]      # dump a replication delta stream:
 //!                                          # header, records, epochs, seal, lag
+//! nvr_inspect alloc <image.nvr> [...]      # walk the bitmap allocator: per-class
+//!                                          # subtree occupancy and free counters
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
 //! damage was found (the report says what), 2 means usage/IO trouble.
 //! `repl` follows the same convention: 0 for a sealed intact stream, 1
-//! for a torn or unsealed one.
+//! for a torn or unsealed one. `alloc` exits 0 when the bitmap structures
+//! are consistent (legacy images without a bitmap directory count as
+//! consistent), 1 when they are not; stale advisory counters only fail a
+//! *clean* image — a crashed one rebuilds them on the next open.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl] <file> [...]");
+    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc] <file> [...]");
     ExitCode::from(2)
+}
+
+/// Walks each image's two-level bitmap allocator offline and dumps
+/// per-class and per-subtree occupancy. Consistency is judged against
+/// the image's dirty flag: a cleanly closed image must also have every
+/// advisory free counter sealed to its bitmap (`consistent(true)`), a
+/// crashed one only has to be structurally sound.
+fn alloc(paths: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        println!("=== {path}");
+        let clean = match nvmsim::verify::verify_file(path) {
+            Ok(r) => r.clean,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        match nvmsim::inspect::inspect_llalloc(path) {
+            Ok(Some(report)) => {
+                print!("{report}");
+                let (blocks, bytes): (u64, u64) =
+                    report
+                        .per_class
+                        .iter()
+                        .enumerate()
+                        .fold((0, 0), |(b, y), (class, o)| {
+                            (
+                                b + o.allocated,
+                                y + o.allocated * nvmsim::alloc::CLASS_SIZES[class] as u64,
+                            )
+                        });
+                println!("allocated:    {blocks} blocks, {bytes} bytes");
+                println!("image:        {}", if clean { "clean" } else { "dirty" });
+                if !report.consistent(clean) {
+                    println!("verdict:      INCONSISTENT");
+                    status = ExitCode::FAILURE;
+                } else {
+                    println!("verdict:      consistent");
+                }
+            }
+            Ok(None) => {
+                println!("legacy image: no bitmap allocator directory");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+            }
+        }
+    }
+    status
 }
 
 /// Opens each image and dumps its allocator counters and named roots,
@@ -221,6 +278,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 repl(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "alloc" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                alloc(rest)
             }
         }
         _ => {

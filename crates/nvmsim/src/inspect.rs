@@ -5,7 +5,9 @@
 //! validity, region id, size, clean/dirty state, the root directory, and
 //! allocator statistics. Used by the `nvr-inspect` binary and by tests.
 
+use crate::alloc::{CLASS_SIZES, NUM_CLASSES};
 use crate::error::{NvError, Result};
+use crate::llalloc::{self, ClassOccupancy};
 use crate::region::{HEADER_VERSION, MAX_ROOTS, REGION_MAGIC, ROOT_NAME_CAP};
 use crate::shadow::FaultStamp;
 use std::fmt;
@@ -175,11 +177,209 @@ mod offsets {
     pub const ROOT_TAG_IN_ENTRY: usize = 40;
     // AllocHeader follows the root array.
     pub const ALLOC_BUMP_REL: usize = 0;
-    // Field order: bump, end, free_heads, large_head, 4 stat counters.
+    // Field order: bump, end, free_heads, large_head, 4 stat counters,
+    // ll_dir (the llalloc bitmap-page directory).
     pub const ALLOC_LIVE_BYTES_REL: usize = 8 + 8 + 16 * 8 + 8;
-    pub const ALLOC_SIZE: usize = 8 + 8 + 16 * 8 + 8 + 4 * 8;
+    pub const ALLOC_LL_DIR_REL: usize = 8 + 8 + 16 * 8 + 8 + 4 * 8;
+    pub const ALLOC_SIZE: usize = 8 + 8 + 16 * 8 + 8 + 4 * 8 + 8;
     // FaultStamp is the last header field, right after the allocator.
     pub const FAULT: usize = ROOTS + 16 * ROOT_ENTRY_SIZE + ALLOC_SIZE;
+}
+
+/// One `llalloc` subtree descriptor as found in an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubtreeInfo {
+    /// Offset of block 0 of the subtree's span.
+    pub base: u64,
+    /// Block size in bytes (the size class).
+    pub class_size: usize,
+    /// Blocks the subtree covers (≤ 64).
+    pub capacity: u32,
+    /// Allocated blocks (bitmap popcount — the persistent truth).
+    pub allocated: u32,
+    /// The advisory free counter as persisted. May lag the bitmap on a
+    /// crashed image; the recovery scan rebuilds it on open.
+    pub free_counter: u64,
+}
+
+/// Everything [`inspect_llalloc_bytes`] learns about an image's
+/// two-level bitmap allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlallocReport {
+    /// Bitmap pages in the directory chain.
+    pub pages: u64,
+    /// Every subtree descriptor, in directory order.
+    pub subtrees: Vec<SubtreeInfo>,
+    /// Occupancy summed per size class.
+    pub per_class: [ClassOccupancy; NUM_CLASSES],
+    /// Structural inconsistencies (bad magic, class, span, padding,
+    /// chain cycle). Nonempty means an open would degrade to the legacy
+    /// allocator.
+    pub issues: Vec<String>,
+    /// Descriptors whose advisory free counter disagrees with
+    /// `capacity - popcount(bitmap)`. Expected on crashed images
+    /// (counters are advisory and rebuilt on open); on a clean image it
+    /// indicates rot.
+    pub stale_counters: u64,
+}
+
+impl LlallocReport {
+    /// Whether the bitmap structures are internally consistent. `strict`
+    /// additionally requires every advisory counter to match its bitmap
+    /// (the state a clean close seals).
+    pub fn consistent(&self, strict: bool) -> bool {
+        self.issues.is_empty() && (!strict || self.stale_counters == 0)
+    }
+}
+
+impl fmt::Display for LlallocReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bitmap pages: {} ({} subtrees)",
+            self.pages,
+            self.subtrees.len()
+        )?;
+        for (class, o) in self.per_class.iter().enumerate() {
+            if o.subtrees == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  class {:>5}: {:>3} subtrees, {:>5}/{:<5} blocks allocated, free counters {}",
+                CLASS_SIZES[class], o.subtrees, o.allocated, o.capacity, o.free_counter
+            )?;
+        }
+        if self.stale_counters != 0 {
+            writeln!(
+                f,
+                "  {} stale free counter(s) (rebuilt on next open)",
+                self.stale_counters
+            )?;
+        }
+        for issue in &self.issues {
+            writeln!(f, "  ISSUE: {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Walks an image's `llalloc` bitmap-page chain offline (no mapping, no
+/// mutation) and reports per-class and per-subtree occupancy. Returns
+/// `Ok(None)` for legacy images without a bitmap directory. Structural
+/// damage is collected into [`LlallocReport::issues`] rather than
+/// aborting the walk, so a partially-rotted directory still dumps what
+/// it can.
+///
+/// # Errors
+///
+/// [`NvError::BadImage`] when `bytes` is not a region image at all.
+pub fn inspect_llalloc_bytes(bytes: &[u8]) -> Result<Option<LlallocReport>> {
+    use offsets::*;
+    // Reuse the identity validation of the main parser.
+    let _ = inspect_bytes(bytes)?;
+    let alloc = ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE;
+    let ll_dir = read_u64(bytes, alloc + ALLOC_LL_DIR_REL);
+    if ll_dir == 0 {
+        return Ok(None);
+    }
+    let mut report = LlallocReport {
+        pages: 0,
+        subtrees: Vec::new(),
+        per_class: [ClassOccupancy::default(); NUM_CLASSES],
+        issues: Vec::new(),
+        stale_counters: 0,
+    };
+    let max_pages = bytes.len() / llalloc::LL_PAGE_SIZE + 1;
+    let mut page_off = ll_dir;
+    while page_off != 0 {
+        if report.pages as usize >= max_pages {
+            report.issues.push("bitmap page chain cycle".to_string());
+            break;
+        }
+        if !page_off.is_multiple_of(64) || page_off as usize + llalloc::LL_PAGE_SIZE > bytes.len() {
+            report
+                .issues
+                .push(format!("bitmap page offset {page_off:#x} out of bounds"));
+            break;
+        }
+        let p = page_off as usize;
+        if read_u64(bytes, p + llalloc::PAGE_MAGIC) != llalloc::LL_PAGE_MAGIC {
+            report
+                .issues
+                .push(format!("bitmap page at {page_off:#x} has a bad magic"));
+            break;
+        }
+        report.pages += 1;
+        let count = read_u64(bytes, p + llalloc::PAGE_COUNT);
+        if count > llalloc::SUBTREES_PER_PAGE as u64 {
+            report.issues.push(format!(
+                "bitmap page at {page_off:#x} claims {count} descriptors"
+            ));
+            break;
+        }
+        for slot in 0..count as usize {
+            let d = p + llalloc::DESC_SIZE + slot * llalloc::DESC_SIZE;
+            let meta = read_u64(bytes, d + llalloc::D_META);
+            let class = (meta & 0xff) as usize;
+            let cap = ((meta >> 8) & 0xff) as u32;
+            if class >= NUM_CLASSES || cap == 0 || cap as usize > llalloc::BLOCKS_PER_SUBTREE {
+                report.issues.push(format!(
+                    "descriptor {slot}@{page_off:#x}: bad class/capacity"
+                ));
+                continue;
+            }
+            let base = read_u64(bytes, d + llalloc::D_BASE);
+            let span = cap as u64 * CLASS_SIZES[class] as u64;
+            if !base.is_multiple_of(llalloc::GRANULE)
+                || base
+                    .checked_add(span)
+                    .is_none_or(|e| e > bytes.len() as u64)
+            {
+                report.issues.push(format!(
+                    "descriptor {slot}@{page_off:#x}: span out of bounds"
+                ));
+                continue;
+            }
+            let bm = read_u64(bytes, d + llalloc::D_BITMAP);
+            let mask = if cap >= 64 { !0u64 } else { (1u64 << cap) - 1 };
+            if bm & !mask != !mask {
+                report.issues.push(format!(
+                    "descriptor {slot}@{page_off:#x}: padding bits corrupt"
+                ));
+                continue;
+            }
+            let free = read_u64(bytes, d + llalloc::D_FREE);
+            let allocated = (bm & mask).count_ones();
+            if free != cap as u64 - allocated as u64 {
+                report.stale_counters += 1;
+            }
+            report.subtrees.push(SubtreeInfo {
+                base,
+                class_size: CLASS_SIZES[class],
+                capacity: cap,
+                allocated,
+                free_counter: free,
+            });
+            let o = &mut report.per_class[class];
+            o.subtrees += 1;
+            o.capacity += cap as u64;
+            o.allocated += allocated as u64;
+            o.free_counter += free;
+        }
+        page_off = read_u64(bytes, p + llalloc::PAGE_NEXT);
+    }
+    Ok(Some(report))
+}
+
+/// [`inspect_llalloc_bytes`] over an image file.
+///
+/// # Errors
+///
+/// As [`inspect_llalloc_bytes`], plus I/O errors.
+pub fn inspect_llalloc<P: AsRef<Path>>(path: P) -> Result<Option<LlallocReport>> {
+    let bytes = std::fs::read(path.as_ref())?;
+    inspect_llalloc_bytes(&bytes)
 }
 
 /// Reads the `pstore` undo-log head through the `"pstore.meta"` root, if
@@ -377,6 +577,42 @@ mod tests {
         let shown = report.to_string();
         assert!(shown.contains("alpha") && shown.contains("clean"));
         assert!(shown.contains("last fault:   none"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn llalloc_walk_reports_occupancy_and_staleness() {
+        let dir = std::env::temp_dir().join(format!("nvm-inspect-ll-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ll.nvr");
+        {
+            let r = Region::create_file(&path, 1 << 20).unwrap();
+            let ptrs: Vec<_> = (0..10).map(|_| r.alloc(64, 8).unwrap()).collect();
+            for p in &ptrs[..4] {
+                unsafe { r.dealloc(*p, 64) };
+            }
+            r.close().unwrap();
+        }
+        let report = inspect_llalloc(&path)
+            .unwrap()
+            .expect("v2 image has bitmaps");
+        assert!(report.pages >= 1);
+        let class = crate::alloc::class_for(64).unwrap();
+        assert_eq!(report.per_class[class].allocated, 6);
+        assert!(report.per_class[class].capacity >= 10);
+        assert!(
+            report.consistent(true),
+            "clean close seals exact free counters: {report}"
+        );
+        // Corrupt a descriptor's class byte: the walk flags it instead
+        // of panicking or running out of the image.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let alloc = offsets::ROOTS + MAX_ROOTS * offsets::ROOT_ENTRY_SIZE;
+        let ll_dir = read_u64(&bytes, alloc + offsets::ALLOC_LL_DIR_REL) as usize;
+        bytes[ll_dir + llalloc::DESC_SIZE + llalloc::D_META] = 0xff;
+        let damaged = inspect_llalloc_bytes(&bytes).unwrap().unwrap();
+        assert!(!damaged.consistent(false));
+        assert!(damaged.to_string().contains("ISSUE"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

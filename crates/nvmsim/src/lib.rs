@@ -48,6 +48,7 @@ pub mod error;
 pub mod inspect;
 pub mod latency;
 pub mod layout;
+pub mod llalloc;
 pub mod magazine;
 pub mod mem;
 pub mod metrics;

@@ -128,6 +128,16 @@ counters! {
     ReplApplyFailures => "repl_apply_failures",
     /// Transient replication-sink I/O errors retried with backoff.
     ReplRetries => "repl_retries",
+    /// Failed bitmap-word CAS attempts in the two-level allocator
+    /// (contention on a shared subtree; see [`crate::llalloc`]).
+    LlallocCasRetries => "llalloc_cas_retries",
+    /// Subtree reservations taken over from another thread because no
+    /// unreserved subtree of the class had free blocks.
+    LlallocSubtreeSteals => "llalloc_subtree_steals",
+    /// Subtrees carved from the bump frontier (locked slow path).
+    LlallocSubtreesCreated => "llalloc_subtrees_created",
+    /// Bitmap-page and descriptor lines visited by recovery/open scans.
+    LlallocRecoveryLines => "llalloc_recovery_lines",
 }
 
 /// Number of counter shards. Power of two; threads are assigned
@@ -270,7 +280,7 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         assert_eq!(
             names.last().copied(),
-            Some("repl_retries"),
+            Some("llalloc_recovery_lines"),
             "serialization order is the declaration order"
         );
     }

@@ -12,6 +12,7 @@
 use crate::alloc::{class_for, AllocHeader, AllocStats, CLASS_SIZES, NUM_CLASSES};
 use crate::error::{NvError, Result};
 use crate::latency;
+use crate::llalloc::{ClassOccupancy, LlState};
 use crate::magazine::{self, LocalStats, ThreadCache, REFILL_BATCH};
 use crate::mem::align_up;
 use crate::nvspace::{NvSpace, SegIndex};
@@ -142,6 +143,13 @@ pub(crate) struct Inner {
     instance: u64,
     /// Whether class-sized allocations may use per-thread magazines.
     magazines: AtomicBool,
+    /// Whether class-sized allocations use the lock-free two-level
+    /// allocator (the default whenever `ll` is present).
+    lockfree: AtomicBool,
+    /// Volatile state of the two-level bitmap allocator; `None` for
+    /// legacy images (no bitmap directory) and regions too small to
+    /// host a bitmap page.
+    ll: Option<LlState>,
     /// Every live thread cache of this region, so close can drain them,
     /// statistics can aggregate them, and out-of-memory refills can
     /// reclaim cached blocks.
@@ -288,6 +296,16 @@ impl Region {
             hdr.alloc.init(RegionHeader::data_start(), size as u64);
             hdr.fault = FaultStamp::default();
         }
+        let instance = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        // Format the first bitmap page of the two-level allocator before
+        // the slot-A seed below, so even the seed snapshot carries the
+        // directory offset.
+        // SAFETY: the region is still owned exclusively; `hdr.alloc` was
+        // just initialized for this base/size.
+        let ll = unsafe {
+            let hdr = &mut *(base as *mut RegionHeader);
+            LlState::create(base, size, instance, &mut hdr.alloc)
+        };
         let inner = Inner {
             space,
             rid,
@@ -298,8 +316,10 @@ impl Region {
             backing: backing.unwrap_or(Backing::Anonymous),
             alloc_lock: Mutex::new(()),
             closed: AtomicBool::new(false),
-            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            instance,
             magazines: AtomicBool::new(true),
+            lockfree: AtomicBool::new(ll.is_some()),
+            ll,
             caches: Mutex::new(Vec::new()),
             retired: Mutex::new(LocalStats::default()),
         };
@@ -458,6 +478,35 @@ impl Region {
         // reclaimable only by their owner structure, as for any leak).
         // SAFETY: the image is mapped and its header was just validated.
         let persisted = unsafe { (*(base as *const RegionHeader)).alloc.stats() };
+        let instance = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        // Recovery scan of the two-level allocator: one bounded pass over
+        // the bitmap pages rebuilds the free counters and granule map.
+        // Structural damage degrades to the legacy allocator — the open
+        // still succeeds, and `verify()` reports what is wrong.
+        // SAFETY: the image is mapped read/write and owned exclusively
+        // until the handle is shared.
+        let ll = unsafe {
+            LlState::open(
+                base,
+                size,
+                instance,
+                &(*(base as *const RegionHeader)).alloc,
+            )
+            .unwrap_or(None)
+        };
+        // The persisted counters include the bitmap contribution *as of
+        // the fold that wrote them*; that snapshot (not the open-time
+        // popcount — after a crash the two differ by the unfolded ops)
+        // is what gets backed out, leaving the legacy remainder as the
+        // retired base. The live aggregate then re-adds the open-time
+        // bitmap truth via `LlState::stat_live`, so blocks allocated or
+        // freed after the last fold are accounted exactly.
+        let mut seeded = seed_stats(&persisted);
+        if let Some(ll) = &ll {
+            let (blocks, bytes) = ll.folded_live();
+            seeded.live_allocs -= blocks as i64;
+            seeded.live_bytes -= bytes as i64;
+        }
         let inner = Inner {
             space,
             rid,
@@ -472,10 +521,12 @@ impl Region {
             },
             alloc_lock: Mutex::new(()),
             closed: AtomicBool::new(false),
-            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            instance,
             magazines: AtomicBool::new(true),
+            lockfree: AtomicBool::new(ll.is_some()),
+            ll,
             caches: Mutex::new(Vec::new()),
-            retired: Mutex::new(seed_stats(&persisted)),
+            retired: Mutex::new(seeded),
         };
         registry::register(rid, base, size);
         Ok(Region {
@@ -564,6 +615,11 @@ impl Region {
         );
         let rounded = AllocHeader::rounded_size(size);
         if let Some(class) = class_for(rounded) {
+            if self.inner.lockfree.load(Ordering::Relaxed) {
+                if let Some(ll) = &self.inner.ll {
+                    return self.alloc_lockfree(ll, class, size, align, rounded);
+                }
+            }
             if self.inner.magazines.load(Ordering::Relaxed) {
                 if let Some(res) =
                     magazine::with_cache(&self.inner, |cache| self.alloc_cached(cache, class))
@@ -573,6 +629,44 @@ impl Region {
             }
         }
         self.alloc_slow(size, align, rounded)
+    }
+
+    /// Lock-free fast path: CAS a bit in the thread's reserved subtree
+    /// (see [`crate::llalloc`]). Exhaustion grows a fresh subtree from
+    /// the bump frontier under the region lock; when the frontier is dry
+    /// too, the legacy free lists (pre-bitmap blocks, reclaimed
+    /// magazines) are the last resort before out-of-memory.
+    fn alloc_lockfree(
+        &self,
+        ll: &LlState,
+        class: usize,
+        size: usize,
+        align: usize,
+        rounded: usize,
+    ) -> Result<u64> {
+        loop {
+            if let Some(off) = ll.alloc(class) {
+                return Ok(off);
+            }
+            {
+                let _g = self.inner.alloc_lock.lock();
+                if self.inner.closed.load(Ordering::Acquire) {
+                    return Err(NvError::RegionClosed {
+                        rid: self.inner.rid,
+                    });
+                }
+                // SAFETY: lock held; region mapped while the handle exists.
+                let hdr = unsafe { self.header_mut() };
+                // SAFETY: as above; `ll` belongs to this region.
+                if unsafe { ll.grow(&mut hdr.alloc, class) }.is_ok() {
+                    // Another thread may drain the new subtree before we
+                    // get a block out of it; loop until an allocation
+                    // lands or growth itself fails.
+                    continue;
+                }
+            }
+            return self.alloc_slow(size, align, rounded);
+        }
     }
 
     /// Magazine fast path: pop the thread's cache, refilling on miss. The
@@ -589,6 +683,17 @@ impl Region {
     /// fallback), serves the first and caches the rest.
     fn refill(&self, cache: &ThreadCache, class: usize) -> Result<u64> {
         crate::metrics::incr(crate::metrics::Counter::MagazineRefills);
+        // Regions with bitmap pages refill from subtree reservations
+        // first — whole-word CAS claims, no lock — and only fall back to
+        // the mutex-guarded free lists when the bitmaps are dry.
+        if let Some(ll) = &self.inner.ll {
+            let mut batch = [0u64; REFILL_BATCH];
+            let n = ll.carve_batch(class, &mut batch);
+            if n > 0 {
+                cache.inner.lock().stock(class, &batch[1..n]);
+                return Ok(batch[0]);
+            }
+        }
         let _g = self.inner.alloc_lock.lock();
         if self.inner.closed.load(Ordering::Acquire) {
             return Err(NvError::RegionClosed {
@@ -663,6 +768,19 @@ impl Region {
         crate::metrics::incr(crate::metrics::Counter::RegionFrees);
         let off = (ptr.as_ptr() as usize - self.inner.base) as u64;
         let rounded = AllocHeader::rounded_size(size);
+        // In lock-free mode, bitmap-owned blocks are cleared in place
+        // with one CAS + flush: their spans never mix with free-list
+        // blocks, so routing by granule is exact. In magazine mode the
+        // block goes back on the thread's magazine instead (keeping the
+        // reuse fast path and its accounting); drains restore it to the
+        // bitmap later.
+        if self.inner.lockfree.load(Ordering::Relaxed) {
+            if let Some(ll) = &self.inner.ll {
+                if ll.owns(off) && ll.free_block(off, true).is_some() {
+                    return;
+                }
+            }
+        }
         if let Some(class) = class_for(rounded) {
             if self.inner.magazines.load(Ordering::Relaxed) {
                 let pushed =
@@ -673,6 +791,13 @@ impl Region {
                     }
                     return;
                 }
+            }
+        }
+        // Slow path (magazines off or no TLS): a bitmap-owned block
+        // still must never reach the legacy free lists.
+        if let Some(ll) = &self.inner.ll {
+            if ll.owns(off) && ll.free_block(off, true).is_some() {
+                return;
             }
         }
         let _g = self.inner.alloc_lock.lock();
@@ -713,14 +838,38 @@ impl Region {
         let _g = self.inner.alloc_lock.lock();
         let s = self.header().alloc.stats();
         let t = self.inner.aggregate_stats();
+        let (ll_allocs, ll_frees, ll_blocks, ll_bytes) = self.inner.ll_totals();
         AllocStats {
-            live_bytes: t.live_bytes.max(0) as u64,
-            live_allocs: t.live_allocs.max(0) as u64,
-            alloc_calls: t.alloc_calls,
-            free_calls: t.free_calls,
+            live_bytes: (t.live_bytes + ll_bytes).max(0) as u64,
+            live_allocs: (t.live_allocs + ll_blocks).max(0) as u64,
+            alloc_calls: t.alloc_calls + ll_allocs,
+            free_calls: t.free_calls + ll_frees,
             bump: s.bump,
             end: s.end,
         }
+    }
+
+    /// Switches class-sized allocation between the lock-free two-level
+    /// path (the default on regions that carry bitmap pages) and the
+    /// legacy magazine/mutex path — the benchmark baseline. Frees of
+    /// bitmap-owned blocks keep routing through the bitmaps regardless
+    /// of the mode. No-op on legacy images.
+    pub fn set_lockfree(&self, enabled: bool) {
+        if self.inner.ll.is_some() {
+            self.inner.lockfree.store(enabled, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether class-sized allocations currently use the lock-free
+    /// two-level allocator.
+    pub fn lockfree_enabled(&self) -> bool {
+        self.inner.ll.is_some() && self.inner.lockfree.load(Ordering::Relaxed)
+    }
+
+    /// Per-class subtree occupancy of the two-level allocator; `None`
+    /// for legacy images without bitmap pages.
+    pub fn llalloc_occupancy(&self) -> Option<[ClassOccupancy; NUM_CLASSES]> {
+        self.inner.ll.as_ref().map(|ll| ll.occupancy())
     }
 
     /// Enables or disables the per-thread magazine fast path for this
@@ -1176,6 +1325,27 @@ impl Region {
         }
         // SAFETY: as above.
         let persisted = unsafe { (*(base as *const RegionHeader)).alloc.stats() };
+        let instance = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
+        // Salvage keeps whatever bitmap pages still verify; unverifiable
+        // ones degrade the session to the (frozen) legacy allocator, so
+        // frees still route correctly and allocation fails cleanly.
+        // SAFETY: mapped copy-on-write and owned exclusively.
+        let ll = unsafe {
+            LlState::open(
+                base,
+                size,
+                instance,
+                &(*(base as *const RegionHeader)).alloc,
+            )
+            .unwrap_or(None)
+        };
+        let mut seeded = seed_stats(&persisted);
+        if let Some(ll) = &ll {
+            // Fold-time snapshot, as in `open_impl`.
+            let (blocks, bytes) = ll.folded_live();
+            seeded.live_allocs -= blocks as i64;
+            seeded.live_bytes -= bytes as i64;
+        }
         let inner = Inner {
             space,
             rid,
@@ -1190,10 +1360,12 @@ impl Region {
             },
             alloc_lock: Mutex::new(()),
             closed: AtomicBool::new(false),
-            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            instance,
             magazines: AtomicBool::new(true),
+            lockfree: AtomicBool::new(ll.is_some()),
+            ll,
             caches: Mutex::new(Vec::new()),
-            retired: Mutex::new(seed_stats(&persisted)),
+            retired: Mutex::new(seeded),
         };
         registry::register(rid, base, size);
         Ok((
@@ -1227,6 +1399,45 @@ impl Inner {
     /// Unique id of this open session (not the reusable region id).
     pub(crate) fn instance(&self) -> u64 {
         self.instance
+    }
+
+    /// Two-level allocator contributions to the aggregate statistics:
+    /// `(alloc_calls, free_calls, live_blocks, live_bytes)`, all zero
+    /// for legacy regions. Live counts are bitmap popcounts minus the
+    /// blocks delegated to magazine caches (the caches' own shards
+    /// account for those), so the sum with [`Inner::aggregate_stats`]
+    /// is exact in every allocation mode.
+    fn ll_totals(&self) -> (u64, u64, i64, i64) {
+        match &self.ll {
+            Some(ll) => {
+                let (allocs, frees) = ll.op_counts();
+                let (blocks, bytes) = ll.stat_live();
+                (allocs, frees, blocks, bytes)
+            }
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// Returns drained blocks to their owning allocator: bitmap-owned
+    /// offsets are CAS-cleared in place (uncounted — the blocks were
+    /// never handed to the application), the rest go back to the legacy
+    /// class free list. Caller holds `alloc_lock`.
+    fn restore_blocks(&self, alloc: &mut AllocHeader, class: usize, blocks: &[u64]) {
+        let mut legacy = Vec::new();
+        for &off in blocks {
+            let routed = self
+                .ll
+                .as_ref()
+                .is_some_and(|ll| ll.owns(off) && ll.free_block(off, false).is_some());
+            if !routed {
+                legacy.push(off);
+            }
+        }
+        if !legacy.is_empty() {
+            // SAFETY: every offset was carved from this region's
+            // allocator and is unreferenced; the region is mapped.
+            unsafe { alloc.restore_batch(self.base, class, &legacy) };
+        }
     }
 
     /// Composes the current header snapshot and writes it — with the next
@@ -1272,9 +1483,7 @@ impl Inner {
                 if blocks.is_empty() {
                     continue;
                 }
-                // SAFETY: every cached offset was carved from this
-                // allocator and is unreferenced; the region is mapped.
-                unsafe { hdr.alloc.restore_batch(self.base, class, &blocks) };
+                self.restore_blocks(&mut hdr.alloc, class, &blocks);
             }
             self.retired.lock().merge(&c.stats);
         }
@@ -1298,12 +1507,21 @@ impl Inner {
     /// holds `alloc_lock`.
     fn fold_counters(&self, alloc: &mut AllocHeader) {
         let t = self.aggregate_stats();
+        let (ll_allocs, ll_frees, ll_blocks, ll_bytes) = self.ll_totals();
         alloc.set_stat_counters(
-            (t.live_bytes + t.cached_bytes as i64).max(0) as u64,
-            (t.live_allocs + t.cached_blocks as i64).max(0) as u64,
-            t.alloc_calls,
-            t.free_calls,
+            (t.live_bytes + t.cached_bytes as i64 + ll_bytes).max(0) as u64,
+            (t.live_allocs + t.cached_blocks as i64 + ll_blocks).max(0) as u64,
+            t.alloc_calls + ll_allocs,
+            t.free_calls + ll_frees,
         );
+        // Snapshot the bitmap popcount alongside, so the next open can
+        // back the fold-time bitmap contribution out of these counters
+        // and re-add the (authoritative) open-time popcount. Lock-free
+        // traffic can drift between the two reads; both are exact at
+        // quiescent points (sync with no concurrent allocs, close).
+        if let Some(ll) = &self.ll {
+            ll.record_fold();
+        }
     }
 
     /// Drains every registered thread cache into the shared free lists
@@ -1318,9 +1536,7 @@ impl Inner {
                 if blocks.is_empty() {
                     continue;
                 }
-                // SAFETY: every cached offset was carved from this
-                // allocator and is unreferenced; the region is mapped.
-                unsafe { alloc.restore_batch(self.base, class, &blocks) };
+                self.restore_blocks(alloc, class, &blocks);
             }
         }
     }
@@ -1337,8 +1553,7 @@ impl Inner {
         }
         // SAFETY: lock held and the mapping is still live (closed=false).
         let hdr = unsafe { &mut *(self.base as *mut RegionHeader) };
-        // SAFETY: the offsets were carved from this allocator and freed.
-        unsafe { hdr.alloc.restore_batch(self.base, class, blocks) };
+        self.restore_blocks(&mut hdr.alloc, class, blocks);
         self.fold_counters(&mut hdr.alloc);
     }
 
@@ -1347,6 +1562,9 @@ impl Inner {
             return Ok(());
         }
         let mut result = Ok(());
+        if let Some(ll) = &self.ll {
+            ll.freeze();
+        }
         if clean {
             {
                 // Serialize with in-flight refills/flushes, then drain
@@ -1358,6 +1576,10 @@ impl Inner {
                 let hdr = unsafe { &mut *(self.base as *mut RegionHeader) };
                 self.reclaim_caches(&mut hdr.alloc);
                 self.fold_counters(&mut hdr.alloc);
+                if let Some(ll) = &self.ll {
+                    // SAFETY: lock held, unique closer: quiescent.
+                    unsafe { ll.seal() };
+                }
                 hdr.flags &= !FLAG_DIRTY;
                 // Converge both slots onto the final snapshot: open-time
                 // rot repair relies on a cleanly-closed image having two

@@ -28,9 +28,10 @@
 //! [`RegionHeader`]; a compile-time assertion in `region.rs` plus the
 //! layout tests in `inspect.rs` keep them honest.
 
-use crate::alloc::NUM_CLASSES;
-use crate::crc::crc64_update;
+use crate::alloc::{CLASS_SIZES, NUM_CLASSES};
+use crate::crc::{crc64, crc64_update};
 use crate::error::{NvError, Result};
+use crate::llalloc;
 use crate::region::{
     RegionHeader, HEADER_VERSION, MAX_ROOTS, META_SLOT_COUNT, META_SLOT_SIZE, REGION_MAGIC,
     ROOT_NAME_CAP,
@@ -52,6 +53,9 @@ const OFF_ALLOC_BUMP: usize = OFF_ALLOC;
 const OFF_ALLOC_END: usize = OFF_ALLOC + 8;
 const OFF_ALLOC_LISTS: usize = OFF_ALLOC + 16;
 const ALLOC_LISTS_LEN: usize = (NUM_CLASSES + 1) * 8;
+/// The `ll_dir` word (bitmap-page directory head) trails the free lists
+/// and the four stat counters; see `AllocHeader` in `alloc.rs`.
+const OFF_ALLOC_LL_DIR: usize = OFF_ALLOC_LISTS + ALLOC_LISTS_LEN + 4 * 8;
 
 /// The `pstore` store magic ("PSTOREV1"); duplicated here because the
 /// dependency points the other way (`pstore` builds on `nvmsim`). The
@@ -169,6 +173,13 @@ pub struct VerifyReport {
     pub boot_errors: Vec<String>,
     /// Allocator-metadata problems: bump/end geometry, free-list links.
     pub alloc_errors: Vec<String>,
+    /// Bitmap-allocator problems: page-chain structure, descriptor
+    /// geometry, and (on clean images) page CRCs and free counters.
+    /// Empty for legacy images without a bitmap directory. A damaged
+    /// bitmap does not make the primary unusable — `Region::open`
+    /// degrades to the legacy allocator — so these count against
+    /// [`healthy`](Self::healthy) but not [`primary_ok`](Self::primary_ok).
+    pub llalloc_errors: Vec<String>,
     /// Root-directory entries that failed to decode or point out of
     /// bounds.
     pub root_errors: Vec<RootIssue>,
@@ -199,6 +210,7 @@ impl VerifyReport {
             clean: false,
             boot_errors: Vec::new(),
             alloc_errors: Vec::new(),
+            llalloc_errors: Vec::new(),
             root_errors: Vec::new(),
             slots: Vec::new(),
             active_slot: None,
@@ -232,6 +244,7 @@ impl VerifyReport {
     /// agreement with it, and no bad or unreadable log entries.
     pub fn healthy(&self) -> bool {
         self.primary_ok()
+            && self.llalloc_errors.is_empty()
             && self.slots.iter().all(|s| s.state != SlotState::Corrupt)
             && self.active_slot.is_some()
             && (!self.clean || self.primary_matches_active == Some(true))
@@ -246,6 +259,7 @@ impl VerifyReport {
         let mut parts: Vec<String> = Vec::new();
         parts.extend(self.boot_errors.iter().cloned());
         parts.extend(self.alloc_errors.iter().cloned());
+        parts.extend(self.llalloc_errors.iter().cloned());
         for r in &self.root_errors {
             parts.push(format!("root {} ({:?}): {}", r.index, r.name, r.reason));
         }
@@ -291,6 +305,14 @@ impl fmt::Display for VerifyReport {
             }
             for r in &self.root_errors {
                 writeln!(f, "  root {:2}:  {:?}: {}", r.index, r.name, r.reason)?;
+            }
+        }
+        if self.llalloc_errors.is_empty() {
+            writeln!(f, "bitmap:     ok (or legacy image)")?;
+        } else {
+            writeln!(f, "bitmap:     DAMAGED")?;
+            for e in &self.llalloc_errors {
+                writeln!(f, "  llalloc:  {e}")?;
             }
         }
         for (i, s) in self.slots.iter().enumerate() {
@@ -450,6 +472,110 @@ fn check_alloc(bytes: &[u8], errors: &mut Vec<String>) {
     }
 }
 
+/// Corruption walk over the two-level bitmap allocator's on-media pages.
+///
+/// Structural predicates (chain bounds, page magic, descriptor
+/// class/capacity/span/padding bits) hold on every image, crashed or
+/// clean — `llalloc` flushes each bitmap word before an allocation
+/// returns, so a crash can only lose whole operations, never tear a
+/// page's structure. The page CRC-64 and the `free == capacity -
+/// popcount(bitmap)` cross-check are sealed only by a clean close, so
+/// they run only when the dirty flag is clear.
+///
+/// Never dereferences anything: the walk is bounds-checked byte reads,
+/// mirroring the layout in `llalloc.rs`.
+fn check_llalloc(bytes: &[u8], clean: bool, errors: &mut Vec<String>) {
+    if bytes.len() < OFF_ALLOC_LL_DIR + 8 {
+        return;
+    }
+    let ll_dir = read_u64(bytes, OFF_ALLOC_LL_DIR);
+    if ll_dir == 0 {
+        return; // Legacy image: no bitmap directory, nothing to check.
+    }
+    let max_pages = bytes.len() / llalloc::LL_PAGE_SIZE + 1;
+    let mut pages = 0usize;
+    let mut page_off = ll_dir;
+    while page_off != 0 {
+        if pages >= max_pages {
+            errors.push("bitmap page chain cycle".to_string());
+            return;
+        }
+        if !page_off.is_multiple_of(64) || page_off as usize + llalloc::LL_PAGE_SIZE > bytes.len() {
+            errors.push(format!("bitmap page offset {page_off:#x} out of bounds"));
+            return;
+        }
+        let p = page_off as usize;
+        if read_u64(bytes, p + llalloc::PAGE_MAGIC) != llalloc::LL_PAGE_MAGIC {
+            errors.push(format!("bitmap page at {page_off:#x} has a bad magic"));
+            return;
+        }
+        let count = read_u64(bytes, p + llalloc::PAGE_COUNT);
+        if count > llalloc::SUBTREES_PER_PAGE as u64 {
+            errors.push(format!(
+                "bitmap page at {page_off:#x} claims {count} descriptors"
+            ));
+            return;
+        }
+        if clean {
+            // A clean close seals every page under a CRC-64 computed
+            // with the CRC field itself zeroed.
+            let mut page = bytes[p..p + llalloc::LL_PAGE_SIZE].to_vec();
+            let stored = read_u64(&page, llalloc::PAGE_CRC);
+            write_u64(&mut page, llalloc::PAGE_CRC, 0);
+            if crc64(&page) != stored {
+                errors.push(format!(
+                    "bitmap page at {page_off:#x} fails its CRC (clean image)"
+                ));
+            }
+        }
+        for slot in 0..count as usize {
+            let d = p + llalloc::DESC_SIZE + slot * llalloc::DESC_SIZE;
+            let meta = read_u64(bytes, d + llalloc::D_META);
+            let class = (meta & 0xff) as usize;
+            let cap = ((meta >> 8) & 0xff) as u32;
+            if class >= NUM_CLASSES || cap == 0 || cap as usize > llalloc::BLOCKS_PER_SUBTREE {
+                errors.push(format!(
+                    "bitmap descriptor {slot}@{page_off:#x}: bad class/capacity"
+                ));
+                continue;
+            }
+            let base = read_u64(bytes, d + llalloc::D_BASE);
+            let span = cap as u64 * CLASS_SIZES[class] as u64;
+            if !base.is_multiple_of(llalloc::GRANULE)
+                || base
+                    .checked_add(span)
+                    .is_none_or(|e| e > bytes.len() as u64)
+            {
+                errors.push(format!(
+                    "bitmap descriptor {slot}@{page_off:#x}: span out of bounds"
+                ));
+                continue;
+            }
+            let bm = read_u64(bytes, d + llalloc::D_BITMAP);
+            let mask = if cap >= 64 { !0u64 } else { (1u64 << cap) - 1 };
+            if bm & !mask != !mask {
+                errors.push(format!(
+                    "bitmap descriptor {slot}@{page_off:#x}: padding bits corrupt"
+                ));
+                continue;
+            }
+            if clean {
+                let free = read_u64(bytes, d + llalloc::D_FREE);
+                let allocated = (bm & mask).count_ones() as u64;
+                if free != cap as u64 - allocated {
+                    errors.push(format!(
+                        "bitmap descriptor {slot}@{page_off:#x}: free counter {free} != \
+                         {} on a clean image",
+                        cap as u64 - allocated
+                    ));
+                }
+            }
+        }
+        page_off = read_u64(bytes, p + llalloc::PAGE_NEXT);
+        pages += 1;
+    }
+}
+
 /// Walks the `pstore` undo log's entry checksums, when a store is
 /// present. Returns `None` when no intact `pstore.meta` root leads to a
 /// plausible store (including when the region simply has no store).
@@ -567,6 +693,7 @@ pub fn verify_bytes(bytes: &[u8]) -> VerifyReport {
     report.clean = read_u64(bytes, OFF_FLAGS) & 1 == 0;
     walk_roots(bytes, |issue| report.root_errors.push(issue));
     check_alloc(bytes, &mut report.alloc_errors);
+    check_llalloc(bytes, report.clean, &mut report.llalloc_errors);
 
     let primary = normalized_primary(bytes);
     let snap = RegionHeader::snapshot_len();
@@ -720,6 +847,18 @@ pub(crate) fn salvage_in_place(bytes: &mut [u8]) -> Result<VerifyReport> {
              bump pinned to end)"
                 .to_string(),
         );
+    }
+    if !mid.llalloc_errors.is_empty() {
+        // Detaching the directory is safe: the carved spans stay behind
+        // `bump`, so the legacy allocator can never re-serve them, and
+        // live blocks freed later are simply recycled through the legacy
+        // free lists. Allocation continues without the bitmap fast path.
+        write_u64(bytes, OFF_ALLOC_LL_DIR, 0);
+        repairs.push(format!(
+            "bitmap allocator unverifiable ({}): directory detached, region \
+             falls back to the legacy allocator",
+            mid.llalloc_errors.join("; ")
+        ));
     }
     // A salvaged image must run recovery layers regardless of what the
     // restored flags claim.
@@ -885,6 +1024,54 @@ mod tests {
             salvage_in_place(&mut bytes),
             Err(NvError::BadImage(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitmap_rot_fails_health_but_not_primary() {
+        let (path, mut bytes) = build_image("llrot.nvr");
+        let ll_dir = read_u64(&bytes, OFF_ALLOC_LL_DIR) as usize;
+        assert_ne!(ll_dir, 0, "default-created images carry a bitmap directory");
+        // Flip an allocation bit in the first descriptor: the structure
+        // stays plausible, but the clean image's page CRC (and the free
+        // counter cross-check) must catch it.
+        bytes[ll_dir + llalloc::DESC_SIZE + llalloc::D_BITMAP] ^= 0x01;
+        let rep = verify_bytes(&bytes);
+        assert!(rep.primary_ok(), "{}", rep.damage_summary());
+        assert!(!rep.llalloc_errors.is_empty(), "{rep}");
+        assert!(!rep.healthy(), "{rep}");
+        assert!(
+            rep.llalloc_errors.iter().any(|e| e.contains("CRC")),
+            "{rep}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitmap_structural_rot_is_caught_even_when_dirty() {
+        let (path, mut bytes) = build_image("llmagic.nvr");
+        let ll_dir = read_u64(&bytes, OFF_ALLOC_LL_DIR) as usize;
+        bytes[OFF_FLAGS] |= 1; // dirty: CRC/counter checks are off
+        bytes[ll_dir] ^= 0xFF; // page magic
+        let rep = verify_bytes(&bytes);
+        assert!(
+            rep.llalloc_errors.iter().any(|e| e.contains("magic")),
+            "{rep}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn salvage_detaches_unverifiable_bitmap_directory() {
+        let (path, mut bytes) = build_image("lldetach.nvr");
+        let ll_dir = read_u64(&bytes, OFF_ALLOC_LL_DIR) as usize;
+        bytes[ll_dir + llalloc::DESC_SIZE + llalloc::D_BITMAP] ^= 0x01;
+        let rep = salvage_in_place(&mut bytes).unwrap();
+        assert!(rep.repairs.iter().any(|r| r.contains("detached")), "{rep}");
+        assert_eq!(read_u64(&bytes, OFF_ALLOC_LL_DIR), 0);
+        let after = verify_bytes(&bytes);
+        assert!(after.llalloc_errors.is_empty(), "{after}");
+        assert!(after.primary_ok());
         std::fs::remove_file(&path).ok();
     }
 

@@ -158,11 +158,22 @@ impl NodeArena {
     /// Scattering restores the latency-bound traversal regime the paper's
     /// measurements ran in (see DESIGN.md, substitution S2).
     ///
+    /// Shuffled placement is a property of the free-list/magazine
+    /// representation (blocks come back in free order); the lock-free
+    /// bitmap core hands blocks back lowest-address-first, which would
+    /// re-sequentialize the layout. Scatter therefore switches its
+    /// regions to the legacy representation — a deliberate trade of the
+    /// bitmap core's crash contract for layout control, which is what
+    /// latency benches want.
+    ///
     /// # Errors
     ///
     /// Allocation failures (the blocks are all freed again before return).
     pub fn scatter(&self, count: usize, node_size: usize, seed: u64) -> Result<()> {
         let regions = self.regions();
+        for region in &regions {
+            region.set_lockfree(false);
+        }
         let effective = if self.is_transactional() {
             pstore::OBJ_HEADER_SIZE + node_size
         } else {

@@ -215,6 +215,10 @@ fn crash_with_loaded_magazines_leaks_boundedly_and_recovers() {
     let path = dir.join("magcrash.nvr");
     {
         let region = Region::create_file(&path, 32 << 20).unwrap();
+        // The default lock-free bitmap path leaks *zero* blocks at a
+        // crash (see tests/alloc_recovery.rs); this test pins the
+        // magazine path's bounded-leak contract, so force it.
+        region.set_lockfree(false);
         // Threads must stay alive across the crash: joining them earlier
         // would run their thread-exit hooks and flush the magazines we
         // want to lose.
