@@ -6,7 +6,7 @@
 //!              [--latency paper|off] [--json FILE]
 //! paper_tables --validate FILE
 //!
-//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl all
+//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl conc all
 //! ```
 //!
 //! `--json FILE` writes every row plus the `nvmsim::metrics` delta
@@ -21,7 +21,7 @@ use std::env;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|all ...] \
+        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|conc|all ...] \
          [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]] \
          [--latency paper|off] [--json FILE]\n       paper_tables --validate FILE"
     );
@@ -211,6 +211,14 @@ fn main() {
             "REPLLAG",
             "Replication lag — backpressure policies (EXPERIMENTS.md)",
             &|cfg| experiments::repl_lag(cfg),
+        );
+    }
+    if want("conc") {
+        run(
+            &mut sections,
+            "CONC",
+            "Concurrent lock-free hashset throughput (EXPERIMENTS.md)",
+            &|cfg| experiments::conc(cfg),
         );
     }
     if sections.is_empty() {

@@ -590,6 +590,110 @@ pub fn repl_lag(cfg: &Config) -> Vec<Row> {
     rows
 }
 
+/// CONC — concurrent lock-free hashset throughput (the EXPERIMENTS.md
+/// `CONC-MATRIX` companion: the concurrent crash matrix proves the
+/// link-and-persist protocol durable-linearizable; this measures what it
+/// costs). Races 1/2/4 OS threads over one shared-mutable hashset per
+/// 8-byte representation with a mixed 50/25/25 insert/remove/contains
+/// stream over a colliding key space, reporting ns/op plus the lock-free
+/// protocol counters (CAS retries, pre-link node persists, destination
+/// flushes). Slowdowns are normal-pointer-relative per thread count.
+pub fn conc(cfg: &Config) -> Vec<Row> {
+    use nvmsim::metrics;
+    use pds::{NodeArena, PHashSet};
+    use pi_core::{NormalPtr, OffHolder, PtrRepr};
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn one<R: PtrRepr>(cfg: &Config, nthreads: usize) -> Row {
+        let per_thread = (cfg.n * cfg.reps / nthreads).max(1);
+        let total = per_thread * nthreads;
+        let keyspace = (cfg.n as u64).max(64);
+        let nbuckets = (keyspace / 4).next_power_of_two().max(64);
+        let before = metrics::snapshot();
+        let region = Region::create(64 << 20).expect("region");
+        {
+            let _s: PHashSet<R, 32> =
+                PHashSet::create_rooted(NodeArena::raw(region.clone()), nbuckets, "hs")
+                    .expect("create hashset");
+        }
+        let seed = cfg.seed;
+        let t = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..nthreads {
+                let region = region.clone();
+                scope.spawn(move || {
+                    let s: PHashSet<R, 32> =
+                        PHashSet::attach(NodeArena::raw(region.clone()), "hs").expect("attach");
+                    let mut x = seed ^ (tid as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+                    for _ in 0..per_thread {
+                        x = mix(x);
+                        let key = x % keyspace;
+                        match (x >> 33) & 3 {
+                            0 | 1 => {
+                                s.insert_lf(key).expect("insert");
+                            }
+                            2 => {
+                                s.remove_lf(key);
+                            }
+                            _ => {
+                                s.contains_lf(key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let ns = t.elapsed().as_nanos() as f64 / total as f64;
+        drop(region);
+        let delta = metrics::snapshot().delta(&before);
+        let get = |name: &str| {
+            delta
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        Row::new(
+            "CONC",
+            "hashset-lf",
+            format!("mixed t{nthreads}"),
+            R::NAME,
+            ns,
+            format!(
+                "ops={total}, cas_retries={}, link_persists={}, dest_flushes={}",
+                get("pds_cas_retries"),
+                get("pds_link_persists"),
+                get("pds_destination_flushes"),
+            ),
+        )
+    }
+
+    let mut rows = Vec::new();
+    for &nthreads in &[1usize, 2, 4] {
+        let base = one::<NormalPtr>(cfg, nthreads);
+        let base_ns = base.nanos;
+        rows.push(base);
+        rows.push(one::<OffHolder>(cfg, nthreads));
+        rows.push(one::<Riv>(cfg, nthreads));
+        // normalize() keys on the note, which here differs per row (it
+        // carries the protocol counters) — set the normal-pointer-
+        // relative slowdowns by hand within each thread count.
+        if base_ns > 0.0 {
+            let k = rows.len() - 3;
+            for r in &mut rows[k..] {
+                r.slowdown = Some(r.nanos / base_ns);
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +705,24 @@ mod tests {
             seed: 9,
             searches: 100,
         }
+    }
+
+    #[test]
+    fn conc_covers_reprs_and_thread_counts() {
+        let rows = conc(&tiny());
+        // 3 thread counts × (normal, off-holder, riv).
+        assert_eq!(rows.len(), 3 * 3);
+        assert!(rows.iter().all(|r| r.nanos > 0.0 && r.slowdown.is_some()));
+        for r in rows.iter().filter(|r| r.repr == "normal") {
+            assert!((r.slowdown.unwrap() - 1.0).abs() < 1e-9);
+        }
+        // The instrumented protocol counters actually count: a mixed
+        // stream must persist nodes before linking them.
+        assert!(
+            rows.iter()
+                .any(|r| r.note.contains("link_persists=") && !r.note.contains("link_persists=0,")),
+            "lock-free inserts must record pre-link node persists"
+        );
     }
 
     #[test]

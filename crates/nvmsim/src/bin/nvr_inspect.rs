@@ -12,6 +12,8 @@
 //!                                          # header, records, epochs, seal, lag
 //! nvr_inspect alloc <image.nvr> [...]      # walk the bitmap allocator: per-class
 //!                                          # subtree occupancy and free counters
+//! nvr_inspect history <file.his> [...]     # dump an NVPIHIS1 concurrent-run
+//!                                          # history: crash event, per-op records
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
@@ -21,11 +23,14 @@
 //! are consistent (legacy images without a bitmap directory count as
 //! consistent), 1 when they are not; stale advisory counters only fail a
 //! *clean* image — a crashed one rebuilds them on the next open.
+//! `history` exits 0 when every file decodes (the CRC seal held), 1 when
+//! one is torn or corrupt, 2 on usage/IO trouble — so CI can triage the
+//! artifacts a failed concurrent-matrix cell uploads.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc] <file> [...]");
+    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc|history] <file> [...]");
     ExitCode::from(2)
 }
 
@@ -248,6 +253,79 @@ fn repl(paths: &[String]) -> ExitCode {
     status
 }
 
+/// Dumps each `NVPIHIS1` history file saved by a failed concurrent
+/// matrix cell: the crash event it was checked against, the initial
+/// membership, and one line per op record (thread, op, key, result,
+/// linearization stamp, invoke/durable events). A record whose durable
+/// event precedes the crash event is marked `durable` — those are the
+/// ops the recovered image must explain.
+fn history(paths: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for path in paths {
+        println!("=== {path}");
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        let (h, crash_event) = match nvmsim::dlin::decode_history(&bytes) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::FAILURE;
+                continue;
+            }
+        };
+        println!("crash_event: {crash_event}");
+        if h.initial.is_empty() {
+            println!("initial:     (empty)");
+        } else {
+            let keys: Vec<String> = h.initial.iter().map(u64::to_string).collect();
+            println!("initial:     {}", keys.join(", "));
+        }
+        println!("ops:         {}", h.ops.len());
+        let mut ops: Vec<&nvmsim::OpRecord> = h.ops.iter().collect();
+        ops.sort_by_key(|o| o.stamp);
+        let mut durable = 0;
+        for o in ops {
+            let result = match o.result {
+                None => "in-flight",
+                Some(true) => "true",
+                Some(false) => "false",
+            };
+            let when = if o.result.is_some() && o.durable_event < crash_event {
+                durable += 1;
+                "durable"
+            } else if o.invoke_event >= crash_event {
+                "post-crash"
+            } else {
+                "optional"
+            };
+            let durable_event = if o.durable_event == u64::MAX {
+                "-".to_string()
+            } else {
+                o.durable_event.to_string()
+            };
+            println!(
+                "  stamp {:>4}  t{} {:>8}({:<4}) -> {:<9} events {}..{}  {}",
+                o.stamp,
+                o.thread,
+                o.op.name(),
+                o.key,
+                result,
+                o.invoke_event,
+                durable_event,
+                when
+            );
+        }
+        println!("durable:     {durable} ops the image must explain");
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -285,6 +363,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 alloc(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "history" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                history(rest)
             }
         }
         _ => {

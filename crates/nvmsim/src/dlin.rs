@@ -1,0 +1,862 @@
+//! Durable-linearizability checking for concurrent set histories.
+//!
+//! The concurrent crash matrix races a shared-mutable set under a seeded
+//! schedule ([`crate::sched`]), injects a crash at some global
+//! persistence event, recovers the image, and must then decide: *is the
+//! recovered state one a correct durable-linearizable set could be in?*
+//! This module answers that question from a recorded history.
+//!
+//! # Model
+//!
+//! Each worker records one [`OpRecord`] per completed or in-flight
+//! operation: the op, its key, the observed result (`None` while
+//! in-flight at the crash), a **linearization stamp** (taken at the op's
+//! linearization point — under the serialized scheduler, stamp order *is*
+//! the order the volatile state evolved in), and two event readings of
+//! the region's shadow clock: `invoke_event` (at invocation) and
+//! `durable_event` (right after the fence that made the response
+//! durable). A crash image at event `n` reflects events `1..n` minus `n`
+//! itself, so an op is **durably linearized before the crash** exactly
+//! when `durable_event < n`.
+//!
+//! Following Izraelevitz et al.'s *durable linearizability* (the strict
+//! form — every completed op is durable before its response is returned,
+//! which the link-and-persist structure guarantees by flushing at the
+//! destination even for reads), the checker classifies each op against a
+//! crash at event `n`:
+//!
+//! * **excluded** (`invoke_event >= n`): invoked after the image was
+//!   captured; nothing it did can be in the image;
+//! * **required** (response recorded and `durable_event < n`): the op
+//!   durably happened — its recorded result must be consistent with the
+//!   replay, and its effect must survive recovery;
+//! * **optional** (everything else): in-flight or not-yet-durable ops
+//!   whose effect may or may not have reached the media (a torn image
+//!   can keep an unfenced CAS). Mutating optional ops form a
+//!   subset-search choice; non-mutating ones (reads, and completed
+//!   no-effect ops like a failed insert) are skipped.
+//!
+//! Set ops on distinct keys commute, so the search is per key: find a
+//! choice of optional effects such that replaying the key's ops in stamp
+//! order satisfies every required op's recorded result and lands on the
+//! recovered membership. Failures are typed ([`Violation`]): a durable
+//! op whose effect vanished ([`Violation::LostDurableOp`]), a recovered
+//! key no history explains ([`Violation::PhantomKey`]), a required
+//! response impossible in every linearization
+//! ([`Violation::Inconsistent`]), or an otherwise unexplainable final
+//! membership ([`Violation::Unexplained`]).
+//!
+//! Histories serialize to a small CRC-sealed file format (`NVPIHIS1`,
+//! [`encode_history`]/[`decode_history`]) so failed matrix cells can be
+//! triaged post-mortem with `nvr_inspect history`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A set operation named by a history record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `insert(key)` — returns `true` if the key was absent.
+    Insert,
+    /// `remove(key)` — returns `true` if the key was present.
+    Remove,
+    /// `contains(key)` — returns the membership.
+    Contains,
+}
+
+impl SetOp {
+    fn code(self) -> u8 {
+        match self {
+            SetOp::Insert => 0,
+            SetOp::Remove => 1,
+            SetOp::Contains => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<SetOp> {
+        match c {
+            0 => Some(SetOp::Insert),
+            1 => Some(SetOp::Remove),
+            2 => Some(SetOp::Contains),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (`insert`/`remove`/`contains`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SetOp::Insert => "insert",
+            SetOp::Remove => "remove",
+            SetOp::Contains => "contains",
+        }
+    }
+}
+
+/// One operation of a recorded concurrent history. See the module docs
+/// for the field semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The scheduled thread id that ran the op.
+    pub thread: u32,
+    /// Which set operation.
+    pub op: SetOp,
+    /// The key operated on.
+    pub key: u64,
+    /// The observed response, `None` if the op was still in flight when
+    /// the run stopped.
+    pub result: Option<bool>,
+    /// Linearization stamp: total order of linearization points across
+    /// threads (unique per history).
+    pub stamp: u64,
+    /// The region's shadow event count read at invocation.
+    pub invoke_event: u64,
+    /// The region's shadow event count read after the fence that made
+    /// the response durable (`u64::MAX` while in flight).
+    pub durable_event: u64,
+}
+
+/// A recorded concurrent run: the keys present (and durable) before the
+/// workload started, plus every operation attempted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    /// Keys durably in the set before the first recorded op.
+    pub initial: Vec<u64>,
+    /// All recorded operations (any order; the checker sorts by stamp).
+    pub ops: Vec<OpRecord>,
+}
+
+/// Process-global linearization stamp source. Only relative order within
+/// one history matters; harnesses comparing traces across runs should
+/// normalize (or call [`reset_stamps`] while otherwise serialized).
+static STAMPS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The last stamp issued to *this* thread (0 = none since the last
+    /// [`take_thread_stamp`]). Lets a harness recover the exact
+    /// linearization stamp of an op that crashed mid-flight: stamped
+    /// structures draw exactly one stamp per op, at the linearization
+    /// point, so after catching a crash panic the harness reads back
+    /// whether — and where — the in-flight op linearized.
+    static LAST_STAMP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Draws the next linearization stamp (unique, monotone process-wide).
+pub fn next_stamp() -> u64 {
+    let s = STAMPS.fetch_add(1, Ordering::Relaxed);
+    LAST_STAMP.set(s);
+    s
+}
+
+/// Takes (and clears) the last stamp issued to the calling thread;
+/// 0 when no stamp was issued since the previous take. Call before an
+/// op to clear, and again after catching the op's crash panic: a zero
+/// means the op never reached its linearization point (no volatile
+/// effect — safe to drop its record), nonzero is its exact stamp.
+pub fn take_thread_stamp() -> u64 {
+    LAST_STAMP.replace(0)
+}
+
+/// Resets the stamp source. Only safe to use while no stamped structure
+/// operations run concurrently (e.g. a serialized test harness).
+pub fn reset_stamps() {
+    STAMPS.store(1, Ordering::Relaxed);
+}
+
+/// Thread-safe collector for [`OpRecord`]s produced by scheduled worker
+/// threads.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Appends one op record.
+    pub fn record(&self, op: OpRecord) {
+        self.ops.lock().unwrap_or_else(|e| e.into_inner()).push(op);
+    }
+
+    /// Builds the history from everything recorded so far.
+    pub fn history(&self, initial: Vec<u64>) -> History {
+        History {
+            initial,
+            ops: self.ops.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+}
+
+/// A durable-linearizability violation found by [`check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// An op that was durably linearized before the crash has no
+    /// surviving effect in the recovered state (a lost durable insert,
+    /// or a removed key that resurrected).
+    LostDurableOp {
+        /// The affected key.
+        key: u64,
+        /// Stamp of the durable op whose effect is missing (0 when it
+        /// cannot be pinned to a single op).
+        stamp: u64,
+    },
+    /// The recovered state contains a key that no recorded operation
+    /// (and no initial membership) could have put there.
+    PhantomKey {
+        /// The unexplained key.
+        key: u64,
+    },
+    /// No linearization is consistent with the results the durable ops
+    /// actually returned (the structure lied to a caller).
+    Inconsistent {
+        /// The affected key.
+        key: u64,
+        /// Stamp of the first required op on that key.
+        stamp: u64,
+    },
+    /// The required ops are internally consistent, but no choice of
+    /// in-flight effects reaches the recovered membership.
+    Unexplained {
+        /// The affected key.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::LostDurableOp { key, stamp } => {
+                write!(f, "durable op (stamp {stamp}) on key {key} lost its effect")
+            }
+            Violation::PhantomKey { key } => {
+                write!(f, "recovered key {key} appears in no recorded operation")
+            }
+            Violation::Inconsistent { key, stamp } => write!(
+                f,
+                "no linearization matches the durable results on key {key} (first required stamp {stamp})"
+            ),
+            Violation::Unexplained { key } => {
+                write!(f, "no choice of in-flight effects explains key {key}")
+            }
+        }
+    }
+}
+
+/// Outcome of a [`check`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Every violation found (empty = the recovered state is explained).
+    pub violations: Vec<Violation>,
+    /// Distinct keys examined (history ∪ initial ∪ recovered).
+    pub keys: usize,
+    /// Whether any key's optional-op subset search hit the [`SUBSET_CAP`]
+    /// and was truncated (a pass with `capped = true` is inconclusive).
+    pub capped: bool,
+}
+
+impl CheckReport {
+    /// Whether the recovered state passed (no violations, search not
+    /// truncated).
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && !self.capped
+    }
+}
+
+/// Cap on the per-key subset search: at most `2^16` choices of optional
+/// effects are tried (16 optional mutating ops per key). Matrix
+/// workloads stay far below this; hitting it marks the report
+/// [`CheckReport::capped`].
+pub const SUBSET_CAP: usize = 16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Required,
+    OptionalMut,
+    Skip,
+}
+
+fn classify(op: &OpRecord, crash_event: u64) -> Class {
+    let durable = op.result.is_some() && op.durable_event < crash_event;
+    if durable {
+        return Class::Required;
+    }
+    match op.op {
+        // An in-flight or not-yet-durable mutation may or may not have
+        // reached the media; a completed no-effect one cannot matter.
+        SetOp::Insert | SetOp::Remove => match op.result {
+            None | Some(true) => Class::OptionalMut,
+            Some(false) => Class::Skip,
+        },
+        SetOp::Contains => Class::Skip,
+    }
+}
+
+/// Per-key replay: can some choice of optional effects satisfy every
+/// required result and land on `target` membership? Returns
+/// `(explained, preconditions_satisfiable, capped)`.
+fn explain_key(initial: bool, ops: &[(&OpRecord, Class)], target: bool) -> (bool, bool, bool) {
+    let optionals = ops.iter().filter(|(_, c)| *c == Class::OptionalMut).count();
+    let capped = optionals > SUBSET_CAP;
+    let bits = optionals.min(SUBSET_CAP);
+    let mut precond_ok = false;
+    for mask in 0u64..(1u64 << bits) {
+        let mut m = initial;
+        let mut opt_idx = 0;
+        let mut ok = true;
+        for (op, class) in ops {
+            match class {
+                Class::Required => {
+                    let expected = match op.op {
+                        SetOp::Insert => !m,
+                        SetOp::Remove | SetOp::Contains => m,
+                    };
+                    if op.result != Some(expected) {
+                        ok = false;
+                        break;
+                    }
+                    match op.op {
+                        SetOp::Insert => m = true,
+                        SetOp::Remove => m = false,
+                        SetOp::Contains => {}
+                    }
+                }
+                Class::OptionalMut => {
+                    let chosen = opt_idx < bits && (mask >> opt_idx) & 1 == 1;
+                    opt_idx += 1;
+                    if chosen {
+                        match op.op {
+                            SetOp::Insert => m = true,
+                            SetOp::Remove => m = false,
+                            SetOp::Contains => {}
+                        }
+                    }
+                }
+                Class::Skip => {}
+            }
+        }
+        if ok {
+            precond_ok = true;
+            if m == target {
+                return (true, true, capped);
+            }
+        }
+    }
+    (false, precond_ok, capped)
+}
+
+/// Checks a recovered membership against a recorded history, for a crash
+/// at shadow event `crash_event` of the structure's region. See the
+/// module docs for the op classification and search.
+pub fn check(h: &History, crash_event: u64, recovered: &[u64]) -> CheckReport {
+    let mut keys: Vec<u64> = h
+        .ops
+        .iter()
+        .map(|o| o.key)
+        .chain(h.initial.iter().copied())
+        .chain(recovered.iter().copied())
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+
+    let mut report = CheckReport {
+        keys: keys.len(),
+        ..CheckReport::default()
+    };
+    for &key in &keys {
+        let mut ops: Vec<&OpRecord> = h
+            .ops
+            .iter()
+            .filter(|o| o.key == key && o.invoke_event < crash_event)
+            .collect();
+        ops.sort_by_key(|o| o.stamp);
+        let classed: Vec<(&OpRecord, Class)> =
+            ops.iter().map(|o| (*o, classify(o, crash_event))).collect();
+        let initial = h.initial.contains(&key);
+        let target = recovered.contains(&key);
+        let (explained, precond_ok, capped) = explain_key(initial, &classed, target);
+        report.capped |= capped;
+        if explained {
+            continue;
+        }
+        let can_insert = classed
+            .iter()
+            .any(|(o, c)| o.op == SetOp::Insert && *c != Class::Skip);
+        if target && !initial && !can_insert {
+            report.violations.push(Violation::PhantomKey { key });
+            continue;
+        }
+        if !precond_ok {
+            let stamp = classed
+                .iter()
+                .find(|(_, c)| *c == Class::Required)
+                .map_or(0, |(o, _)| o.stamp);
+            report
+                .violations
+                .push(Violation::Inconsistent { key, stamp });
+            continue;
+        }
+        // Preconditions are satisfiable but the recovered membership is
+        // not reachable: a durable op's effect went missing. Pin it to
+        // the last required mutating op pushing toward the lost state.
+        let lost = classed
+            .iter()
+            .rev()
+            .find(|(o, c)| {
+                *c == Class::Required
+                    && match o.op {
+                        SetOp::Insert => !target,
+                        SetOp::Remove => target,
+                        SetOp::Contains => false,
+                    }
+            })
+            .map(|(o, _)| o.stamp);
+        match lost {
+            Some(stamp) => report
+                .violations
+                .push(Violation::LostDurableOp { key, stamp }),
+            None => report.violations.push(Violation::Unexplained { key }),
+        }
+    }
+    report
+}
+
+// -- history file codec -------------------------------------------------------
+
+/// Magic leading a serialized history file (`"NVPIHIS1"`).
+pub const HISTORY_MAGIC: [u8; 8] = *b"NVPIHIS1";
+/// Current history file format version.
+pub const HISTORY_VERSION: u32 = 1;
+/// Fixed header length of a serialized history.
+pub const HISTORY_HEADER_LEN: usize = 40;
+/// Encoded length of one [`OpRecord`].
+pub const HISTORY_RECORD_LEN: usize = 40;
+
+/// Why a serialized history failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryCodecError {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The leading magic is not [`HISTORY_MAGIC`].
+    BadMagic,
+    /// Unknown format version.
+    BadVersion {
+        /// The version found.
+        version: u32,
+    },
+    /// The declared record counts overrun the buffer (torn tail).
+    Truncated,
+    /// The trailing CRC-64 does not match the content.
+    BadCrc,
+    /// An op code outside the inventory.
+    BadOp {
+        /// The offending code.
+        code: u8,
+    },
+    /// A result code outside `0..=2`.
+    BadResult {
+        /// The offending code.
+        code: u8,
+    },
+}
+
+impl std::fmt::Display for HistoryCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryCodecError::TooShort => write!(f, "shorter than the history header"),
+            HistoryCodecError::BadMagic => write!(f, "bad magic (not a NVPIHIS1 history)"),
+            HistoryCodecError::BadVersion { version } => {
+                write!(f, "unsupported history version {version}")
+            }
+            HistoryCodecError::Truncated => write!(f, "torn tail: declared records overrun file"),
+            HistoryCodecError::BadCrc => write!(f, "trailing CRC-64 mismatch"),
+            HistoryCodecError::BadOp { code } => write!(f, "unknown op code {code}"),
+            HistoryCodecError::BadResult { code } => write!(f, "unknown result code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryCodecError {}
+
+/// Serializes a history (plus the crash event it was checked against)
+/// into the CRC-sealed `NVPIHIS1` format.
+pub fn encode_history(h: &History, crash_event: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        HISTORY_HEADER_LEN + h.initial.len() * 8 + h.ops.len() * HISTORY_RECORD_LEN + 8,
+    );
+    out.extend_from_slice(&HISTORY_MAGIC);
+    out.extend_from_slice(&HISTORY_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&crash_event.to_le_bytes());
+    out.extend_from_slice(&(h.initial.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(h.ops.len() as u64).to_le_bytes());
+    for k in &h.initial {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    for op in &h.ops {
+        out.extend_from_slice(&op.thread.to_le_bytes());
+        out.push(op.op.code());
+        out.push(match op.result {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        out.extend_from_slice(&0u16.to_le_bytes()); // pad
+        out.extend_from_slice(&op.key.to_le_bytes());
+        out.extend_from_slice(&op.stamp.to_le_bytes());
+        out.extend_from_slice(&op.invoke_event.to_le_bytes());
+        out.extend_from_slice(&op.durable_event.to_le_bytes());
+    }
+    let crc = crate::crc::crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes an `NVPIHIS1` history file back into the history and the
+/// crash event it records.
+///
+/// # Errors
+///
+/// [`HistoryCodecError`] naming the first structural problem found; a
+/// torn or bit-flipped file never decodes partially.
+pub fn decode_history(bytes: &[u8]) -> Result<(History, u64), HistoryCodecError> {
+    if bytes.len() < HISTORY_HEADER_LEN + 8 {
+        return Err(HistoryCodecError::TooShort);
+    }
+    if bytes[..8] != HISTORY_MAGIC {
+        return Err(HistoryCodecError::BadMagic);
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().unwrap());
+    let u64_at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+    let version = u32_at(8);
+    if version != HISTORY_VERSION {
+        return Err(HistoryCodecError::BadVersion { version });
+    }
+    let crash_event = u64_at(16);
+    let ninitial = u64_at(24) as usize;
+    let nops = u64_at(32) as usize;
+    let body_len = HISTORY_HEADER_LEN
+        + ninitial
+            .checked_mul(8)
+            .and_then(|a| {
+                nops.checked_mul(HISTORY_RECORD_LEN)
+                    .and_then(|b| a.checked_add(b))
+            })
+            .ok_or(HistoryCodecError::Truncated)?;
+    if bytes.len() < body_len + 8 {
+        return Err(HistoryCodecError::Truncated);
+    }
+    let crc = u64_at(body_len);
+    if crc != crate::crc::crc64(&bytes[..body_len]) {
+        return Err(HistoryCodecError::BadCrc);
+    }
+    let mut initial = Vec::with_capacity(ninitial);
+    let mut off = HISTORY_HEADER_LEN;
+    for _ in 0..ninitial {
+        initial.push(u64_at(off));
+        off += 8;
+    }
+    let mut ops = Vec::with_capacity(nops);
+    for _ in 0..nops {
+        let thread = u32_at(off);
+        let op = SetOp::from_code(bytes[off + 4]).ok_or(HistoryCodecError::BadOp {
+            code: bytes[off + 4],
+        })?;
+        let result = match bytes[off + 5] {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            code => return Err(HistoryCodecError::BadResult { code }),
+        };
+        ops.push(OpRecord {
+            thread,
+            op,
+            key: u64_at(off + 8),
+            result,
+            stamp: u64_at(off + 16),
+            invoke_event: u64_at(off + 24),
+            durable_event: u64_at(off + 32),
+        });
+        off += HISTORY_RECORD_LEN;
+    }
+    Ok((History { initial, ops }, crash_event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(
+        thread: u32,
+        op: SetOp,
+        key: u64,
+        result: Option<bool>,
+        stamp: u64,
+        invoke: u64,
+        durable: u64,
+    ) -> OpRecord {
+        OpRecord {
+            thread,
+            op,
+            key,
+            result,
+            stamp,
+            invoke_event: invoke,
+            durable_event: durable,
+        }
+    }
+
+    #[test]
+    fn valid_history_is_explained() {
+        // T0 durably inserts 1; T1's insert of 2 is in flight at the
+        // crash (event 10): both {1} and {1, 2} are valid recoveries.
+        let h = History {
+            initial: vec![],
+            ops: vec![
+                rec(0, SetOp::Insert, 1, Some(true), 1, 0, 4),
+                rec(1, SetOp::Insert, 2, None, 2, 5, u64::MAX),
+            ],
+        };
+        assert!(check(&h, 10, &[1]).ok());
+        assert!(check(&h, 10, &[1, 2]).ok());
+    }
+
+    #[test]
+    fn lost_durable_insert_is_flagged() {
+        let h = History {
+            initial: vec![],
+            ops: vec![rec(0, SetOp::Insert, 7, Some(true), 1, 0, 3)],
+        };
+        let r = check(&h, 10, &[]);
+        assert_eq!(
+            r.violations,
+            vec![Violation::LostDurableOp { key: 7, stamp: 1 }]
+        );
+    }
+
+    #[test]
+    fn resurrected_key_after_durable_remove_is_flagged() {
+        let h = History {
+            initial: vec![3],
+            ops: vec![rec(0, SetOp::Remove, 3, Some(true), 1, 0, 2)],
+        };
+        let r = check(&h, 10, &[3]);
+        assert_eq!(
+            r.violations,
+            vec![Violation::LostDurableOp { key: 3, stamp: 1 }]
+        );
+    }
+
+    #[test]
+    fn phantom_key_is_flagged() {
+        let h = History {
+            initial: vec![],
+            ops: vec![rec(0, SetOp::Insert, 1, Some(true), 1, 0, 2)],
+        };
+        let r = check(&h, 10, &[1, 99]);
+        assert_eq!(r.violations, vec![Violation::PhantomKey { key: 99 }]);
+    }
+
+    #[test]
+    fn torn_pair_keeps_later_non_durable_op_only() {
+        // Insert A durable, insert B completed but not durable: a torn
+        // image may keep B while a broken protocol loses A. Keeping both
+        // or just A is fine; losing A is a violation whatever happened
+        // to B.
+        let h = History {
+            initial: vec![],
+            ops: vec![
+                rec(0, SetOp::Insert, 10, Some(true), 1, 0, 3),
+                rec(1, SetOp::Insert, 20, Some(true), 2, 4, 9),
+            ],
+        };
+        assert!(check(&h, 8, &[10, 20]).ok());
+        assert!(check(&h, 8, &[10]).ok());
+        let r = check(&h, 8, &[20]);
+        assert_eq!(
+            r.violations,
+            vec![Violation::LostDurableOp { key: 10, stamp: 1 }]
+        );
+    }
+
+    #[test]
+    fn inconsistent_durable_results_are_flagged() {
+        // Two durable inserts of the same key both claim "inserted" with
+        // no remove in between: no linearization explains that.
+        let h = History {
+            initial: vec![],
+            ops: vec![
+                rec(0, SetOp::Insert, 5, Some(true), 1, 0, 2),
+                rec(1, SetOp::Insert, 5, Some(true), 2, 0, 4),
+            ],
+        };
+        let r = check(&h, 10, &[5]);
+        assert_eq!(
+            r.violations,
+            vec![Violation::Inconsistent { key: 5, stamp: 1 }]
+        );
+    }
+
+    #[test]
+    fn ops_invoked_after_the_crash_are_excluded() {
+        // Invoked at event 10 >= crash event 10: even a "durable-looking"
+        // record cannot constrain the image.
+        let h = History {
+            initial: vec![],
+            ops: vec![rec(0, SetOp::Insert, 1, Some(true), 1, 10, 11)],
+        };
+        assert!(check(&h, 10, &[]).ok());
+    }
+
+    #[test]
+    fn interleaved_required_and_optional_ops_search_choices() {
+        // Durable: insert 4 then remove 4. An in-flight insert of 4
+        // after the remove may or may not have landed: both recoveries
+        // pass.
+        let h = History {
+            initial: vec![],
+            ops: vec![
+                rec(0, SetOp::Insert, 4, Some(true), 1, 0, 2),
+                rec(0, SetOp::Remove, 4, Some(true), 2, 2, 4),
+                rec(1, SetOp::Insert, 4, None, 3, 5, u64::MAX),
+            ],
+        };
+        assert!(check(&h, 9, &[]).ok());
+        assert!(check(&h, 9, &[4]).ok());
+    }
+
+    #[test]
+    fn durable_contains_constrains_the_linearization() {
+        // A durable contains(6) == true with no insert anywhere is a lie.
+        let h = History {
+            initial: vec![],
+            ops: vec![rec(0, SetOp::Contains, 6, Some(true), 1, 0, 2)],
+        };
+        let r = check(&h, 10, &[]);
+        assert_eq!(
+            r.violations,
+            vec![Violation::Inconsistent { key: 6, stamp: 1 }]
+        );
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let h = History {
+            initial: vec![1, 2, 3],
+            ops: vec![
+                rec(0, SetOp::Insert, 10, Some(true), 1, 0, 4),
+                rec(1, SetOp::Remove, 2, Some(true), 2, 1, 6),
+                rec(1, SetOp::Contains, 3, Some(true), 3, 2, 7),
+                rec(0, SetOp::Insert, 11, None, 4, 8, u64::MAX),
+            ],
+        };
+        let bytes = encode_history(&h, 42);
+        let (back, crash) = decode_history(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(crash, 42);
+    }
+
+    #[test]
+    fn codec_rejects_damage() {
+        let h = History {
+            initial: vec![9],
+            ops: vec![rec(0, SetOp::Insert, 1, Some(true), 1, 0, 2)],
+        };
+        let good = encode_history(&h, 5);
+        for cut in 0..good.len() {
+            assert!(decode_history(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut flipped = good.clone();
+        flipped[HISTORY_HEADER_LEN + 2] ^= 1;
+        assert_eq!(decode_history(&flipped), Err(HistoryCodecError::BadCrc));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(decode_history(&bad_magic), Err(HistoryCodecError::BadMagic));
+        let mut bad_version = good;
+        bad_version[8] = 9;
+        // CRC is checked only after the version gate, so this reports the
+        // version, not the checksum.
+        assert_eq!(
+            decode_history(&bad_version),
+            Err(HistoryCodecError::BadVersion { version: 9 })
+        );
+    }
+
+    /// Sequential model: apply random fully-durable ops in order; the
+    /// exact final state must check clean, and deleting a durably
+    /// inserted key (or resurrecting a durably removed one) must not.
+    fn run_model(seed: u64, nops: usize) -> (History, Vec<u64>) {
+        let mut state: Vec<u64> = Vec::new();
+        let mut ops = Vec::new();
+        let mut x = seed;
+        for i in 0..nops {
+            x = crate::shadow::splitmix64(x.wrapping_add(1));
+            let key = x % 8;
+            let op = match (x >> 8) % 3 {
+                0 => SetOp::Insert,
+                1 => SetOp::Remove,
+                _ => SetOp::Contains,
+            };
+            let present = state.contains(&key);
+            let result = match op {
+                SetOp::Insert => {
+                    if !present {
+                        state.push(key);
+                    }
+                    !present
+                }
+                SetOp::Remove => {
+                    state.retain(|&k| k != key);
+                    present
+                }
+                SetOp::Contains => present,
+            };
+            ops.push(OpRecord {
+                thread: (x % 4) as u32,
+                op,
+                key,
+                result: Some(result),
+                stamp: i as u64 + 1,
+                invoke_event: i as u64,
+                durable_event: i as u64 + 1,
+            });
+        }
+        state.sort_unstable();
+        (
+            History {
+                initial: vec![],
+                ops,
+            },
+            state,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sequential_durable_histories_check_clean(seed in any::<u64>(), nops in 1usize..40) {
+            let (h, state) = run_model(seed, nops);
+            let crash = nops as u64 + 2; // after every durable point
+            prop_assert!(check(&h, crash, &state).ok());
+        }
+
+        #[test]
+        fn perturbed_recoveries_are_rejected(seed in any::<u64>(), nops in 1usize..40) {
+            let (h, state) = run_model(seed, nops);
+            let crash = nops as u64 + 2;
+            if let Some(&k) = state.first() {
+                // Losing a durably present key must be flagged.
+                let lost: Vec<u64> = state.iter().copied().filter(|&x| x != k).collect();
+                prop_assert!(!check(&h, crash, &lost).ok());
+            }
+            // A key never mentioned anywhere is a phantom.
+            let mut phantom = state.clone();
+            phantom.push(0xDEAD_BEEF);
+            let r = check(&h, crash, &phantom);
+            prop_assert!(r.violations.contains(&Violation::PhantomKey { key: 0xDEAD_BEEF }));
+        }
+    }
+}

@@ -122,6 +122,9 @@ pub fn delay_ns(ns: u64) {
 /// configured `wbarrier` latency.
 #[inline]
 pub fn wbarrier() {
+    // Scheduling point: under a seeded `crate::sched` schedule, the
+    // interleaving can change hands here, *before* the event is counted.
+    crate::sched::yield_point();
     std::sync::atomic::fence(Ordering::SeqCst);
     crate::shadow::on_fence();
     metrics::incr(Counter::WbarrierCalls);
@@ -136,6 +139,8 @@ pub fn wbarrier() {
 /// device: pays the configured per-line flush latency.
 #[inline]
 pub fn clflush_range(addr: usize, len: usize) {
+    // Scheduling point, like `wbarrier`.
+    crate::sched::yield_point();
     crate::shadow::on_flush(addr, len);
     if len == 0 {
         return;

@@ -44,6 +44,7 @@
 
 pub mod alloc;
 pub mod crc;
+pub mod dlin;
 pub mod error;
 pub mod inspect;
 pub mod latency;
@@ -57,10 +58,12 @@ pub mod persist;
 pub mod region;
 pub mod registry;
 pub mod repl;
+pub mod sched;
 pub mod shadow;
 pub mod twolevel;
 pub mod verify;
 
+pub use dlin::{CheckReport, History, OpRecord, Recorder, SetOp, Violation};
 pub use error::{NvError, Result};
 pub use latency::LatencyModel;
 pub use layout::{ExactLayout, Layout};
@@ -72,6 +75,7 @@ pub use repl::{
     ApplyReport, Backpressure, Delta, DeltaLine, ReplError, ReplSink, ReplSource, Replicator,
     ReplicatorConfig,
 };
+pub use sched::{SchedEvent, ScheduleAborted, Scheduler};
 pub use shadow::{
     CapturedCrash, CrashPointReached, FaultPlan, FaultPolicy, FaultReport, FaultStamp, ShadowError,
 };

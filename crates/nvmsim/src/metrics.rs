@@ -138,6 +138,17 @@ counters! {
     LlallocSubtreesCreated => "llalloc_subtrees_created",
     /// Bitmap-page and descriptor lines visited by recovery/open scans.
     LlallocRecoveryLines => "llalloc_recovery_lines",
+    /// Failed link CASes retried by lock-free persistent data structures
+    /// (bucket-slot contention in pds-style link-and-persist sets).
+    PdsCasRetries => "pds_cas_retries",
+    /// Node/link persists issued before publishing a link (the
+    /// "link-and-persist" half of the protocol: persist the node, CAS,
+    /// persist the link).
+    PdsLinkPersists => "pds_link_persists",
+    /// NVTraverse-style flushes at traversal destinations (including the
+    /// read-side flushes that make observed state durable before a
+    /// response is returned).
+    PdsDestinationFlushes => "pds_destination_flushes",
 }
 
 /// Number of counter shards. Power of two; threads are assigned
@@ -280,7 +291,7 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         assert_eq!(
             names.last().copied(),
-            Some("llalloc_recovery_lines"),
+            Some("pds_destination_flushes"),
             "serialization order is the declaration order"
         );
     }

@@ -604,6 +604,16 @@ impl Region {
     ///
     /// As [`Region::alloc`].
     pub fn alloc_off(&self, size: usize, align: usize) -> Result<u64> {
+        // Allocator internals flush while holding the allocation lock
+        // (the lock-free core's grow() formats bitmap pages under it); a
+        // seeded-schedule context switch in there would deadlock the
+        // token passing, so the whole allocation is one uninterruptible
+        // scheduling step — its flushes still count as shadow events.
+        // See `crate::sched`.
+        crate::sched::with_yields_suppressed(|| self.alloc_off_inner(size, align))
+    }
+
+    fn alloc_off_inner(&self, size: usize, align: usize) -> Result<u64> {
         self.check_open()?;
         crate::metrics::incr(crate::metrics::Counter::RegionAllocs);
         assert!(size > 0, "zero-size allocation");
@@ -765,6 +775,14 @@ impl Region {
     /// `size`, must not have been freed already, and no live references into
     /// the block may remain.
     pub unsafe fn dealloc(&self, ptr: NonNull<u8>, size: usize) {
+        // One uninterruptible scheduling step, like `alloc_off`.
+        crate::sched::with_yields_suppressed(|| self.dealloc_inner(ptr, size))
+    }
+
+    /// # Safety
+    ///
+    /// As [`Region::dealloc`].
+    unsafe fn dealloc_inner(&self, ptr: NonNull<u8>, size: usize) {
         crate::metrics::incr(crate::metrics::Counter::RegionFrees);
         let off = (ptr.as_ptr() as usize - self.inner.base) as u64;
         let rounded = AllocHeader::rounded_size(size);

@@ -487,6 +487,7 @@ pub(crate) fn on_flush(addr: usize, len: usize) {
     };
     // A flush is an event of the region it lands in, and only that one.
     let n = t.events.fetch_add(1, Ordering::Relaxed) + 1;
+    crate::sched::note_event(t.base, n, crate::sched::EventKind::Flush);
     run_plan(t.base, n);
     let mut s = lock(&t.state);
     for line in line_range(&t, addr, len) {
@@ -525,6 +526,7 @@ pub(crate) fn on_fence() {
     // commit below takes effect.
     for t in &trackers {
         let n = t.events.fetch_add(1, Ordering::Relaxed) + 1;
+        crate::sched::note_event(t.base, n, crate::sched::EventKind::Fence);
         run_plan(t.base, n);
     }
     for t in trackers {
@@ -660,7 +662,7 @@ pub fn persisted_view(base: usize) -> Option<Vec<u8>> {
     Some(s.persisted.clone())
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

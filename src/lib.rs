@@ -63,8 +63,9 @@ pub use pi_core;
 pub use pstore;
 
 pub use nvmsim::{
-    CapturedCrash, CrashPointReached, ExactLayout, FaultPlan, FaultPolicy, FaultReport, FaultStamp,
-    LatencyModel, Layout, NvError, NvSpace, Region, RegionPool, VerifyReport,
+    CapturedCrash, CheckReport, CrashPointReached, ExactLayout, FaultPlan, FaultPolicy,
+    FaultReport, FaultStamp, History, LatencyModel, Layout, NvError, NvSpace, OpRecord, Recorder,
+    Region, RegionPool, SchedEvent, ScheduleAborted, Scheduler, SetOp, VerifyReport, Violation,
 };
 pub use pds::{NodeArena, PBst, PGraph, PHashSet, PList, PMap, PTrie, PVec, PdsError, WordCount};
 pub use pi_core::{

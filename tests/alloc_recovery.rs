@@ -17,6 +17,8 @@ use nvm_pi::{FaultPolicy, Region};
 use std::ptr::NonNull;
 use std::sync::{Arc, Barrier, Mutex};
 
+mod util;
+
 // These tests contend on the shared segment pool; serialize them.
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -26,10 +28,7 @@ const OPS: usize = 600;
 const SIZES: [usize; 4] = [16, 64, 256, 1024];
 
 fn seed_from_env(default: u64) -> u64 {
-    std::env::var("ALLOC_MATRIX_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    util::env_seed("ALLOC_MATRIX_SEED", default)
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -44,7 +43,8 @@ fn xorshift(state: &mut u64) -> u64 {
 /// Seeded N-thread churn, a fault-injected crash with every thread's
 /// live set in hand, and an exactness audit of the reopened image.
 fn churn_crash_audit(name: &str, policy: FaultPolicy, seed: u64) {
-    let _serial = SERIAL.lock().unwrap();
+    let _serial = util::serial_guard(&SERIAL);
+    let tag = util::seed_tag("ALLOC_MATRIX_SEED", seed);
     let dir = std::env::temp_dir().join(format!("nvmsim-allocrec-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(name);
@@ -127,7 +127,7 @@ fn churn_crash_audit(name: &str, policy: FaultPolicy, seed: u64) {
     // The unflushed scribbles guarantee the fault policy had real work.
     assert!(
         report.dropped_lines + report.torn_lines > 0,
-        "churn must leave unflushed lines for the fault policy to eat"
+        "[{name} {tag}] churn must leave unflushed lines for the fault policy to eat"
     );
 
     let held = Arc::try_unwrap(held).unwrap().into_inner().unwrap();
@@ -135,14 +135,20 @@ fn churn_crash_audit(name: &str, policy: FaultPolicy, seed: u64) {
     let want_bytes: u64 = held.iter().map(|&(_, s)| s as u64).sum();
 
     let region = Region::open_file(&path).unwrap();
-    assert!(region.was_dirty(), "faulted crash left the image dirty");
+    assert!(
+        region.was_dirty(),
+        "[{name} {tag}] faulted crash left the image dirty"
+    );
     let s = region.stats();
     assert_eq!(
         s.live_allocs, want_blocks,
-        "recovered live blocks must equal the application's surviving set \
-         exactly (zero leak, zero loss)"
+        "[{name} {tag}] recovered live blocks must equal the application's surviving \
+         set exactly (zero leak, zero loss)"
     );
-    assert_eq!(s.live_bytes, want_bytes, "recovered live bytes exact");
+    assert_eq!(
+        s.live_bytes, want_bytes,
+        "[{name} {tag}] recovered live bytes exact"
+    );
 
     // Fresh allocations must never overlap a surviving block.
     let mut fresh = Vec::new();
@@ -154,7 +160,8 @@ fn churn_crash_audit(name: &str, policy: FaultPolicy, seed: u64) {
         for &(off, size) in &held {
             assert!(
                 f + 64 <= off || off + size as u64 <= f,
-                "fresh block at {f:#x} overlaps surviving block [{off:#x}, +{size})"
+                "[{name} {tag}] fresh block at {f:#x} overlaps surviving block \
+                 [{off:#x}, +{size})"
             );
         }
     }
@@ -168,14 +175,17 @@ fn churn_crash_audit(name: &str, policy: FaultPolicy, seed: u64) {
         unsafe { region.dealloc(p, 64) };
     }
     let s = region.stats();
-    assert_eq!(s.live_allocs, 0, "all blocks returned");
+    assert_eq!(s.live_allocs, 0, "[{name} {tag}] all blocks returned");
     assert_eq!(s.live_bytes, 0);
     region.close().unwrap();
 
     let region = Region::open_file(&path).unwrap();
     assert!(!region.was_dirty(), "clean close after recovery");
     let s = region.stats();
-    assert_eq!(s.live_allocs, 0, "clean image agrees: nothing live");
+    assert_eq!(
+        s.live_allocs, 0,
+        "[{name} {tag}] clean image agrees: nothing live"
+    );
     region.close().unwrap();
     std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,683 @@
+//! Concurrent crash matrix: deterministic multi-threaded fault schedules
+//! over the lock-free durable hashset, with durable-linearizability
+//! checking of every recovered crash image.
+//!
+//! Each cell races `NTHREADS` workers over one `PHashSet` in lock-free
+//! mode under a seeded [`Scheduler`] interleaving: the token changes
+//! hands only at instrumented persistence points, so a schedule is a
+//! seed and every cell replays exactly. A [`FaultPlan::capture_all`]
+//! records a faulted image at *every* global flush/fence event; each
+//! image is written out, re-opened, recovered ([`PHashSet::recover`]),
+//! invariant-checked, and then judged by the durable-linearizability
+//! checker ([`dlin::check`]) against the recorded per-op history
+//! (linearization stamps + invoke/durable event readings). The sweep
+//! covers both 8-byte pointer representations ([`OffHolder`], [`Riv`]),
+//! both fault policies (drop-unflushed, word tearing), and
+//! `NSEEDS` schedule seeds derived from `CONC_MATRIX_SEED`.
+//!
+//! Beyond the clean sweep the binary proves the checker has teeth: a
+//! known-bad insert variant that skips its post-CAS destination flush
+//! ([`PHashSet::insert_lf_stamped_mutant_skipflush`]) must be caught as
+//! [`Violation::LostDurableOp`] — both deterministically in a
+//! hand-built single-threaded cell and across the seeded sweep — and a
+//! real mid-schedule crash ([`FaultPlan::crash_at_nth_event`]) must
+//! stop every thread at the crash point and still check clean, with
+//! in-flight ops recovered via [`dlin::take_thread_stamp`].
+//!
+//! The shadow tracker and stamp source are process-global, so every
+//! test serializes on `SERIAL`. Failure contexts embed
+//! `CONC_MATRIX_SEED=0x..`; set `CONC_MATRIX_ARTIFACT_DIR` to save the
+//! offending crash image + `NVPIHIS1` history on a violation (the CI
+//! job uploads them; triage offline with `nvr_inspect history`).
+
+use nvm_pi::nvmsim::sched::EventKind;
+use nvm_pi::nvmsim::{dlin, shadow};
+use nvm_pi::{
+    CrashPointReached, FaultPlan, FaultPolicy, NodeArena, OffHolder, OpRecord, PHashSet, PtrRepr,
+    Recorder, Region, Riv, ScheduleAborted, Scheduler, SetOp, Violation,
+};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+mod util;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const REGION_SIZE: usize = 256 << 10;
+const NBUCKETS: u64 = 8;
+const NTHREADS: usize = 2;
+const OPS_PER_THREAD: usize = 8;
+const NSEEDS: u64 = 8;
+/// Small colliding key space: chains form and threads contend per key.
+const KEYSPACE: u64 = 12;
+/// Keys durably present (and flushed) before the schedule starts.
+const INITIAL: [u64; 4] = [2, 5, 8, 11];
+
+/// Base seed: `CONC_MATRIX_SEED` env (decimal or `0x`-prefixed hex);
+/// per-cell schedule seeds derive from it via [`util::splitmix64`].
+fn base_seed() -> u64 {
+    util::env_seed("CONC_MATRIX_SEED", 0x5EED_C04C)
+}
+
+fn tag() -> String {
+    util::seed_tag("CONC_MATRIX_SEED", base_seed())
+}
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    util::serial_guard(&SERIAL)
+}
+
+fn tdir(label: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("conc-matrix-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cell_seed(i: u64) -> u64 {
+    util::splitmix64(base_seed() ^ (0xCE11_0000 + i))
+}
+
+fn policy_name(policy: FaultPolicy) -> &'static str {
+    match policy {
+        FaultPolicy::DropUnflushed => "drop",
+        FaultPolicy::TearWords { .. } => "tear",
+        _ => "other",
+    }
+}
+
+fn policies() -> [FaultPolicy; 2] {
+    [
+        FaultPolicy::DropUnflushed,
+        FaultPolicy::TearWords { seed: base_seed() },
+    ]
+}
+
+/// The op stream is a pure function of `(cell_seed, tid, op index)`.
+fn op_of(kind: u64) -> SetOp {
+    match kind % 3 {
+        0 => SetOp::Insert,
+        1 => SetOp::Remove,
+        _ => SetOp::Contains,
+    }
+}
+
+fn do_op<R: PtrRepr>(s: &PHashSet<R, 32>, kind: u64, key: u64, mutant: bool) -> (bool, u64) {
+    match op_of(kind) {
+        SetOp::Insert if mutant => s.insert_lf_stamped_mutant_skipflush(key).unwrap(),
+        SetOp::Insert => s.insert_lf_stamped(key).unwrap(),
+        SetOp::Remove => s.remove_lf_stamped(key),
+        SetOp::Contains => s.contains_lf_stamped(key),
+    }
+}
+
+/// Saves the crash image and the CRC-sealed history next to each other
+/// when `CONC_MATRIX_ARTIFACT_DIR` is set, for offline triage.
+fn save_artifacts(name: &str, image: &[u8], history: &dlin::History, crash_event: u64) {
+    let Some(dir) = std::env::var_os("CONC_MATRIX_ARTIFACT_DIR").map(PathBuf::from) else {
+        return;
+    };
+    std::fs::create_dir_all(&dir).ok();
+    std::fs::write(dir.join(format!("{name}.nvr")), image).ok();
+    std::fs::write(
+        dir.join(format!("{name}.history")),
+        dlin::encode_history(history, crash_event),
+    )
+    .ok();
+    eprintln!("saved violation artifacts under {}", dir.display());
+}
+
+/// Everything one cell produced, for determinism comparisons and
+/// violation assertions by the caller.
+struct CellOutcome {
+    /// Base-normalized schedule trace: `(thread, event, is_flush)`.
+    trace: Vec<(usize, u64, bool)>,
+    history: dlin::History,
+    final_keys: Vec<u64>,
+    crash_points: usize,
+    /// `(crash event, violations)` per image the checker rejected.
+    violations: Vec<(u64, Vec<Violation>)>,
+}
+
+/// Runs one cell: prepopulate, race `nthreads` workers under the seeded
+/// schedule with `capture_all` armed, do exact element accounting on the
+/// live survivor, then recover + invariant-check + dlin-check every
+/// captured image. Structural failures panic (with the reproduction
+/// tag); checker verdicts are returned for the caller to judge, because
+/// the mutant sweep *wants* violations.
+fn run_cell<R: PtrRepr>(
+    label: &str,
+    policy: FaultPolicy,
+    sched_seed: u64,
+    nthreads: usize,
+    mutant: bool,
+) -> CellOutcome {
+    let ctx = format!(
+        "{label} {} seed {sched_seed:#x} {}",
+        policy_name(policy),
+        tag()
+    );
+    let dir = tdir(&format!("{label}-{}-{sched_seed:x}", policy_name(policy)));
+    let orig = dir.join("orig.nvr");
+    let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+    {
+        let mut s: PHashSet<R, 32> =
+            PHashSet::create_rooted(NodeArena::raw(region.clone()), NBUCKETS, "hs").unwrap();
+        for &k in &INITIAL {
+            assert!(s.insert(k).unwrap(), "[{ctx}] prepopulate {k}");
+        }
+    }
+    region.sync().unwrap();
+    region.enable_shadow().unwrap();
+    shadow::reset_events_for(region.base());
+    dlin::reset_stamps();
+    let plan = FaultPlan::capture_all(&region, policy);
+    let sched = Scheduler::new(sched_seed, nthreads);
+    let rec = Arc::new(Recorder::new());
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let sched = sched.clone();
+            let rec = Arc::clone(&rec);
+            let region = region.clone();
+            scope.spawn(move || {
+                sched.run(tid, move || {
+                    let s: PHashSet<R, 32> =
+                        PHashSet::attach(NodeArena::raw(region.clone()), "hs").unwrap();
+                    let mut x = sched_seed ^ (tid as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+                    for _ in 0..OPS_PER_THREAD {
+                        x = util::splitmix64(x);
+                        let key = x % KEYSPACE;
+                        let kind = x >> 33;
+                        let invoke = shadow::event_count_for(region.base());
+                        let (result, stamp) = do_op(&s, kind, key, mutant);
+                        let durable = shadow::event_count_for(region.base());
+                        rec.record(OpRecord {
+                            thread: tid as u32,
+                            op: op_of(kind),
+                            key,
+                            result: Some(result),
+                            stamp,
+                            invoke_event: invoke,
+                            durable_event: durable,
+                        });
+                    }
+                })
+            });
+        }
+    });
+    let crashes = plan.disarm();
+    let mut initial = INITIAL.to_vec();
+    initial.sort_unstable();
+    let history = rec.history(initial);
+    let trace: Vec<(usize, u64, bool)> = sched
+        .trace()
+        .iter()
+        .map(|e| (e.thread, e.event, matches!(e.kind, EventKind::Flush)))
+        .collect();
+
+    // Every schedule event must be an attributed worker event, in global
+    // order, and capture_all must have imaged each one exactly once.
+    assert!(
+        crashes.len() >= 20,
+        "[{ctx}] expected >= 20 crash points, got {}",
+        crashes.len()
+    );
+    let traced: Vec<u64> = trace.iter().map(|&(_, e, _)| e).collect();
+    assert_eq!(
+        traced,
+        (1..=crashes.len() as u64).collect::<Vec<u64>>(),
+        "[{ctx}] schedule trace must attribute every region event in order"
+    );
+
+    // Exact element accounting on the live survivor: the serialized
+    // scheduler makes stamp order the real volatile order, so replaying
+    // the full history in stamp order must reproduce every recorded
+    // result and land exactly on the surviving membership.
+    let mut s: PHashSet<R, 32> = PHashSet::attach(NodeArena::raw(region.clone()), "hs").unwrap();
+    let mut final_keys = s.keys();
+    final_keys.sort_unstable();
+    assert_eq!(
+        s.len() as usize,
+        final_keys.len(),
+        "[{ctx}] live len() vs live membership"
+    );
+    let mut model: BTreeSet<u64> = INITIAL.iter().copied().collect();
+    let mut ordered: Vec<&OpRecord> = history.ops.iter().collect();
+    ordered.sort_by_key(|o| o.stamp);
+    assert_eq!(
+        ordered.len(),
+        nthreads * OPS_PER_THREAD,
+        "[{ctx}] every op must be recorded"
+    );
+    for o in ordered {
+        let present = model.contains(&o.key);
+        let expect = match o.op {
+            SetOp::Insert => !present,
+            SetOp::Remove | SetOp::Contains => present,
+        };
+        assert_eq!(
+            o.result,
+            Some(expect),
+            "[{ctx}] stamp-order replay disagrees at stamp {} ({} {})",
+            o.stamp,
+            o.op.name(),
+            o.key
+        );
+        match o.op {
+            SetOp::Insert => {
+                model.insert(o.key);
+            }
+            SetOp::Remove => {
+                model.remove(&o.key);
+            }
+            SetOp::Contains => {}
+        }
+    }
+    assert_eq!(
+        final_keys,
+        model.iter().copied().collect::<Vec<u64>>(),
+        "[{ctx}] exact element accounting: surviving keys vs stamp-order replay"
+    );
+    let pruned = s.recover();
+    s.check_invariants()
+        .unwrap_or_else(|e| panic!("[{ctx}] live invariants after recover: {e}"));
+    let mut after = s.keys();
+    after.sort_unstable();
+    assert_eq!(
+        after, final_keys,
+        "[{ctx}] recover() pruned {pruned} marked nodes but must not change membership"
+    );
+    drop(s);
+    region.crash();
+
+    // Recover and judge every captured image.
+    let img = dir.join("crash.nvr");
+    let mut violations = Vec::new();
+    for c in &crashes {
+        let ictx = format!("{ctx} event {}", c.event);
+        std::fs::write(&img, &c.image).unwrap();
+        let r2 = Region::open_file(&img).unwrap();
+        assert!(r2.was_dirty(), "[{ictx}] crash image must reopen dirty");
+        let mut s2: PHashSet<R, 32> = PHashSet::attach(NodeArena::raw(r2.clone()), "hs").unwrap();
+        s2.recover();
+        s2.check_invariants()
+            .unwrap_or_else(|e| panic!("[{ictx}] recovered invariants: {e}"));
+        let mut keys = s2.keys();
+        keys.sort_unstable();
+        assert_eq!(
+            s2.len() as usize,
+            keys.len(),
+            "[{ictx}] recovered len() must match recovered membership"
+        );
+        let rep = dlin::check(&history, c.event, &keys);
+        assert!(!rep.capped, "[{ictx}] subset search capped: inconclusive");
+        if !rep.violations.is_empty() {
+            save_artifacts(
+                &format!(
+                    "{label}-{}-{sched_seed:x}-event{}",
+                    policy_name(policy),
+                    c.event
+                ),
+                &c.image,
+                &history,
+                c.event,
+            );
+            violations.push((c.event, rep.violations.clone()));
+        }
+        drop(s2);
+        r2.crash();
+    }
+    let n = crashes.len();
+    eprintln!(
+        "[{label} {} seed {sched_seed:#x}] {n} crash points, {} ops, {} violations",
+        policy_name(policy),
+        history.ops.len(),
+        violations.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    CellOutcome {
+        trace,
+        history,
+        final_keys,
+        crash_points: n,
+        violations,
+    }
+}
+
+/// The clean sweep for one representation: both policies × `NSEEDS`
+/// schedule seeds, zero durable-linearizability violations anywhere.
+fn sweep<R: PtrRepr>(label: &str) {
+    let mut cells = 0;
+    let mut images = 0;
+    for policy in policies() {
+        for i in 0..NSEEDS {
+            let out = run_cell::<R>(label, policy, cell_seed(i), NTHREADS, false);
+            assert!(
+                out.violations.is_empty(),
+                "[{label} {} seed {:#x} {}] durable-linearizability violations: {:?}",
+                policy_name(policy),
+                cell_seed(i),
+                tag(),
+                out.violations
+            );
+            cells += 1;
+            images += out.crash_points;
+        }
+    }
+    eprintln!("[{label}] sweep clean: {cells} cells, {images} recovered images");
+}
+
+#[test]
+fn concurrent_matrix_hashset_offholder() {
+    let _g = lock();
+    sweep::<OffHolder>("hs-off");
+}
+
+#[test]
+fn concurrent_matrix_hashset_riv() {
+    let _g = lock();
+    sweep::<Riv>("hs-riv");
+}
+
+/// A schedule is a seed: the same cell run twice must produce the
+/// identical event attribution, history, membership, and image count —
+/// and at least one other seed must produce a different interleaving.
+#[test]
+fn same_seed_replays_identically() {
+    let _g = lock();
+    let policy = FaultPolicy::TearWords { seed: base_seed() };
+    let a = run_cell::<OffHolder>("replay-a", policy, cell_seed(0), 3, false);
+    let b = run_cell::<OffHolder>("replay-b", policy, cell_seed(0), 3, false);
+    let ctx = format!("replay seed {:#x} {}", cell_seed(0), tag());
+    assert_eq!(a.trace, b.trace, "[{ctx}] schedule traces must replay");
+    assert_eq!(a.history, b.history, "[{ctx}] histories must replay");
+    assert_eq!(a.final_keys, b.final_keys, "[{ctx}] membership must replay");
+    assert_eq!(
+        a.crash_points, b.crash_points,
+        "[{ctx}] image counts must replay"
+    );
+    assert!(
+        a.violations.is_empty() && b.violations.is_empty(),
+        "[{ctx}] clean cells"
+    );
+    assert!(
+        (1..8).any(|i| {
+            run_cell::<OffHolder>("replay-c", policy, cell_seed(i), 3, false).trace != a.trace
+        }),
+        "[{ctx}] every seed produced the identical interleaving"
+    );
+}
+
+/// The flush-omitting insert mutant must be caught across the seeded
+/// multi-threaded sweep: at least one image where a "durable" insert
+/// whose destination flush was skipped lost its effect.
+#[test]
+fn mutant_skipflush_is_caught_by_the_sweep() {
+    let _g = lock();
+    let mut lost = 0;
+    for i in 0..NSEEDS {
+        let out = run_cell::<OffHolder>(
+            "hs-mutant",
+            FaultPolicy::DropUnflushed,
+            cell_seed(i),
+            NTHREADS,
+            true,
+        );
+        lost += out
+            .violations
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .filter(|v| matches!(v, Violation::LostDurableOp { .. }))
+            .count();
+    }
+    assert!(
+        lost >= 1,
+        "[{}] the flush-omission mutant must produce at least one LostDurableOp \
+         across {NSEEDS} seeds",
+        tag()
+    );
+    eprintln!("mutant sweep: {lost} lost-durable-op detections");
+}
+
+/// Deterministic single-threaded mutant cell: a mutant insert followed
+/// by one normal insert guarantees images (the second insert's pre-CAS
+/// node persist) where the first op is recorded durable but its
+/// unflushed destination slot is dropped — the checker must flag
+/// exactly that key, and the control run with the disciplined insert
+/// must stay clean on the same workload.
+#[test]
+fn mutant_skipflush_is_caught_deterministically() {
+    let _g = lock();
+    for mutant in [true, false] {
+        let ctx = format!("mutant-det {mutant} {}", tag());
+        let dir = tdir(&format!("mutant-det-{mutant}"));
+        let orig = dir.join("orig.nvr");
+        let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+        {
+            let _s: PHashSet<OffHolder, 32> =
+                PHashSet::create_rooted(NodeArena::raw(region.clone()), NBUCKETS, "hs").unwrap();
+        }
+        region.sync().unwrap();
+        region.enable_shadow().unwrap();
+        shadow::reset_events_for(region.base());
+        dlin::reset_stamps();
+        let plan = FaultPlan::capture_all(&region, FaultPolicy::DropUnflushed);
+        let s: PHashSet<OffHolder, 32> =
+            PHashSet::attach(NodeArena::raw(region.clone()), "hs").unwrap();
+        let rec = Recorder::new();
+        for (key, use_mutant) in [(100u64, mutant), (101u64, false)] {
+            let invoke = shadow::event_count_for(region.base());
+            let (ok, stamp) = if use_mutant {
+                s.insert_lf_stamped_mutant_skipflush(key).unwrap()
+            } else {
+                s.insert_lf_stamped(key).unwrap()
+            };
+            assert!(ok, "[{ctx}] insert {key} into the empty set");
+            rec.record(OpRecord {
+                thread: 0,
+                op: SetOp::Insert,
+                key,
+                result: Some(true),
+                stamp,
+                invoke_event: invoke,
+                durable_event: shadow::event_count_for(region.base()),
+            });
+        }
+        let crashes = plan.disarm();
+        let history = rec.history(vec![]);
+        drop(s);
+        region.crash();
+
+        let img = dir.join("crash.nvr");
+        let mut lost_100 = false;
+        let mut any = false;
+        for c in &crashes {
+            std::fs::write(&img, &c.image).unwrap();
+            let r2 = Region::open_file(&img).unwrap();
+            let mut s2: PHashSet<OffHolder, 32> =
+                PHashSet::attach(NodeArena::raw(r2.clone()), "hs").unwrap();
+            s2.recover();
+            s2.check_invariants()
+                .unwrap_or_else(|e| panic!("[{ctx} event {}] invariants: {e}", c.event));
+            let mut keys = s2.keys();
+            keys.sort_unstable();
+            let rep = dlin::check(&history, c.event, &keys);
+            for v in &rep.violations {
+                any = true;
+                if matches!(v, Violation::LostDurableOp { key: 100, .. }) {
+                    lost_100 = true;
+                }
+            }
+            drop(s2);
+            r2.crash();
+        }
+        if mutant {
+            assert!(
+                lost_100,
+                "[{ctx}] the skipped destination flush must surface as a \
+                 LostDurableOp on key 100"
+            );
+        } else {
+            assert!(!any, "[{ctx}] the disciplined control must check clean");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A real mid-schedule crash: `abort_at_nth_event` panics the thread
+/// issuing global event `n`, the scheduler broadcasts the power loss to
+/// parked siblings, and the single captured image must still satisfy
+/// durable linearizability — with in-flight ops recovered through
+/// [`dlin::take_thread_stamp`] (a zero stamp proves the op never
+/// linearized and its record is dropped).
+#[test]
+fn crash_mid_schedule_checks_clean() {
+    let _g = lock();
+    let seed = cell_seed(3);
+    // Measure the cell's total event count with an identical completed
+    // run, then replay the same schedule and crash in the middle.
+    let total = run_cell::<OffHolder>(
+        "crash-probe",
+        FaultPolicy::DropUnflushed,
+        seed,
+        NTHREADS,
+        false,
+    )
+    .crash_points as u64;
+    let n = (total / 2).max(1);
+    let ctx = format!("crash-mid seed {seed:#x} event {n} {}", tag());
+
+    let dir = tdir("crash-mid");
+    let orig = dir.join("orig.nvr");
+    let region = Region::create_file(&orig, REGION_SIZE).unwrap();
+    {
+        let mut s: PHashSet<OffHolder, 32> =
+            PHashSet::create_rooted(NodeArena::raw(region.clone()), NBUCKETS, "hs").unwrap();
+        for &k in &INITIAL {
+            assert!(s.insert(k).unwrap());
+        }
+    }
+    region.sync().unwrap();
+    region.enable_shadow().unwrap();
+    shadow::reset_events_for(region.base());
+    dlin::reset_stamps();
+    let mut plan = FaultPlan::abort_at_nth_event(&region, FaultPolicy::DropUnflushed, n);
+    let sched = Scheduler::new(seed, NTHREADS);
+    let rec = Arc::new(Recorder::new());
+    let results: Vec<std::thread::Result<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..NTHREADS)
+            .map(|tid| {
+                let sched = sched.clone();
+                let rec = Arc::clone(&rec);
+                let region = region.clone();
+                scope.spawn(move || {
+                    sched.run(tid, move || {
+                        let s: PHashSet<OffHolder, 32> =
+                            PHashSet::attach(NodeArena::raw(region.clone()), "hs").unwrap();
+                        let mut x = seed ^ (tid as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+                        for _ in 0..OPS_PER_THREAD {
+                            x = util::splitmix64(x);
+                            let key = x % KEYSPACE;
+                            let kind = x >> 33;
+                            dlin::take_thread_stamp(); // clear before the op
+                            let invoke = shadow::event_count_for(region.base());
+                            match catch_unwind(AssertUnwindSafe(|| do_op(&s, kind, key, false))) {
+                                Ok((result, stamp)) => {
+                                    let durable = shadow::event_count_for(region.base());
+                                    rec.record(OpRecord {
+                                        thread: tid as u32,
+                                        op: op_of(kind),
+                                        key,
+                                        result: Some(result),
+                                        stamp,
+                                        invoke_event: invoke,
+                                        durable_event: durable,
+                                    });
+                                }
+                                Err(payload) => {
+                                    // Crashed mid-op: a nonzero stamp is the
+                                    // exact linearization point; zero means
+                                    // no volatile effect — drop the record.
+                                    let stamp = dlin::take_thread_stamp();
+                                    if stamp != 0 {
+                                        rec.record(OpRecord {
+                                            thread: tid as u32,
+                                            op: op_of(kind),
+                                            key,
+                                            result: None,
+                                            stamp,
+                                            invoke_event: invoke,
+                                            durable_event: u64::MAX,
+                                        });
+                                    }
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    assert!(sched.crashed(), "[{ctx}] the schedule must have crashed");
+    let mut crash_panics = 0;
+    let mut aborted = 0;
+    let mut finished = 0;
+    for r in results {
+        match r {
+            Ok(()) => finished += 1,
+            Err(p) if p.is::<CrashPointReached>() => crash_panics += 1,
+            Err(p) if p.is::<ScheduleAborted>() => aborted += 1,
+            Err(_) => panic!("[{ctx}] unexpected worker panic payload"),
+        }
+    }
+    assert_eq!(
+        crash_panics, 1,
+        "[{ctx}] exactly one thread hits the crash point \
+         (finished {finished}, aborted {aborted})"
+    );
+    assert_eq!(
+        crash_panics + aborted + finished,
+        NTHREADS,
+        "[{ctx}] every worker accounted for"
+    );
+    let crash = plan
+        .take_crash()
+        .unwrap_or_else(|| panic!("[{ctx}] the armed plan must capture the crash"));
+    assert_eq!(crash.event, n, "[{ctx}] captured at the requested event");
+    drop(plan);
+    let mut initial = INITIAL.to_vec();
+    initial.sort_unstable();
+    let history = rec.history(initial);
+    region.crash();
+
+    let img = dir.join("crash.nvr");
+    std::fs::write(&img, &crash.image).unwrap();
+    let r2 = Region::open_file(&img).unwrap();
+    assert!(r2.was_dirty(), "[{ctx}] crash image must reopen dirty");
+    let mut s2: PHashSet<OffHolder, 32> =
+        PHashSet::attach(NodeArena::raw(r2.clone()), "hs").unwrap();
+    s2.recover();
+    s2.check_invariants()
+        .unwrap_or_else(|e| panic!("[{ctx}] recovered invariants: {e}"));
+    let mut keys = s2.keys();
+    keys.sort_unstable();
+    let rep = dlin::check(&history, n, &keys);
+    if !rep.ok() {
+        save_artifacts("crash-mid", &crash.image, &history, n);
+        panic!(
+            "[{ctx}] mid-schedule crash recovery violates durable \
+             linearizability: {:?}",
+            rep.violations
+        );
+    }
+    drop(s2);
+    r2.crash();
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!(
+        "[crash-mid] crashed at event {n}/{total}, {} ops recorded",
+        history.ops.len()
+    );
+}

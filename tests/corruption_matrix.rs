@@ -39,6 +39,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
+mod util;
+
 static SERIAL: Mutex<()> = Mutex::new(());
 
 const IMG_SIZE: usize = 64 << 10;
@@ -48,24 +50,19 @@ const LINE: usize = 64;
 const OFF_ROOTS: usize = 40;
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    util::serial_guard(&SERIAL)
 }
 
 /// Rot seed: `CORRUPTION_MATRIX_SEED` env (decimal or `0x`-prefixed
 /// hex), defaulting to a fixed value so the default run is fully
 /// deterministic.
 fn seed() -> u64 {
-    match std::env::var("CORRUPTION_MATRIX_SEED") {
-        Ok(s) => {
-            let t = s.trim();
-            let parsed = match t.strip_prefix("0x") {
-                Some(h) => u64::from_str_radix(h, 16),
-                None => t.parse(),
-            };
-            parsed.unwrap_or_else(|_| panic!("CORRUPTION_MATRIX_SEED must be a u64, got {s:?}"))
-        }
-        Err(_) => 0x0B17_207D_5EED,
-    }
+    util::env_seed("CORRUPTION_MATRIX_SEED", 0x0B17_207D_5EED)
+}
+
+/// Reproduction tag for failure contexts.
+fn tag() -> String {
+    util::seed_tag("CORRUPTION_MATRIX_SEED", seed())
 }
 
 fn tdir(label: &str) -> PathBuf {
@@ -162,14 +159,15 @@ fn single_line_rot_sweep_over_metadata_recovers_or_fails_typed() {
     assert_eq!(data_start % LINE, 0, "metadata prefix must be line-aligned");
     let meta_lines = data_start / LINE;
     let s = seed();
-    eprintln!("[sweep] CORRUPTION_MATRIX_SEED={s:#x}, {meta_lines} metadata lines");
+    eprintln!("[sweep] {}, {meta_lines} metadata lines", tag());
     let img_path = dir.join("rot.nvr");
     let mut recovered = 0usize;
     for line in 0..meta_lines {
         let ctx = format!(
-            "line {line} (bytes {}..{}) seed {s:#x}",
+            "line {line} (bytes {}..{}) {}",
             line * LINE,
-            (line + 1) * LINE
+            (line + 1) * LINE,
+            tag()
         );
         let mut img = base.to_vec();
         let mut rng = s ^ (line as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
@@ -251,7 +249,7 @@ fn torn_slot_flip_always_opens_a_consistent_snapshot() {
         let img_path = dir.join("crash.nvr");
         let (mut saw_old, mut saw_new) = (false, false);
         for c in &crashes {
-            let ctx = format!("torn {policy:?} event {} seed {:#x}", c.event, seed());
+            let ctx = format!("torn {policy:?} event {} {}", c.event, tag());
             let mut img = c.image.clone();
             // The primary header is untracked memory and survives in
             // every captured image; wreck its root directory so the open
@@ -304,7 +302,7 @@ fn bit_rot_policy_composes_with_crash_reopen_and_salvage() {
     let s = seed();
     for round in 0..8u64 {
         let rseed = s ^ round.wrapping_mul(0x2545_F491_4F6C_DD1D);
-        let ctx = format!("bitrot round {round} seed {rseed:#x}");
+        let ctx = format!("bitrot round {round} round-seed {rseed:#x} {}", tag());
         let region = Region::create_file(&path, IMG_SIZE).unwrap();
         let a = region.alloc_off(256, 16).unwrap();
         region.set_root_off("alpha", a).unwrap();
@@ -353,8 +351,8 @@ proptest! {
         let mut img = base.to_vec();
         let mut rng = seed() ^ case;
         let ctx = format!(
-            "case {case:#x} nflips {nflips} whole_lines {whole_lines} seed {:#x}",
-            seed()
+            "case {case:#x} nflips {nflips} whole_lines {whole_lines} {}",
+            tag()
         );
         for _ in 0..nflips {
             let bit = (splitmix(&mut rng) % (img.len() as u64 * 8)) as usize;

@@ -28,6 +28,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+mod util;
+
 static SERIAL: Mutex<()> = Mutex::new(());
 
 const REGION_SIZE: usize = 512 << 10;
@@ -37,17 +39,7 @@ const N_OPS: usize = 6;
 /// Tear seed: `CRASH_MATRIX_SEED` env (decimal or `0x`-prefixed hex),
 /// defaulting to a fixed value so the default run is fully deterministic.
 fn seed() -> u64 {
-    match std::env::var("CRASH_MATRIX_SEED") {
-        Ok(s) => {
-            let t = s.trim();
-            let parsed = match t.strip_prefix("0x") {
-                Some(h) => u64::from_str_radix(h, 16),
-                None => t.parse(),
-            };
-            parsed.unwrap_or_else(|_| panic!("CRASH_MATRIX_SEED must be a u64, got {s:?}"))
-        }
-        Err(_) => 0x5EED_1234,
-    }
+    util::env_seed("CRASH_MATRIX_SEED", 0x5EED_1234)
 }
 
 fn tdir(label: &str) -> PathBuf {
@@ -57,7 +49,7 @@ fn tdir(label: &str) -> PathBuf {
 }
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    util::serial_guard(&SERIAL)
 }
 
 /// Runs one cell of the crash matrix and returns the number of crash
@@ -97,7 +89,8 @@ fn run_cell<S>(
         commit_events.push(shadow::event_count_for(region.base()));
     }
     let crashes = plan.disarm();
-    let live_ctx = format!("{label} {policy:?} live");
+    let tag = util::seed_tag("CRASH_MATRIX_SEED", seed());
+    let live_ctx = format!("{label} {policy:?} {tag} live");
     assert_eq!(
         contents(&s, &live_ctx),
         expected[N_OPS],
@@ -109,24 +102,24 @@ fn run_cell<S>(
 
     assert!(
         commit_events.windows(2).all(|w| w[0] < w[1]),
-        "[{label} {policy:?}] commit events must be strictly increasing: {commit_events:?}"
+        "[{label} {policy:?} {tag}] commit events must be strictly increasing: {commit_events:?}"
     );
     assert!(
         crashes.len() >= 20,
-        "[{label} {policy:?}] expected >= 20 crash points, got {}",
+        "[{label} {policy:?} {tag}] expected >= 20 crash points, got {}",
         crashes.len()
     );
     let distinct: BTreeSet<u64> = crashes.iter().map(|c| c.event).collect();
     assert_eq!(
         distinct.len(),
         crashes.len(),
-        "[{label} {policy:?}] crash events must be distinct"
+        "[{label} {policy:?} {tag}] crash events must be distinct"
     );
 
     let img = dir.join("crash.nvr");
     let mut prefixes: BTreeSet<usize> = BTreeSet::new();
     for c in &crashes {
-        let ctx = format!("{label} {policy:?} event {}", c.event);
+        let ctx = format!("{label} {policy:?} {tag} event {}", c.event);
         std::fs::write(&img, &c.image).unwrap();
         let r2 = Region::open_file(&img).unwrap();
         assert!(r2.was_dirty(), "[{ctx}] crash image must reopen dirty");
@@ -166,12 +159,12 @@ fn run_cell<S>(
         assert_eq!(
             prefixes,
             (0..N_OPS).collect::<BTreeSet<usize>>(),
-            "[{label} {policy:?}] all committed prefixes must appear among recovered states"
+            "[{label} {policy:?} {tag}] all committed prefixes must appear among recovered states"
         );
     } else {
         assert!(
             prefixes.contains(&0) && prefixes.iter().all(|&p| p <= N_OPS),
-            "[{label} {policy:?}] torn prefixes out of range: {prefixes:?}"
+            "[{label} {policy:?} {tag}] torn prefixes out of range: {prefixes:?}"
         );
     }
     let n = crashes.len();
@@ -414,9 +407,10 @@ fn run_parity(label: &str, use_redo: bool, policy: FaultPolicy) -> (BTreeSet<usi
     );
 
     let img = dir.join("crash.nvr");
+    let tag = util::seed_tag("CRASH_MATRIX_SEED", seed());
     let mut prefixes = BTreeSet::new();
     for c in &crashes {
-        let ctx = format!("{label} {policy:?} event {}", c.event);
+        let ctx = format!("{label} {policy:?} {tag} event {}", c.event);
         std::fs::write(&img, &c.image).unwrap();
         let r2 = Region::open_file(&img).unwrap();
         assert!(r2.was_dirty(), "[{ctx}] crash image must reopen dirty");

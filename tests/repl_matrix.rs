@@ -31,6 +31,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
+mod util;
+
 static SERIAL: Mutex<()> = Mutex::new(());
 
 const REGION_SIZE: usize = 512 << 10;
@@ -38,23 +40,18 @@ const LOG_CAP: u64 = 32 << 10;
 const N_OPS: usize = 6;
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    util::serial_guard(&SERIAL)
 }
 
 /// Workload seed: `REPL_MATRIX_SEED` env (decimal or `0x`-prefixed hex),
 /// defaulting to a fixed value so the default run is deterministic.
 fn seed() -> u64 {
-    match std::env::var("REPL_MATRIX_SEED") {
-        Ok(s) => {
-            let t = s.trim();
-            let parsed = match t.strip_prefix("0x") {
-                Some(h) => u64::from_str_radix(h, 16),
-                None => t.parse(),
-            };
-            parsed.unwrap_or_else(|_| panic!("REPL_MATRIX_SEED must be a u64, got {s:?}"))
-        }
-        Err(_) => 0x5EED_2026,
-    }
+    util::env_seed("REPL_MATRIX_SEED", 0x5EED_2026)
+}
+
+/// Reproduction tag for failure contexts.
+fn tag() -> String {
+    util::seed_tag("REPL_MATRIX_SEED", seed())
 }
 
 fn splitmix(state: &mut u64) -> u64 {
@@ -130,7 +127,7 @@ fn run_repl_cell<S>(
         // one delta epoch.
         apply(&mut s, &store, k);
     }
-    let live = contents(&s, &format!("{label} live"));
+    let live = contents(&s, &format!("{label} {} live", tag()));
     drop(s);
     drop(store);
     // Clean close: the final durability point; the replica converges on
@@ -165,8 +162,13 @@ fn run_repl_cell<S>(
     );
     let store2 = ObjectStore::attach(&replica).unwrap();
     let s2 = attach(NodeArena::transactional(store2.clone()));
-    let got = contents(&s2, &format!("{label} replica"));
-    assert_eq!(got, live, "[{label}] replica contents == primary contents");
+    let got = contents(&s2, &format!("{label} {} replica", tag()));
+    assert_eq!(
+        got,
+        live,
+        "[{label} {}] replica contents == primary contents",
+        tag()
+    );
     drop(s2);
     drop(store2);
     replica.close().unwrap();

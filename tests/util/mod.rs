@@ -1,0 +1,58 @@
+//! Shared helpers for the matrix integration tests.
+//!
+//! Every matrix binary (`crash_matrix`, `corruption_matrix`,
+//! `repl_matrix`, `alloc_recovery`, `concurrent_matrix`) follows the same
+//! conventions:
+//!
+//! * the workload seed comes from a `*_MATRIX_SEED` environment variable
+//!   (decimal or `0x`-prefixed hex) with a fixed default, so the default
+//!   run is deterministic and CI can add a randomized arm;
+//! * every failure context embeds `VAR=0x<seed>` (see [`seed_tag`]) so a
+//!   CI failure is reproducible by copy-pasting the assignment;
+//! * tests serialize on a process-global mutex because the shadow tracker
+//!   and segment pool are process-global — and that lock must shrug off
+//!   poisoning, or one failed cell cascades into every later test
+//!   ([`serial_guard`]).
+#![allow(dead_code)]
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Parses `var` from the environment as a seed: decimal or `0x`-prefixed
+/// hex, falling back to `default` when unset. Panics (naming the
+/// variable) on malformed values rather than silently using the default.
+pub fn env_seed(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(s) => {
+            let t = s.trim();
+            let parsed = match t.strip_prefix("0x") {
+                Some(h) => u64::from_str_radix(h, 16),
+                None => t.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("{var} must be a u64 (decimal or 0x-hex), got {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// The canonical reproduction tag embedded in every matrix failure
+/// context: `VAR=0x<seed>` is directly copy-pastable into a shell.
+pub fn seed_tag(var: &str, seed: u64) -> String {
+    format!("{var}={seed:#x}")
+}
+
+/// SplitMix64: the matrix tests' standard seed expander (same finalizer
+/// the fault-injection substrate uses), so per-cell seeds and per-thread
+/// op streams derive deterministically from one `*_MATRIX_SEED`.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Locks a test-serialization mutex, recovering from poisoning: a failed
+/// (panicked) cell must not cascade `PoisonError` failures into every
+/// subsequent test in the binary.
+pub fn serial_guard(m: &'static Mutex<()>) -> MutexGuard<'static, ()> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
