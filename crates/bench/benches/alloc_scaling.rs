@@ -306,6 +306,10 @@ fn main() {
             seed: 0,
             searches: 0,
             latency: nvmsim::latency::model(),
+            num_cpus: cpus,
+            // The 4x scaling gate only applies on hosts with >= 8
+            // hardware threads; record when it was waived.
+            gates_relaxed: cpus < 8,
         };
         let text = render_json(&sections, &rc);
         if let Err(e) = std::fs::write(&path, &text) {

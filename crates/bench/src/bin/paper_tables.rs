@@ -6,7 +6,7 @@
 //!              [--latency paper|off] [--json FILE]
 //! paper_tables --validate FILE
 //!
-//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl conc all
+//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl conc srv all
 //! ```
 //!
 //! `--json FILE` writes every row plus the `nvmsim::metrics` delta
@@ -21,7 +21,7 @@ use std::env;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|conc|all ...] \
+        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|conc|srv|all ...] \
          [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]] \
          [--latency paper|off] [--json FILE]\n       paper_tables --validate FILE"
     );
@@ -221,6 +221,14 @@ fn main() {
             &|cfg| experiments::conc(cfg),
         );
     }
+    if want("srv") {
+        run(
+            &mut sections,
+            "SERVERTAIL",
+            "Region-server tail latency — hot/cold tenant classes (EXPERIMENTS.md)",
+            &|cfg| experiments::server_tail(cfg),
+        );
+    }
     if sections.is_empty() {
         usage();
     }
@@ -251,6 +259,9 @@ fn main() {
             seed: cfg.seed,
             searches: cfg.searches,
             latency: latency_model,
+            num_cpus: ReportConfig::detect_cpus(),
+            // paper_tables has no hardware-dependent pass/fail gates.
+            gates_relaxed: false,
         };
         let text = render_json(&report_sections, &rc);
         if let Err(e) = std::fs::write(&path, &text) {

@@ -694,6 +694,141 @@ pub fn conc(cfg: &Config) -> Vec<Row> {
     rows
 }
 
+/// SERVERTAIL — multi-tenant region-server tail latency (EXPERIMENTS.md).
+///
+/// Stands up an `nvserver` with a hot tenant class (high priority) and a
+/// cold class (low priority), drives each with a mixed 70/30 read/write
+/// stream through the full codec path (frame → CRC → shard queue →
+/// transaction), and reports per-class p50/p99 request latency. The
+/// interesting number is the cold-class p99: it carries the cost of
+/// sharing shard queues with a higher-priority neighbor.
+pub fn server_tail(cfg: &Config) -> Vec<Row> {
+    use nvserver::{Client, Priority, ReprKind, Server, ServerConfig, ServerFaultPlan, TenantSpec};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    const CLASSES: [(&str, Priority, ReprKind, [u32; 2]); 2] = [
+        ("hot", Priority::High, ReprKind::OffHolder, [0, 1]),
+        ("cold", Priority::Low, ReprKind::Riv, [2, 3]),
+    ];
+    const THREADS_PER_CLASS: u64 = 2;
+    let per_thread = (cfg.n * cfg.reps.max(1) / THREADS_PER_CLASS as usize).max(200);
+    let keyspace = 512u64;
+
+    let dir = std::env::temp_dir().join(format!("nvm-pi-servertail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut scfg = ServerConfig::new(&dir);
+    scfg.shards = 2;
+    let tenants = CLASSES
+        .iter()
+        .flat_map(|(_, prio, repr, ids)| {
+            ids.iter()
+                .map(|&id| TenantSpec::new(id, *repr).with_priority(*prio))
+        })
+        .collect();
+    let server = Server::start(scfg, tenants, ServerFaultPlan::none()).expect("start server");
+    let handle = server.handle();
+
+    let mut samples: Vec<(usize, Vec<u64>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for (ci, (_, _, _, ids)) in CLASSES.iter().enumerate() {
+            for tid in 0..THREADS_PER_CLASS {
+                let h = handle.clone();
+                let seed = cfg.seed ^ ((ci as u64 + 1) << 32) ^ tid.wrapping_mul(0x9E37_79B9);
+                joins.push((
+                    ci,
+                    scope.spawn(move || {
+                        let c = Client::new(Arc::new(h));
+                        let mut lat = Vec::with_capacity(per_thread);
+                        let mut x = seed;
+                        for _ in 0..per_thread {
+                            x = mix(x);
+                            let tenant = ids[(x % 2) as usize];
+                            let key = (x >> 8) % keyspace;
+                            let roll = (x >> 24) % 10;
+                            let t = Instant::now();
+                            let r = if roll < 7 {
+                                c.get(tenant, key)
+                            } else if roll < 9 {
+                                c.put(tenant, key)
+                            } else {
+                                c.delete(tenant, key)
+                            };
+                            lat.push(t.elapsed().as_nanos() as u64);
+                            assert!(
+                                r.status == nvserver::Status::Ok,
+                                "unfaulted server answers Ok: {r:?}"
+                            );
+                        }
+                        lat
+                    }),
+                ));
+            }
+        }
+        for (ci, j) in joins {
+            samples.push((ci, j.join().expect("client thread")));
+        }
+    });
+    let report = server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let quantile = |sorted: &[u64], q: f64| -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64
+    };
+    let mut rows = Vec::new();
+    for (ci, (class, prio, repr, ids)) in CLASSES.iter().enumerate() {
+        let mut lat: Vec<u64> = samples
+            .iter()
+            .filter(|(c, _)| *c == ci)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        lat.sort_unstable();
+        let served: u64 = ids
+            .iter()
+            .map(|&id| report.tenant(id).unwrap().snapshot.ok)
+            .sum();
+        let note = format!(
+            "priority={prio:?} repr={} tenants={} requests={} rw=70/30",
+            repr.name(),
+            ids.len(),
+            served
+        );
+        for (op, q) in [("p50", 0.50), ("p99", 0.99)] {
+            rows.push(Row::new(
+                "SERVERTAIL",
+                "server",
+                op,
+                *class,
+                quantile(&lat, q),
+                note.clone(),
+            ));
+        }
+    }
+    // Tail amplification of the cold class over the hot class, per
+    // quantile (a slowdown in the hot-relative sense).
+    for op in ["p50", "p99"] {
+        let hot = rows
+            .iter()
+            .find(|r| r.repr == "hot" && r.op == op)
+            .map(|r| r.nanos);
+        if let Some(hot) = hot.filter(|h| *h > 0.0) {
+            for r in rows.iter_mut().filter(|r| r.repr == "cold" && r.op == op) {
+                r.slowdown = Some(r.nanos / hot);
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +840,32 @@ mod tests {
             seed: 9,
             searches: 100,
         }
+    }
+
+    #[test]
+    fn server_tail_reports_both_classes() {
+        let rows = server_tail(&tiny());
+        // 2 classes × (p50, p99).
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.experiment == "SERVERTAIL"));
+        assert!(rows.iter().all(|r| r.nanos > 0.0));
+        for class in ["hot", "cold"] {
+            let p50 = rows
+                .iter()
+                .find(|r| r.repr == class && r.op == "p50")
+                .unwrap();
+            let p99 = rows
+                .iter()
+                .find(|r| r.repr == class && r.op == "p99")
+                .unwrap();
+            assert!(p99.nanos >= p50.nanos, "{class}: p99 below p50");
+            assert!(p50.note.contains("rw=70/30"));
+        }
+        // The cold class carries hot-relative tail amplification.
+        assert!(rows
+            .iter()
+            .filter(|r| r.repr == "cold")
+            .all(|r| r.slowdown.is_some()));
     }
 
     #[test]

@@ -55,6 +55,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -303,6 +311,18 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("missing config.{key}"))?;
     }
+    // Schema v2: the host context a cross-machine comparison needs.
+    let num_cpus = config
+        .get("num_cpus")
+        .and_then(Json::as_u64)
+        .ok_or("missing config.num_cpus")?;
+    if num_cpus == 0 {
+        return Err("config.num_cpus must be >= 1".to_string());
+    }
+    config
+        .get("gates_relaxed")
+        .and_then(Json::as_bool)
+        .ok_or("missing config.gates_relaxed")?;
     let model = config.get("latency_model").ok_or("missing latency_model")?;
     let wbarrier_ns = model
         .get("wbarrier_ns")
@@ -422,6 +442,8 @@ mod tests {
             seed: 42,
             searches: 2000,
             latency,
+            num_cpus: ReportConfig::detect_cpus(),
+            gates_relaxed: false,
         };
         render_json(&sections, &cfg)
     }
@@ -459,8 +481,22 @@ mod tests {
         assert!(summary.fat_lookups >= 1);
 
         assert!(validate_report("{}").is_err(), "missing everything");
-        let wrong_version = good.replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+        let wrong_version = good.replacen(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+            1,
+        );
         assert!(validate_report(&wrong_version).is_err());
+        // Schema v2: host context is mandatory.
+        let no_cpus = good.replacen("\"num_cpus\"", "\"cpus\"", 1);
+        assert!(
+            validate_report(&no_cpus).unwrap_err().contains("num_cpus"),
+            "v2 reports must record num_cpus"
+        );
+        let no_gates = good.replacen("\"gates_relaxed\"", "\"gates\"", 1);
+        assert!(validate_report(&no_gates)
+            .unwrap_err()
+            .contains("gates_relaxed"));
         // Zeroing the fat-lookup counter must fail the PAPER-model gate.
         let pos = good.find("\"fat_lookups\": ").expect("counter present");
         let end = good[pos..].find(',').unwrap() + pos;

@@ -132,7 +132,12 @@ pub fn render(rows: &[Row]) -> String {
 
 /// Version of the JSON report schema emitted by [`render_json`]. Bump on
 /// any breaking change to field names or nesting; see EXPERIMENTS.md.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `config` additionally records the host parallelism (`num_cpus`)
+/// and whether any hardware-dependent pass/fail gate was auto-relaxed
+/// for this run (`gates_relaxed`) — both required for interpreting
+/// scaling and tail-latency numbers across machines.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One experiment section of a report: its rows plus the process-wide
 /// metrics delta captured around the section's timed run.
@@ -161,6 +166,19 @@ pub struct ReportConfig {
     pub searches: usize,
     /// Latency model installed for the run.
     pub latency: LatencyModel,
+    /// Host hardware parallelism (`std::thread::available_parallelism`)
+    /// at run time.
+    pub num_cpus: usize,
+    /// True when a hardware-dependent gate (e.g. the alloc-scaling 4x
+    /// threshold) was auto-relaxed because the host is too small for it.
+    pub gates_relaxed: bool,
+}
+
+impl ReportConfig {
+    /// The host's hardware parallelism, for [`ReportConfig::num_cpus`].
+    pub fn detect_cpus() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -201,8 +219,16 @@ pub fn render_json(sections: &[Section], cfg: &ReportConfig) -> String {
     let _ = writeln!(
         out,
         "  \"config\": {{\"n\": {}, \"reps\": {}, \"seed\": {}, \"searches\": {}, \
+         \"num_cpus\": {}, \"gates_relaxed\": {}, \
          \"latency_model\": {{\"wbarrier_ns\": {}, \"clflush_ns\": {}}}}},",
-        cfg.n, cfg.reps, cfg.seed, cfg.searches, cfg.latency.wbarrier_ns, cfg.latency.clflush_ns
+        cfg.n,
+        cfg.reps,
+        cfg.seed,
+        cfg.searches,
+        cfg.num_cpus,
+        cfg.gates_relaxed,
+        cfg.latency.wbarrier_ns,
+        cfg.latency.clflush_ns
     );
     out.push_str("  \"sections\": [\n");
     for (si, s) in sections.iter().enumerate() {

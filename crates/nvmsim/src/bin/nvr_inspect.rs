@@ -14,6 +14,9 @@
 //!                                          # subtree occupancy and free counters
 //! nvr_inspect history <file.his> [...]     # dump an NVPIHIS1 concurrent-run
 //!                                          # history: crash event, per-op records
+//! nvr_inspect server <dir> [...]           # triage a region-server data dir:
+//!                                          # verify every tenant-*.nvr image and
+//!                                          # summarize every tenant-*.nvd stream
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
@@ -25,12 +28,17 @@
 //! *clean* image — a crashed one rebuilds them on the next open.
 //! `history` exits 0 when every file decodes (the CRC seal held), 1 when
 //! one is torn or corrupt, 2 on usage/IO trouble — so CI can triage the
-//! artifacts a failed concurrent-matrix cell uploads.
+//! artifacts a failed concurrent-matrix cell uploads. `server` exits 0
+//! when every tenant image in the directory passes the corruption walk
+//! and no delta stream is torn (an unsealed-but-intact stream is
+//! reported, not failed — a crashed primary legitimately leaves one), 1
+//! otherwise — the one-command triage for a failed server-matrix cell's
+//! artifact directory.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc|history] <file> [...]");
+    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc|history|server] <file|dir> [...]");
     ExitCode::from(2)
 }
 
@@ -326,6 +334,99 @@ fn history(paths: &[String]) -> ExitCode {
     status
 }
 
+/// Triages region-server data directories: every `tenant-*.nvr` image
+/// goes through the full corruption walk and every `tenant-*.nvd`
+/// replication stream is decoded and summarized. Damaged images and torn
+/// streams fail the run; an unsealed-but-intact stream (a crashed
+/// primary's leftovers) is reported but does not.
+fn server(dirs: &[String]) -> ExitCode {
+    let mut status = ExitCode::SUCCESS;
+    for dir in dirs {
+        println!("=== {dir}");
+        let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+            Err(e) => {
+                eprintln!("error: {dir}: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        entries.sort();
+        let (mut images, mut streams, mut damaged, mut torn, mut unsealed) = (0, 0, 0, 0, 0);
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.starts_with("tenant-") {
+                continue;
+            }
+            let Some(path_str) = path.to_str() else {
+                continue;
+            };
+            if name.ends_with(".nvr") {
+                images += 1;
+                match nvmsim::verify::verify_file(path_str) {
+                    Ok(report) if report.healthy() => {
+                        println!(
+                            "  {name}: image {} (rid {})",
+                            if report.clean { "clean" } else { "dirty" },
+                            report.rid.map_or("?".to_string(), |r| r.to_string())
+                        );
+                    }
+                    Ok(report) => {
+                        damaged += 1;
+                        println!("  {name}: DAMAGED");
+                        for line in format!("{report}").lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {name}: {e}");
+                        status = ExitCode::from(2);
+                    }
+                }
+            } else if name.ends_with(".nvd") {
+                streams += 1;
+                let bytes = match std::fs::read(&path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {name}: {e}");
+                        status = ExitCode::from(2);
+                        continue;
+                    }
+                };
+                let dump = nvmsim::repl::inspect_stream(&bytes);
+                let deltas = dump.records.iter().filter(|r| r.kind == "delta").count();
+                match &dump.problem {
+                    Some(p) => {
+                        torn += 1;
+                        println!("  {name}: TORN — {p}");
+                    }
+                    None if dump.sealed => {
+                        println!(
+                            "  {name}: sealed, {deltas} deltas, last epoch {}",
+                            dump.last_epoch
+                        );
+                    }
+                    None => {
+                        unsealed += 1;
+                        println!(
+                            "  {name}: unsealed (promotion stops at epoch {}), {deltas} deltas",
+                            dump.last_epoch
+                        );
+                    }
+                }
+            }
+        }
+        println!(
+            "summary:     {images} images ({damaged} damaged), {streams} streams \
+             ({torn} torn, {unsealed} unsealed)"
+        );
+        if damaged > 0 || torn > 0 {
+            status = ExitCode::FAILURE;
+        }
+    }
+    status
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -370,6 +471,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 history(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "server" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                server(rest)
             }
         }
         _ => {

@@ -149,6 +149,28 @@ counters! {
     /// read-side flushes that make observed state durable before a
     /// response is returned).
     PdsDestinationFlushes => "pds_destination_flushes",
+    /// Requests accepted into a region-server shard queue.
+    SrvRequests => "srv_requests",
+    /// Requests shed by admission control with an `Overloaded` response
+    /// (either rejected at the gate or evicted from the queue to make
+    /// room for a higher-priority arrival).
+    SrvShed => "srv_shed",
+    /// Requests answered `DeadlineExceeded` (expired while queued or
+    /// before execution).
+    SrvDeadlineExceeded => "srv_deadline_exceeded",
+    /// Region-server retries after transient tenant faults (capped
+    /// exponential backoff, same policy as `repl_retries`).
+    SrvRetries => "srv_retries",
+    /// Tenants evicted (closed cleanly) by hot/cold LRU pressure.
+    SrvEvictions => "srv_evictions",
+    /// Tenant regions reopened at a different base after eviction or
+    /// crash — each one is a live position-independence exercise.
+    SrvRemapReopens => "srv_remap_reopens",
+    /// Primary→replica failovers via `repl::promote_avoiding`.
+    SrvFailovers => "srv_failovers",
+    /// Responses answered `Degraded` (read-only after failover, or
+    /// replication lost after a permanent sink failure).
+    SrvDegradedResponses => "srv_degraded_responses",
 }
 
 /// Number of counter shards. Power of two; threads are assigned
@@ -291,7 +313,7 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         assert_eq!(
             names.last().copied(),
-            Some("pds_destination_flushes"),
+            Some("srv_degraded_responses"),
             "serialization order is the declaration order"
         );
     }

@@ -343,6 +343,42 @@ impl Region {
         Self::open_impl(path.as_ref(), true)
     }
 
+    /// [`Region::open_file`], but guarantees the mapping lands at a base
+    /// address different from `avoid`. The region server's eviction-remap
+    /// and failover paths use this so every reopen actually exercises
+    /// position independence rather than accidentally landing back at the
+    /// old base.
+    ///
+    /// If the first mapping collides with `avoid`, it is torn down with
+    /// [`Region::crash`] (never [`Region::close`] — a pending recovery
+    /// must keep its dirty flag) while a placeholder anonymous region pins
+    /// the colliding segment, then the open is retried.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::open_file`], plus [`NvError::BadImage`] if no distinct
+    /// base could be found after a bounded number of attempts.
+    pub fn open_file_avoiding<P: AsRef<Path>>(path: P, avoid: usize) -> Result<Region> {
+        let path = path.as_ref();
+        let mut placeholders = Vec::new();
+        for _ in 0..8 {
+            let r = Self::open_impl(path, true)?;
+            if r.base() != avoid {
+                drop(placeholders);
+                return Ok(r);
+            }
+            let size = r.size();
+            // Tear down without clearing the dirty flag, then pin the
+            // segment we just vacated so the next attempt lands elsewhere.
+            r.crash();
+            placeholders.push(Region::create(size)?);
+        }
+        Err(NvError::BadImage(format!(
+            "could not map {} away from base {avoid:#x} after 8 attempts",
+            path.display()
+        )))
+    }
+
     /// Opens an existing region image copy-on-write (`MAP_PRIVATE`): all
     /// modifications stay in this session and the file is untouched. Useful
     /// for read-mostly consumers and repeated benchmark runs.

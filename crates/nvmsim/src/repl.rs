@@ -57,7 +57,7 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Magic opening a delta stream (`"NVPIRPL1"`).
 pub const STREAM_MAGIC: u64 = u64::from_le_bytes(*b"NVPIRPL1");
@@ -563,6 +563,26 @@ pub fn promote<P: AsRef<Path>, Q: AsRef<Path>>(stream: P, image_out: Q) -> Resul
     Region::open_file(image_out)
 }
 
+/// [`promote`], but the replica is guaranteed to map at a base address
+/// different from `avoid` (the failed primary's base). Failover callers
+/// use this so the promotion itself exercises position independence:
+/// fat-table rebind and RIV translation must hold at the new address.
+///
+/// # Errors
+///
+/// As [`promote`], plus [`NvError::BadImage`] if no distinct base can be
+/// found (see [`Region::open_file_avoiding`]).
+pub fn promote_avoiding<P: AsRef<Path>, Q: AsRef<Path>>(
+    stream: P,
+    image_out: Q,
+    avoid: usize,
+) -> Result<Region> {
+    let bytes = std::fs::read(stream)?;
+    let (image, _report) = apply_stream(&bytes, true).map_err(NvError::from)?;
+    std::fs::write(&image_out, &image)?;
+    Region::open_file_avoiding(image_out, avoid)
+}
+
 // -- stream inspection (nvr_inspect) -----------------------------------------
 
 /// Summary of one record for [`inspect_stream`].
@@ -784,8 +804,12 @@ pub struct ReplicatorConfig {
     /// Transient sink I/O errors tolerated per record before the
     /// replicator gives up.
     pub max_retries: u32,
-    /// Backoff before the first retry (doubled per subsequent retry).
+    /// Backoff before the first retry (doubled per subsequent retry,
+    /// capped at [`ReplicatorConfig::retry_backoff_max`]).
     pub retry_backoff: Duration,
+    /// Ceiling on the exponential retry backoff: no single wait between
+    /// attempts exceeds this, however many attempts are configured.
+    pub retry_backoff_max: Duration,
 }
 
 impl Default for ReplicatorConfig {
@@ -795,8 +819,17 @@ impl Default for ReplicatorConfig {
             backpressure: Backpressure::Stall,
             max_retries: 4,
             retry_backoff: Duration::from_millis(1),
+            retry_backoff_max: Duration::from_millis(100),
         }
     }
+}
+
+/// The capped exponential backoff policy shared by the replicator worker
+/// and the region server's tenant retries: `base * 2^attempt`, saturating
+/// at `max` (attempt 0 is the wait before the first retry).
+pub fn capped_backoff(base: Duration, max: Duration, attempt: u32) -> Duration {
+    let factor = 1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX);
+    base.saturating_mul(factor).min(max)
 }
 
 /// Destination of encoded stream bytes. Implemented for files; tests use
@@ -852,6 +885,10 @@ struct QueueState {
     /// Epoch of the newest delta the worker shipped.
     shipped_epoch: u64,
     shutdown: bool,
+    /// Set by [`Replicator::drop`] (never by `seal`): the stream is being
+    /// abandoned, so a retry ladder in progress gives up immediately
+    /// instead of sleeping out its remaining backoff.
+    abort: bool,
     /// When set, the worker appends a seal trailer at this epoch after
     /// draining the queue, then exits.
     seal_epoch: Option<u64>,
@@ -973,12 +1010,37 @@ fn enqueue(shared: &Arc<Shared>, delta: Delta) {
     shared.work.notify_one();
 }
 
+/// Sleeps out one retry backoff, but wakes early (returning `true`) if
+/// the replicator is dropped mid-wait. Waiting on the shared condvar —
+/// rather than an uncancellable `thread::sleep` — is what keeps
+/// `Replicator` teardown prompt during a retry ladder.
+fn backoff_aborted(shared: &Shared, backoff: Duration) -> bool {
+    let deadline = Instant::now() + backoff;
+    let mut q = lock(&shared.q);
+    loop {
+        if q.abort {
+            return true;
+        }
+        let now = Instant::now();
+        let Some(left) = deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            return false;
+        };
+        q = shared
+            .work
+            .wait_timeout(q, left)
+            .unwrap_or_else(|e| e.into_inner())
+            .0;
+    }
+}
+
 fn ship_with_retry(
     shared: &Shared,
     sink: &mut dyn ReplSink,
     bytes: &[u8],
 ) -> std::result::Result<(), String> {
-    let mut backoff = shared.cfg.retry_backoff;
     for attempt in 0..=shared.cfg.max_retries {
         match sink.append(bytes) {
             Ok(()) => {
@@ -987,8 +1049,14 @@ fn ship_with_retry(
             }
             Err(_) if attempt < shared.cfg.max_retries => {
                 metrics::incr(Counter::ReplRetries);
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                let wait = capped_backoff(
+                    shared.cfg.retry_backoff,
+                    shared.cfg.retry_backoff_max,
+                    attempt,
+                );
+                if backoff_aborted(shared, wait) {
+                    return Err("replicator dropped during retry backoff".to_string());
+                }
             }
             Err(e) => return Err(e.to_string()),
         }
@@ -1097,6 +1165,7 @@ impl Replicator {
                 emitted_epoch: 0,
                 shipped_epoch: 0,
                 shutdown: false,
+                abort: false,
                 seal_epoch: None,
                 failed: None,
             }),
@@ -1211,6 +1280,10 @@ impl Drop for Replicator {
         {
             let mut q = lock(&self.shared.q);
             q.shutdown = true;
+            // Dropping abandons the stream, so a retry ladder in progress
+            // may give up immediately; `seal` keeps `abort` clear because
+            // a sealed stream must exhaust its retries before failing.
+            q.abort = true;
         }
         self.shared.work.notify_all();
         if let Some(h) = self.handle.take() {
@@ -1468,6 +1541,61 @@ mod tests {
     }
 
     #[test]
+    fn drop_during_retry_backoff_returns_promptly() {
+        // A sink that accepts the opening (header + base) append, then
+        // fails every subsequent one — pushing the worker into its retry
+        // ladder with an hour-scale backoff. Drop must still return fast.
+        struct FailAfterFirst {
+            appends: usize,
+        }
+        impl ReplSink for FailAfterFirst {
+            fn append(&mut self, _bytes: &[u8]) -> std::io::Result<()> {
+                self.appends += 1;
+                if self.appends == 1 {
+                    Ok(())
+                } else {
+                    Err(std::io::Error::other("transient"))
+                }
+            }
+        }
+        let region = Region::create_with_rid(64, 1 << 20).unwrap();
+        region.enable_shadow().unwrap();
+        let cfg = ReplicatorConfig {
+            max_retries: 8,
+            retry_backoff: Duration::from_secs(3600),
+            retry_backoff_max: Duration::from_secs(3600),
+            ..ReplicatorConfig::default()
+        };
+        let repl = Replicator::attach_sink(&region, Box::new(FailAfterFirst { appends: 0 }), cfg)
+            .expect("opening append succeeds");
+        // Dirty a line and capture so the worker has a delta to ship; its
+        // first append fails and it starts sleeping out the huge backoff.
+        unsafe { std::ptr::write_volatile(region.base() as *mut u8, 0xAB) };
+        crate::latency::clflush_range(region.base(), 1);
+        repl.capture_now();
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        drop(repl);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "drop blocked {:?} — backoff wait was not cancelled",
+            start.elapsed()
+        );
+        drop(region);
+    }
+
+    #[test]
+    fn backoff_caps_at_configured_max() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(100);
+        assert_eq!(capped_backoff(base, max, 0), Duration::from_millis(10));
+        assert_eq!(capped_backoff(base, max, 1), Duration::from_millis(20));
+        assert_eq!(capped_backoff(base, max, 3), Duration::from_millis(80));
+        assert_eq!(capped_backoff(base, max, 4), max);
+        assert_eq!(capped_backoff(base, max, 63), max);
+    }
+
+    #[test]
     fn coalesce_merges_under_full_queue() {
         // Exercise the queue policy directly: depth 1, slow consumer.
         let shared = Arc::new(Shared {
@@ -1476,6 +1604,7 @@ mod tests {
                 emitted_epoch: 0,
                 shipped_epoch: 0,
                 shutdown: false,
+                abort: false,
                 seal_epoch: None,
                 failed: None,
             }),

@@ -1,0 +1,261 @@
+//! Server-level fault injection, modeled on `nvmsim`'s `FaultPlan`.
+//!
+//! A [`ServerFaultPlan`] is armed by the test harness before (or during)
+//! a run and consulted by shard workers at well-defined points:
+//!
+//! - **Shard stalls** — the worker sleeps before executing its N-th
+//!   dequeue, expiring queued deadlines behind it.
+//! - **Tenant crashes** — the N-th write against a tenant first turns
+//!   the tenant's region into a fault-injected crash image
+//!   ([`nvmsim::Region::crash_with_faults`]), then either recovers it in
+//!   place (reopened **at a different base**) or fails over to a replica
+//!   promoted from the tenant's replication stream.
+//! - **Transient write faults** — the write path reports a retryable
+//!   failure a bounded number of times, exercising the capped-backoff
+//!   retry ladder.
+//! - **Dead replication sinks** — the tenant's [`ReplSink`] starts
+//!   failing permanently, pushing the tenant down the degradation
+//!   ladder until the sink is revived and the tenant healed.
+//!
+//! All injections are one-shot (or counted) and consumed atomically, so
+//! a plan drives a deterministic scenario even with several shard
+//! workers consulting it concurrently.
+
+use nvmsim::repl::ReplSink;
+use nvmsim::shadow::FaultPolicy;
+use std::collections::HashSet;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One-shot shard stall: before executing its `at_dequeue`-th dequeue
+/// (1-based), the shard worker sleeps for `stall`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStall {
+    /// Shard index the stall applies to.
+    pub shard: usize,
+    /// Dequeue ordinal (1-based) that triggers the stall.
+    pub at_dequeue: u64,
+    /// How long the worker sleeps.
+    pub stall: Duration,
+}
+
+/// One-shot tenant crash: the `at_write`-th write (1-based, counted per
+/// tenant across retries) crashes the tenant's region under `policy`
+/// before the write commits — the triggering write is never acked
+/// out of a crash it did not survive.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantCrash {
+    /// Tenant the crash applies to.
+    pub tenant: u32,
+    /// Write ordinal (1-based) that triggers the crash.
+    pub at_write: u64,
+    /// Fault policy for the crash image (drop/tear/rot unflushed lines).
+    pub policy: FaultPolicy,
+    /// `false`: recover the crash image in place (reopen remapped).
+    /// `true`: fail over to a replica promoted from the replication
+    /// stream; the tenant comes back `Degraded` (read-only).
+    pub failover: bool,
+}
+
+/// Counted transient write fault: starting at the `at_write`-th write
+/// (1-based), the next `failures` write attempts against the tenant
+/// report a retryable failure.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientFault {
+    /// Tenant the fault applies to.
+    pub tenant: u32,
+    /// First write ordinal (1-based) affected.
+    pub at_write: u64,
+    /// How many attempts fail before the fault clears.
+    pub failures: u32,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    stalls: Vec<ShardStall>,
+    crashes: Vec<TenantCrash>,
+    transients: Vec<TransientFault>,
+    dead_sinks: HashSet<u32>,
+}
+
+/// Shared, thread-safe fault schedule for one server run. Cheap to
+/// clone; all clones see the same state.
+#[derive(Debug, Clone, Default)]
+pub struct ServerFaultPlan {
+    inner: Arc<Mutex<PlanState>>,
+}
+
+impl ServerFaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> ServerFaultPlan {
+        ServerFaultPlan::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanState> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms a one-shot shard stall.
+    pub fn stall_shard(&self, shard: usize, at_dequeue: u64, stall: Duration) {
+        self.lock().stalls.push(ShardStall {
+            shard,
+            at_dequeue,
+            stall,
+        });
+    }
+
+    /// Arms a one-shot tenant crash (see [`TenantCrash`]).
+    pub fn crash_tenant(&self, tenant: u32, at_write: u64, policy: FaultPolicy, failover: bool) {
+        self.lock().crashes.push(TenantCrash {
+            tenant,
+            at_write,
+            policy,
+            failover,
+        });
+    }
+
+    /// Arms a counted transient write fault (see [`TransientFault`]).
+    pub fn transient(&self, tenant: u32, at_write: u64, failures: u32) {
+        self.lock().transients.push(TransientFault {
+            tenant,
+            at_write,
+            failures,
+        });
+    }
+
+    /// Marks the tenant's replication sink permanently failed: every
+    /// subsequent append errors until [`ServerFaultPlan::revive_sink`].
+    pub fn kill_sink(&self, tenant: u32) {
+        self.lock().dead_sinks.insert(tenant);
+    }
+
+    /// Clears a sink kill so a heal can re-attach replication.
+    pub fn revive_sink(&self, tenant: u32) {
+        self.lock().dead_sinks.remove(&tenant);
+    }
+
+    // -- worker-side consults -------------------------------------------------
+
+    /// Consumes and returns the stall armed for this shard at (or
+    /// before) the `nth` dequeue, if any.
+    pub fn take_stall(&self, shard: usize, nth: u64) -> Option<Duration> {
+        let mut st = self.lock();
+        let idx = st
+            .stalls
+            .iter()
+            .position(|s| s.shard == shard && nth >= s.at_dequeue)?;
+        Some(st.stalls.swap_remove(idx).stall)
+    }
+
+    /// Consumes and returns the crash armed for this tenant at (or
+    /// before) its `write_nth` write, if any.
+    pub fn take_crash(&self, tenant: u32, write_nth: u64) -> Option<TenantCrash> {
+        let mut st = self.lock();
+        let idx = st
+            .crashes
+            .iter()
+            .position(|c| c.tenant == tenant && write_nth >= c.at_write)?;
+        Some(st.crashes.swap_remove(idx))
+    }
+
+    /// Consumes one transient-failure token for this tenant's
+    /// `write_nth` write. Returns `true` if the attempt must fail.
+    pub fn take_transient_failure(&self, tenant: u32, write_nth: u64) -> bool {
+        let mut st = self.lock();
+        let Some(idx) = st
+            .transients
+            .iter()
+            .position(|t| t.tenant == tenant && write_nth >= t.at_write && t.failures > 0)
+        else {
+            return false;
+        };
+        st.transients[idx].failures -= 1;
+        if st.transients[idx].failures == 0 {
+            st.transients.swap_remove(idx);
+        }
+        true
+    }
+
+    /// Whether the tenant's replication sink is currently dead.
+    pub fn sink_dead(&self, tenant: u32) -> bool {
+        self.lock().dead_sinks.contains(&tenant)
+    }
+}
+
+/// File-backed replication sink that consults the fault plan on every
+/// append: once the tenant's sink is killed, appends fail permanently
+/// (until revived), driving the replicator's retry ladder and then the
+/// tenant's `Degraded` transition.
+#[derive(Debug)]
+pub(crate) struct PlannedSink {
+    file: std::fs::File,
+    tenant: u32,
+    plan: ServerFaultPlan,
+}
+
+impl PlannedSink {
+    /// Creates (truncating) the stream file at `path`.
+    pub(crate) fn create(
+        path: &std::path::Path,
+        tenant: u32,
+        plan: ServerFaultPlan,
+    ) -> std::io::Result<PlannedSink> {
+        Ok(PlannedSink {
+            file: std::fs::File::create(path)?,
+            tenant,
+            plan,
+        })
+    }
+}
+
+impl ReplSink for PlannedSink {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if self.plan.sink_dead(self.tenant) {
+            return Err(std::io::Error::other("sink killed by fault plan"));
+        }
+        self.file.write_all(bytes)?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_are_one_shot() {
+        let plan = ServerFaultPlan::none();
+        plan.stall_shard(1, 3, Duration::from_millis(5));
+        assert!(plan.take_stall(0, 10).is_none(), "wrong shard");
+        assert!(plan.take_stall(1, 2).is_none(), "too early");
+        assert_eq!(plan.take_stall(1, 3), Some(Duration::from_millis(5)));
+        assert!(plan.take_stall(1, 4).is_none(), "consumed");
+
+        plan.crash_tenant(7, 2, FaultPolicy::DropUnflushed, true);
+        assert!(plan.take_crash(7, 1).is_none());
+        let c = plan.take_crash(7, 2).unwrap();
+        assert!(c.failover);
+        assert!(plan.take_crash(7, 3).is_none(), "consumed");
+    }
+
+    #[test]
+    fn transient_tokens_count_down() {
+        let plan = ServerFaultPlan::none();
+        plan.transient(3, 2, 2);
+        assert!(!plan.take_transient_failure(3, 1));
+        assert!(plan.take_transient_failure(3, 2));
+        assert!(plan.take_transient_failure(3, 3));
+        assert!(!plan.take_transient_failure(3, 4), "tokens exhausted");
+    }
+
+    #[test]
+    fn sink_kill_and_revive() {
+        let plan = ServerFaultPlan::none();
+        assert!(!plan.sink_dead(5));
+        plan.kill_sink(5);
+        assert!(plan.sink_dead(5));
+        plan.revive_sink(5);
+        assert!(!plan.sink_dead(5));
+    }
+}

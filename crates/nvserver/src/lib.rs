@@ -1,0 +1,56 @@
+//! # nvserver — fault-tolerant multi-tenant region server
+//!
+//! A sharded, thread-per-shard front end that serves get/put/delete and
+//! batched transactional requests against many [`nvmsim::Region`]
+//! tenants. Requests and responses travel through a versioned CRC-framed
+//! codec ([`codec`], magic `NVPISRV1` — the serving sibling of `repl`'s
+//! `NVPIRPL1` stream format) over an in-process [`Transport`] (loopback
+//! now, a socket later).
+//!
+//! Robustness is the headline, not throughput:
+//!
+//! - **Admission control** — per-shard bounded queues; past the
+//!   high-water mark the shard sheds the lowest-priority queued request
+//!   below the arrival (answering it `Overloaded`) or rejects the
+//!   arrival itself.
+//! - **Deadlines** — every request carries one (or inherits the server
+//!   default) and expires to a terminal `DeadlineExceeded` rather than
+//!   waiting forever behind a stalled shard.
+//! - **Retries** — transient tenant faults retry with the same capped
+//!   exponential backoff policy as the replicator
+//!   ([`nvmsim::repl::capped_backoff`]).
+//! - **Eviction & remap** — hot/cold LRU eviction closes a tenant's
+//!   region and later reopens it **at a different base address**
+//!   ([`nvmsim::Region::open_file_avoiding`]): every eviction is a live
+//!   position-independence exercise for the paper's pointer formats.
+//! - **Degradation ladder** — a tenant is `Healthy`, `Recovered` (came
+//!   back from a crash image), or `Degraded` (read-only after a
+//!   primary→replica failover via [`nvmsim::repl::promote_avoiding`], or
+//!   replication lost after a permanent sink failure), and heals back to
+//!   `Recovered` after a configurable window. Writes against a degraded
+//!   tenant answer `Degraded`; reads keep serving.
+//!
+//! A [`ServerFaultPlan`] (modeled on `nvmsim`'s `FaultPlan`) injects
+//! shard stalls, tenant crash images mid-request, transient write
+//! faults, and permanently failing replication sinks; the
+//! `server_matrix` integration test sweeps tenants × faults × seeds and
+//! asserts that every request gets a terminal response, acked commits
+//! survive crash+reopen and failover, and eviction never violates
+//! structure invariants.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fault;
+pub mod server;
+pub mod tenant;
+
+pub use codec::{
+    BatchOp, BatchResult, CodecError, Priority, ReqOp, Request, Response, Status, CODEC_VERSION,
+    FRAME_MAGIC,
+};
+pub use fault::{ServerFaultPlan, ShardStall, TenantCrash, TransientFault};
+pub use server::{
+    Client, Server, ServerConfig, ServerHandle, ServerReport, TenantReport, Transport,
+};
+pub use tenant::{ReprKind, TenantMetrics, TenantSnapshot, TenantSpec, TenantState};

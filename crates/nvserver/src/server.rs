@@ -1,0 +1,832 @@
+//! The sharded region server: bounded per-shard queues with admission
+//! control, deadline enforcement, capped-backoff retries, LRU tenant
+//! eviction with remapped reopen, and the crash/failover paths of the
+//! degradation ladder. See the crate docs for the policy overview.
+
+use crate::codec::{self, BatchOp, BatchResult, Priority, ReqOp, Request, Response, Status};
+use crate::fault::ServerFaultPlan;
+use crate::tenant::{Tenant, TenantMetrics, TenantSnapshot, TenantSpec, TenantState, TenantTuning};
+use nvmsim::metrics::{self, Counter};
+use nvmsim::{dlin, repl};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shards (worker threads); tenant `id % shards` routes.
+    pub shards: usize,
+    /// Directory holding tenant region files and replication streams.
+    pub data_dir: PathBuf,
+    /// Per-shard queue high-water mark; arrivals past it are shed.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry one.
+    pub default_deadline: Duration,
+    /// Retries per write after transient tenant faults.
+    pub max_retries: u32,
+    /// Backoff before the first retry (doubled per retry, capped).
+    pub retry_backoff: Duration,
+    /// Ceiling on the exponential retry backoff.
+    pub retry_backoff_max: Duration,
+    /// Open-tenant ceiling per shard; past it the coldest open tenant
+    /// is evicted (closed; its next request reopens it remapped).
+    pub max_open_per_shard: usize,
+    /// Requests a degraded tenant serves before healing automatically.
+    pub degraded_window: u64,
+}
+
+impl ServerConfig {
+    /// Defaults rooted at `data_dir`: 2 shards, depth-64 queues, 2 s
+    /// default deadline, 3 retries from 1 ms capped at 20 ms, no
+    /// open-tenant ceiling, 16-request degraded window.
+    pub fn new(data_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            shards: 2,
+            data_dir: data_dir.into(),
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(2),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            retry_backoff_max: Duration::from_millis(20),
+            max_open_per_shard: usize::MAX,
+            degraded_window: 16,
+        }
+    }
+}
+
+// -- response slots -----------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Slot {
+    resp: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, r: Response) {
+        let mut g = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        if g.is_none() {
+            *g = Some(r);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, limit: Duration) -> Option<Response> {
+        let deadline = Instant::now() + limit;
+        let mut g = self.resp.lock().unwrap_or_else(|e| e.into_inner());
+        while g.is_none() {
+            let now = Instant::now();
+            let left = deadline.checked_duration_since(now)?;
+            let (ng, _) = self
+                .cv
+                .wait_timeout(g, left)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+        g.take()
+    }
+}
+
+struct Entry {
+    req: Request,
+    deadline: Instant,
+    slot: Arc<Slot>,
+}
+
+struct ShardQueue {
+    entries: VecDeque<Entry>,
+    /// Cleared by the final shutdown drain; submissions racing past the
+    /// shutdown flag are refused here, under the queue lock.
+    accepting: bool,
+}
+
+struct Shard {
+    q: Mutex<ShardQueue>,
+    work: Condvar,
+    dequeued: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            q: Mutex::new(ShardQueue {
+                entries: VecDeque::new(),
+                accepting: true,
+            }),
+            work: Condvar::new(),
+            dequeued: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Core {
+    cfg: ServerConfig,
+    specs: HashMap<u32, TenantSpec>,
+    plan: ServerFaultPlan,
+    shards: Vec<Shard>,
+    shutdown: AtomicBool,
+    tmetrics: HashMap<u32, Arc<TenantMetrics>>,
+    reports: Mutex<Vec<TenantReport>>,
+}
+
+/// Final state of one tenant at shutdown.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub id: u32,
+    /// Ladder position when the server stopped.
+    pub state: TenantState,
+    /// Every base address the tenant's region was mapped at, in order.
+    /// More than one entry means the tenant demonstrably served through
+    /// a remap.
+    pub bases: Vec<usize>,
+    /// Keys durably in the tenant's set at close.
+    pub keys: Vec<u64>,
+    /// Final counter values.
+    pub snapshot: TenantSnapshot,
+}
+
+/// Everything the server knew when it stopped.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// One report per configured tenant (opened or not).
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ServerReport {
+    /// The report for tenant `id`, if present.
+    pub fn tenant(&self, id: u32) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+// -- transport ----------------------------------------------------------------
+
+/// Byte-level request/response transport. The loopback implementation
+/// is a [`ServerHandle`]; a socket implementation carries the same
+/// frames unchanged.
+pub trait Transport: Send + Sync {
+    /// Submits one encoded request frame and returns the encoded
+    /// response frame.
+    fn call(&self, frame: &[u8]) -> Vec<u8>;
+}
+
+/// Cheap cloneable handle for submitting requests to a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    core: Arc<Core>,
+}
+
+impl Transport for ServerHandle {
+    fn call(&self, frame: &[u8]) -> Vec<u8> {
+        codec::encode_response(&self.submit_frame(frame))
+    }
+}
+
+impl ServerHandle {
+    /// Decodes a request frame, submits it, and returns the (typed)
+    /// response. Malformed frames answer `Malformed` with id 0.
+    pub fn submit_frame(&self, frame: &[u8]) -> Response {
+        match codec::decode_request(frame) {
+            Ok(req) => self.submit(req),
+            Err(e) => Response::rejection(0, Status::Malformed, e.to_string()),
+        }
+    }
+
+    /// Submits a typed request and blocks for its terminal response.
+    pub fn submit(&self, req: Request) -> Response {
+        let core = &self.core;
+        let id = req.id;
+        if core.shutdown.load(Ordering::Acquire) {
+            return Response::rejection(id, Status::Shutdown, "server is shutting down");
+        }
+        let Some(tm) = core.tmetrics.get(&req.tenant) else {
+            return Response::rejection(
+                id,
+                Status::NoSuchTenant,
+                format!("tenant {} not configured", req.tenant),
+            );
+        };
+        let shard_idx = req.tenant as usize % core.shards.len();
+        let shard = &core.shards[shard_idx];
+        let deadline = Instant::now()
+            + if req.deadline_micros == 0 {
+                core.cfg.default_deadline
+            } else {
+                Duration::from_micros(req.deadline_micros)
+            };
+        let slot = Arc::new(Slot::default());
+        {
+            let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+            if !q.accepting {
+                return Response::rejection(id, Status::Shutdown, "server is shutting down");
+            }
+            if q.entries.len() >= core.cfg.queue_depth {
+                // Past the high-water mark: shed the lowest-priority
+                // queued request if it ranks strictly below the arrival,
+                // otherwise reject the arrival itself.
+                let min_idx = q
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.req.priority)
+                    .map(|(i, _)| i);
+                match min_idx {
+                    Some(i) if q.entries[i].req.priority < req.priority => {
+                        let shed = q.entries.remove(i).expect("index in range");
+                        metrics::incr(Counter::SrvShed);
+                        if let Some(m) = core.tmetrics.get(&shed.req.tenant) {
+                            m.overloaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        shed.slot.fill(Response::rejection(
+                            shed.req.id,
+                            Status::Overloaded,
+                            "shed for a higher-priority arrival",
+                        ));
+                    }
+                    _ => {
+                        drop(q);
+                        metrics::incr(Counter::SrvShed);
+                        tm.overloaded.fetch_add(1, Ordering::Relaxed);
+                        return Response::rejection(id, Status::Overloaded, "shard queue full");
+                    }
+                }
+            }
+            metrics::incr(Counter::SrvRequests);
+            tm.requests.fetch_add(1, Ordering::Relaxed);
+            q.entries.push_back(Entry {
+                req,
+                deadline,
+                slot: slot.clone(),
+            });
+        }
+        shard.work.notify_all();
+        // Workers answer every dequeued request and the shutdown drain
+        // answers the rest; the long stop here is a backstop against a
+        // wedged worker, not a code path requests are expected to take.
+        slot.wait(core.cfg.default_deadline + Duration::from_secs(60))
+            .unwrap_or_else(|| {
+                Response::rejection(id, Status::Failed, "response slot wait timed out")
+            })
+    }
+
+    /// Live metrics handle for a tenant.
+    pub fn tenant_metrics(&self, tenant: u32) -> Option<Arc<TenantMetrics>> {
+        self.core.tmetrics.get(&tenant).cloned()
+    }
+}
+
+/// Typed client over any [`Transport`] — every helper round-trips
+/// through the frame codec, so loopback traffic exercises exactly the
+/// bytes a socket would carry.
+pub struct Client {
+    transport: Arc<dyn Transport>,
+    next_id: AtomicU64,
+    /// Priority attached to this client's requests.
+    pub priority: Priority,
+    /// Deadline attached to this client's requests (0 = server default).
+    pub deadline_micros: u64,
+}
+
+impl Client {
+    /// A client with normal priority and the server's default deadline.
+    pub fn new(transport: Arc<dyn Transport>) -> Client {
+        Client {
+            transport,
+            next_id: AtomicU64::new(1),
+            priority: Priority::Normal,
+            deadline_micros: 0,
+        }
+    }
+
+    /// Sets the priority for subsequent requests.
+    pub fn with_priority(mut self, p: Priority) -> Client {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the per-request deadline for subsequent requests.
+    pub fn with_deadline(mut self, d: Duration) -> Client {
+        self.deadline_micros = d.as_micros() as u64;
+        self
+    }
+
+    /// Sends `op` against `tenant` and returns the decoded response.
+    pub fn request(&self, tenant: u32, op: ReqOp) -> Response {
+        let req = Request {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant,
+            priority: self.priority,
+            deadline_micros: self.deadline_micros,
+            op,
+        };
+        let frame = codec::encode_request(&req);
+        let resp_frame = self.transport.call(&frame);
+        codec::decode_response(&resp_frame).unwrap_or_else(|e| {
+            Response::rejection(req.id, Status::Malformed, format!("response frame: {e}"))
+        })
+    }
+
+    /// Membership probe.
+    pub fn get(&self, tenant: u32, key: u64) -> Response {
+        self.request(tenant, ReqOp::Get { key })
+    }
+
+    /// Transactional insert.
+    pub fn put(&self, tenant: u32, key: u64) -> Response {
+        self.request(tenant, ReqOp::Put { key })
+    }
+
+    /// Transactional remove.
+    pub fn delete(&self, tenant: u32, key: u64) -> Response {
+        self.request(tenant, ReqOp::Delete { key })
+    }
+
+    /// Ordered batch of writes.
+    pub fn batch(&self, tenant: u32, ops: Vec<BatchOp>) -> Response {
+        self.request(tenant, ReqOp::Batch { ops })
+    }
+
+    /// Force-evict (close) the tenant.
+    pub fn evict(&self, tenant: u32) -> Response {
+        self.request(tenant, ReqOp::Evict)
+    }
+
+    /// Force-heal a degraded tenant.
+    pub fn heal(&self, tenant: u32) -> Response {
+        self.request(tenant, ReqOp::Heal)
+    }
+}
+
+// -- the server ---------------------------------------------------------------
+
+/// A running region server. Submit through [`Server::handle`] /
+/// [`Server::client`]; stop with [`Server::shutdown`].
+pub struct Server {
+    core: Arc<Core>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server with the given tenants. Creates `data_dir` (and
+    /// the shard workers) immediately; tenant regions are created lazily
+    /// on first request.
+    ///
+    /// # Errors
+    ///
+    /// I/O creating the data directory or spawning workers.
+    pub fn start(
+        cfg: ServerConfig,
+        tenants: Vec<TenantSpec>,
+        plan: ServerFaultPlan,
+    ) -> std::io::Result<Server> {
+        assert!(cfg.shards > 0, "at least one shard");
+        assert!(cfg.queue_depth > 0, "queue depth must be positive");
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        let mut specs = HashMap::new();
+        let mut tmetrics = HashMap::new();
+        for t in tenants {
+            tmetrics.insert(t.id, Arc::new(TenantMetrics::default()));
+            specs.insert(t.id, t);
+        }
+        let shards = (0..cfg.shards).map(|_| Shard::new()).collect();
+        let core = Arc::new(Core {
+            cfg,
+            specs,
+            plan,
+            shards,
+            shutdown: AtomicBool::new(false),
+            tmetrics,
+            reports: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::new();
+        for shard_idx in 0..core.shards.len() {
+            let core = core.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nvsrv-shard-{shard_idx}"))
+                    .spawn(move || worker(core, shard_idx))?,
+            );
+        }
+        Ok(Server { core, workers })
+    }
+
+    /// A cheap submission handle (also the loopback [`Transport`]).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            core: self.core.clone(),
+        }
+    }
+
+    /// A typed client over the loopback transport.
+    pub fn client(&self) -> Client {
+        Client::new(Arc::new(self.handle()))
+    }
+
+    /// Stops the server: workers finish every queued request, close
+    /// their tenants cleanly (sealing replication streams), and report
+    /// final per-tenant state. Requests arriving during shutdown answer
+    /// `Shutdown`.
+    pub fn shutdown(self) -> ServerReport {
+        self.core.shutdown.store(true, Ordering::Release);
+        for s in &self.core.shards {
+            s.work.notify_all();
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // Refuse and drain anything that raced past the shutdown flag.
+        for s in &self.core.shards {
+            let mut q = s.q.lock().unwrap_or_else(|e| e.into_inner());
+            q.accepting = false;
+            while let Some(e) = q.entries.pop_front() {
+                e.slot.fill(Response::rejection(
+                    e.req.id,
+                    Status::Shutdown,
+                    "server stopped before execution",
+                ));
+            }
+        }
+        let mut reports =
+            std::mem::take(&mut *self.core.reports.lock().unwrap_or_else(|e| e.into_inner()));
+        // Tenants that never opened still get a report row.
+        for id in self.core.specs.keys() {
+            if !reports.iter().any(|r| r.id == *id) {
+                reports.push(TenantReport {
+                    id: *id,
+                    state: TenantState::Closed,
+                    bases: Vec::new(),
+                    keys: Vec::new(),
+                    snapshot: self.core.tmetrics[id].snapshot(),
+                });
+            }
+        }
+        reports.sort_by_key(|r| r.id);
+        ServerReport { tenants: reports }
+    }
+}
+
+// -- shard worker -------------------------------------------------------------
+
+fn worker(core: Arc<Core>, shard_idx: usize) {
+    let shard = &core.shards[shard_idx];
+    let mut tenants: HashMap<u32, Tenant> = HashMap::new();
+    let mut tick = 0u64;
+    loop {
+        let entry = {
+            let mut q = shard.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(e) = q.entries.pop_front() {
+                    break Some(e);
+                }
+                if core.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shard.work.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(entry) = entry else { break };
+        tick += 1;
+        let nth = shard.dequeued.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(stall) = core.plan.take_stall(shard_idx, nth) {
+            std::thread::sleep(stall);
+        }
+        let resp = handle_entry(&core, &mut tenants, &entry, tick);
+        record_terminal(&core, entry.req.tenant, &resp);
+        entry.slot.fill(resp);
+    }
+    // Shutdown: close every tenant cleanly and report final state. A
+    // tenant sitting evicted when the server stops is reopened first so
+    // the report still carries its final keys (and the reopen is one
+    // more remap audit for free).
+    let mut reports = Vec::new();
+    for (_, mut t) in tenants.drain() {
+        if !t.is_open() && !t.bases.is_empty() {
+            if let Err(e) = t.ensure_open(&core.plan) {
+                eprintln!("nvserver: tenant {} reopen at shutdown: {e}", t.spec.id);
+            }
+        }
+        let keys = if t.is_open() { t.keys() } else { Vec::new() };
+        if let Err(e) = t.check_invariants() {
+            eprintln!("nvserver: tenant {} invariants at shutdown: {e}", t.spec.id);
+        }
+        if let Err(e) = t.shutdown() {
+            // Keep the report; the failure is visible in the metrics.
+            eprintln!("nvserver: tenant {} shutdown: {e}", t.spec.id);
+        }
+        reports.push(TenantReport {
+            id: t.spec.id,
+            state: t.state(),
+            bases: t.bases.clone(),
+            keys,
+            snapshot: t.metrics.snapshot(),
+        });
+    }
+    core.reports
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .extend(reports);
+}
+
+fn record_terminal(core: &Core, tenant: u32, resp: &Response) {
+    let Some(m) = core.tmetrics.get(&tenant) else {
+        return;
+    };
+    let c = match resp.status {
+        Status::Ok => &m.ok,
+        Status::Overloaded => &m.overloaded,
+        Status::DeadlineExceeded => {
+            metrics::incr(Counter::SrvDeadlineExceeded);
+            &m.deadline_exceeded
+        }
+        Status::Degraded => {
+            metrics::incr(Counter::SrvDegradedResponses);
+            &m.degraded
+        }
+        _ => &m.failed,
+    };
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn handle_entry(
+    core: &Core,
+    tenants: &mut HashMap<u32, Tenant>,
+    entry: &Entry,
+    tick: u64,
+) -> Response {
+    let req = &entry.req;
+    if Instant::now() > entry.deadline {
+        return Response::rejection(req.id, Status::DeadlineExceeded, "expired in queue");
+    }
+    let spec = core.specs[&req.tenant].clone();
+    // LRU pressure: opening this tenant must not exceed the per-shard
+    // ceiling, so evict the coldest open tenant first.
+    let needs_open = !tenants.get(&req.tenant).is_some_and(Tenant::is_open);
+    if needs_open {
+        if let Err(e) = evict_coldest(tenants, core.cfg.max_open_per_shard) {
+            return Response::rejection(req.id, Status::Failed, e);
+        }
+    }
+    let tuning = TenantTuning {
+        max_retries: core.cfg.max_retries,
+        retry_backoff: core.cfg.retry_backoff,
+        retry_backoff_max: core.cfg.retry_backoff_max,
+        degraded_window: core.cfg.degraded_window,
+    };
+    let metrics_arc = core.tmetrics[&req.tenant].clone();
+    let data_dir = core.cfg.data_dir.clone();
+    let tenant = tenants
+        .entry(req.tenant)
+        .or_insert_with(|| Tenant::new(spec, &data_dir, metrics_arc, tuning));
+    tenant.last_used = tick;
+
+    // Eviction works even on an open tenant and needs no reopen.
+    if matches!(req.op, ReqOp::Evict) {
+        return match tenant.evict() {
+            Ok(()) => Response {
+                id: req.id,
+                status: Status::Ok,
+                found: None,
+                attempts: 1,
+                stamp: 0,
+                batch: Vec::new(),
+                detail: "evicted".to_string(),
+            },
+            Err(e) => Response::rejection(req.id, Status::Failed, e),
+        };
+    }
+
+    if let Err(e) = tenant.ensure_open(&core.plan) {
+        // A degraded-but-serving tenant (e.g. replication attach failed)
+        // still answers; a tenant that could not open at all fails.
+        if !tenant.is_open() {
+            return Response::rejection(req.id, Status::Failed, e);
+        }
+    }
+
+    // Degraded-window bookkeeping: every request against a degraded
+    // tenant brings it one step closer to the automatic heal.
+    if tenant.tick_degraded() {
+        let _ = tenant.heal(&core.plan);
+    }
+
+    match &req.op {
+        ReqOp::Heal => match tenant.heal(&core.plan) {
+            Ok(()) => Response {
+                id: req.id,
+                status: Status::Ok,
+                found: None,
+                attempts: 1,
+                stamp: 0,
+                batch: Vec::new(),
+                detail: tenant.state().name().to_string(),
+            },
+            Err(e) => Response::rejection(req.id, Status::Failed, e),
+        },
+        ReqOp::Get { key } => {
+            let found = tenant.contains(*key);
+            Response {
+                id: req.id,
+                status: Status::Ok,
+                found: Some(found),
+                attempts: 1,
+                stamp: 0,
+                batch: Vec::new(),
+                detail: if tenant.state().read_only() {
+                    tenant.state().name().to_string()
+                } else {
+                    String::new()
+                },
+            }
+        }
+        ReqOp::Put { key } => write_path(core, tenant, entry, true, *key),
+        ReqOp::Delete { key } => write_path(core, tenant, entry, false, *key),
+        ReqOp::Batch { ops } => batch_path(core, tenant, entry, ops),
+        ReqOp::Evict => unreachable!("handled before reopen"),
+    }
+}
+
+fn evict_coldest(tenants: &mut HashMap<u32, Tenant>, max_open: usize) -> Result<(), String> {
+    loop {
+        let open: Vec<(u32, u64)> = tenants
+            .iter()
+            .filter(|(_, t)| t.is_open())
+            .map(|(id, t)| (*id, t.last_used))
+            .collect();
+        if open.len() < max_open {
+            return Ok(());
+        }
+        let coldest = open
+            .iter()
+            .min_by_key(|(_, used)| *used)
+            .map(|(id, _)| *id)
+            .expect("open set non-empty");
+        tenants.get_mut(&coldest).expect("tenant present").evict()?;
+    }
+}
+
+/// Outcome of one write attempt, before terminal-response shaping.
+enum WriteOutcome {
+    Committed { applied: bool, stamp: u64 },
+    Terminal(Response),
+}
+
+/// Runs one write (insert or remove) through the fault plan, the crash
+/// paths, and the capped-backoff retry ladder.
+fn write_once(
+    core: &Core,
+    tenant: &mut Tenant,
+    entry: &Entry,
+    put: bool,
+    key: u64,
+    attempts: &mut u32,
+) -> WriteOutcome {
+    let req_id = entry.req.id;
+    loop {
+        if Instant::now() > entry.deadline {
+            return WriteOutcome::Terminal(Response::rejection(
+                req_id,
+                Status::DeadlineExceeded,
+                "deadline passed during execution",
+            ));
+        }
+        *attempts += 1;
+        tenant.writes += 1;
+        let ordinal = tenant.writes;
+
+        if let Some(crash) = core.plan.take_crash(tenant.spec.id, ordinal) {
+            // The crash lands before this write's transaction begins:
+            // the triggering write is never acked out of a crash it did
+            // not survive.
+            let outcome = if crash.failover {
+                tenant.crash_and_failover(crash.policy, &core.plan)
+            } else {
+                tenant.crash_and_recover(crash.policy, &core.plan)
+            };
+            match outcome {
+                Ok(()) if tenant.state().read_only() => {
+                    return WriteOutcome::Terminal(Response::rejection(
+                        req_id,
+                        Status::Degraded,
+                        format!("write refused: {}", tenant.state().name()),
+                    ));
+                }
+                Ok(()) => continue, // recovered in place; retry the write
+                Err(e) => {
+                    return WriteOutcome::Terminal(Response::rejection(
+                        req_id,
+                        Status::Failed,
+                        format!("crash handling failed: {e}"),
+                    ))
+                }
+            }
+        }
+
+        if tenant.state().read_only() {
+            return WriteOutcome::Terminal(Response::rejection(
+                req_id,
+                Status::Degraded,
+                format!("write refused: {}", tenant.state().name()),
+            ));
+        }
+
+        if core.plan.take_transient_failure(tenant.spec.id, ordinal) {
+            if *attempts > core.cfg.max_retries {
+                return WriteOutcome::Terminal(Response::rejection(
+                    req_id,
+                    Status::Failed,
+                    "transient fault: retries exhausted",
+                ));
+            }
+            tenant.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            metrics::incr(Counter::SrvRetries);
+            let wait = repl::capped_backoff(
+                core.cfg.retry_backoff,
+                core.cfg.retry_backoff_max,
+                *attempts - 1,
+            );
+            let left = entry.deadline.saturating_duration_since(Instant::now());
+            std::thread::sleep(wait.min(left));
+            continue;
+        }
+
+        let result = if put {
+            tenant.insert(key)
+        } else {
+            tenant.remove(key)
+        };
+        return match result {
+            Ok(applied) => {
+                // The commit was a durability point (flushed, fenced,
+                // and captured into the replication stream) before this
+                // stamp is drawn — the dlin ack discipline.
+                let stamp = dlin::next_stamp();
+                tenant.check_repl_health();
+                WriteOutcome::Committed { applied, stamp }
+            }
+            Err(e) => WriteOutcome::Terminal(Response::rejection(req_id, Status::Failed, e)),
+        };
+    }
+}
+
+fn write_path(core: &Core, tenant: &mut Tenant, entry: &Entry, put: bool, key: u64) -> Response {
+    let mut attempts = 0;
+    match write_once(core, tenant, entry, put, key, &mut attempts) {
+        WriteOutcome::Committed { applied, stamp } => Response {
+            id: entry.req.id,
+            status: Status::Ok,
+            found: Some(applied),
+            attempts,
+            stamp,
+            batch: Vec::new(),
+            detail: if tenant.state().read_only() {
+                tenant.state().name().to_string()
+            } else {
+                String::new()
+            },
+        },
+        WriteOutcome::Terminal(mut r) => {
+            r.attempts = attempts;
+            r
+        }
+    }
+}
+
+fn batch_path(core: &Core, tenant: &mut Tenant, entry: &Entry, ops: &[BatchOp]) -> Response {
+    let mut attempts = 0;
+    let mut batch = Vec::with_capacity(ops.len());
+    let mut last_stamp = 0;
+    for op in ops {
+        match write_once(core, tenant, entry, op.put, op.key, &mut attempts) {
+            WriteOutcome::Committed { applied, stamp } => {
+                batch.push(BatchResult { applied, stamp });
+                last_stamp = stamp;
+            }
+            WriteOutcome::Terminal(mut r) => {
+                // Entries committed before the fault stay committed (and
+                // acked in the partial batch) — the response says where
+                // the batch stopped.
+                r.attempts = attempts;
+                r.batch = batch;
+                r.detail = format!(
+                    "batch stopped after {} entries: {}",
+                    r.batch.len(),
+                    r.detail
+                );
+                return r;
+            }
+        }
+    }
+    Response {
+        id: entry.req.id,
+        status: Status::Ok,
+        found: None,
+        attempts,
+        stamp: last_stamp,
+        batch,
+        detail: String::new(),
+    }
+}

@@ -1,0 +1,747 @@
+//! Per-tenant state: one region + object store + persistent hash set
+//! per tenant, a degradation-ladder state machine, and per-tenant
+//! metrics.
+//!
+//! A tenant lives entirely inside its shard's worker thread (the
+//! persistent structures hold raw mapped pointers and are not `Send`);
+//! only the [`TenantSpec`], [`TenantMetrics`], and snapshots cross
+//! threads.
+//!
+//! ## Degradation ladder
+//!
+//! ```text
+//! Closed ──open──▶ Healthy ──evict──▶ Closed (reopen remaps the base)
+//!   Healthy ──crash+recover──▶ Recovered
+//!   Healthy ──crash+failover──▶ DegradedReadOnly ──heal──▶ Recovered
+//!   Healthy ──repl sink dies──▶ DegradedReplLost ──heal──▶ Recovered
+//! ```
+//!
+//! `Recovered` serves exactly like `Healthy` (it exists so operators —
+//! and the chaos matrix — can see that a tenant came back from a crash
+//! rather than never having faulted). Both `Degraded` states are
+//! read-only: writes answer `Degraded` until the tenant heals, either
+//! via an explicit `Heal` request or automatically after the configured
+//! degraded window of requests.
+
+use crate::codec::Priority;
+use crate::fault::{PlannedSink, ServerFaultPlan};
+use nvmsim::metrics::{self, Counter};
+use nvmsim::repl::{self, Replicator, ReplicatorConfig};
+use nvmsim::shadow::FaultPolicy;
+use nvmsim::Region;
+use pds::{NodeArena, PHashSet};
+use pi_core::{FatPtrCached, OffHolder, Riv};
+use pstore::{ObjectStore, StoreHealth};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Root name under which every tenant's hash set is registered.
+const SET_ROOT: &str = "srv.set";
+
+/// Pointer representation a tenant's persistent set uses. Mixing
+/// representations across tenants means one server run exercises every
+/// paper format under remap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReprKind {
+    /// Off-holder (offset-based) pointers.
+    OffHolder,
+    /// Region-ID-virtual-address pointers.
+    Riv,
+    /// Fat pointers with the seqlock-published lookup cache.
+    FatCached,
+}
+
+impl ReprKind {
+    /// Short lowercase name for reports and labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReprKind::OffHolder => "offholder",
+            ReprKind::Riv => "riv",
+            ReprKind::FatCached => "fatcached",
+        }
+    }
+}
+
+/// Static description of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant id (routes to shard `id % nshards`).
+    pub id: u32,
+    /// Pointer representation for the tenant's set.
+    pub repr: ReprKind,
+    /// Default priority for admission decisions involving this tenant.
+    pub priority: Priority,
+    /// Whether a replicator ships the tenant's durability points to a
+    /// stream (required for failover crashes).
+    pub replicate: bool,
+    /// Whether shadow cache-line tracking is enabled (required for
+    /// crash injection; implied by `replicate`).
+    pub shadowed: bool,
+    /// Hash set bucket count.
+    pub nbuckets: u64,
+    /// Region size in bytes.
+    pub region_size: usize,
+    /// Undo-log capacity in bytes.
+    pub log_cap: u64,
+}
+
+impl TenantSpec {
+    /// A spec with serving defaults: normal priority, 512 KiB region,
+    /// 32 KiB log, 64 buckets, no replication, no shadow.
+    pub fn new(id: u32, repr: ReprKind) -> TenantSpec {
+        TenantSpec {
+            id,
+            repr,
+            priority: Priority::Normal,
+            replicate: false,
+            shadowed: false,
+            nbuckets: 64,
+            region_size: 512 << 10,
+            log_cap: 32 << 10,
+        }
+    }
+
+    /// Enables replication (and with it shadow tracking).
+    pub fn replicated(mut self) -> TenantSpec {
+        self.replicate = true;
+        self.shadowed = true;
+        self
+    }
+
+    /// Enables shadow tracking without replication (crash-injectable,
+    /// recover-in-place only).
+    pub fn crashable(mut self) -> TenantSpec {
+        self.shadowed = true;
+        self
+    }
+
+    /// Sets the admission priority.
+    pub fn with_priority(mut self, p: Priority) -> TenantSpec {
+        self.priority = p;
+        self
+    }
+}
+
+/// Where a tenant sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantState {
+    /// Not currently open (never opened, or evicted).
+    Closed,
+    /// Serving normally.
+    Healthy,
+    /// Serving normally after coming back from a crash image or a heal.
+    Recovered,
+    /// Read-only: serving a replica promoted after a primary crash.
+    DegradedReadOnly,
+    /// Read-only: local region fine but replication permanently failed.
+    DegradedReplLost,
+}
+
+impl TenantState {
+    /// Stable numeric code (for the metrics atomic).
+    pub fn code(self) -> u32 {
+        match self {
+            TenantState::Closed => 0,
+            TenantState::Healthy => 1,
+            TenantState::Recovered => 2,
+            TenantState::DegradedReadOnly => 3,
+            TenantState::DegradedReplLost => 4,
+        }
+    }
+
+    /// Decodes [`TenantState::code`].
+    pub fn from_code(c: u32) -> Option<TenantState> {
+        match c {
+            0 => Some(TenantState::Closed),
+            1 => Some(TenantState::Healthy),
+            2 => Some(TenantState::Recovered),
+            3 => Some(TenantState::DegradedReadOnly),
+            4 => Some(TenantState::DegradedReplLost),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantState::Closed => "closed",
+            TenantState::Healthy => "healthy",
+            TenantState::Recovered => "recovered",
+            TenantState::DegradedReadOnly => "degraded_readonly",
+            TenantState::DegradedReplLost => "degraded_repllost",
+        }
+    }
+
+    /// Whether writes are refused in this state.
+    pub fn read_only(self) -> bool {
+        matches!(
+            self,
+            TenantState::DegradedReadOnly | TenantState::DegradedReplLost
+        )
+    }
+}
+
+/// Per-tenant counters, shared between the shard worker (increments)
+/// and observers (snapshots). All relaxed: these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Requests accepted for this tenant.
+    pub requests: AtomicU64,
+    /// Requests answered `Ok`.
+    pub ok: AtomicU64,
+    /// Requests answered `Overloaded` (rejected or shed).
+    pub overloaded: AtomicU64,
+    /// Requests answered `DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered `Degraded`.
+    pub degraded: AtomicU64,
+    /// Requests answered `Failed`.
+    pub failed: AtomicU64,
+    /// Write attempts retried after transient faults.
+    pub retries: AtomicU64,
+    /// Times the tenant was evicted (closed by LRU pressure or request).
+    pub evictions: AtomicU64,
+    /// Reopens that mapped the region at a different base address.
+    pub remaps: AtomicU64,
+    /// Crash images injected against this tenant.
+    pub crashes: AtomicU64,
+    /// Primary→replica failovers.
+    pub failovers: AtomicU64,
+    /// Permanent replication-sink failures observed.
+    pub repl_lost: AtomicU64,
+    /// Transitions out of a degraded state.
+    pub heals: AtomicU64,
+    /// `check_invariants` failures (must stay 0).
+    pub invariant_failures: AtomicU64,
+    /// Current [`TenantState::code`].
+    pub state: AtomicU32,
+}
+
+/// Plain-value copy of [`TenantMetrics`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Requests accepted.
+    pub requests: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// `Overloaded` responses.
+    pub overloaded: u64,
+    /// `DeadlineExceeded` responses.
+    pub deadline_exceeded: u64,
+    /// `Degraded` responses.
+    pub degraded: u64,
+    /// `Failed` responses.
+    pub failed: u64,
+    /// Retried write attempts.
+    pub retries: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Remapped reopens.
+    pub remaps: u64,
+    /// Injected crashes.
+    pub crashes: u64,
+    /// Failovers.
+    pub failovers: u64,
+    /// Permanent replication losses.
+    pub repl_lost: u64,
+    /// Heals.
+    pub heals: u64,
+    /// Invariant-check failures.
+    pub invariant_failures: u64,
+    /// State at snapshot time.
+    pub state: TenantState,
+}
+
+impl TenantMetrics {
+    /// Reads every counter (relaxed).
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            remaps: self.remaps.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            repl_lost: self.repl_lost.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
+            invariant_failures: self.invariant_failures.load(Ordering::Relaxed),
+            state: TenantState::from_code(self.state.load(Ordering::Relaxed))
+                .unwrap_or(TenantState::Closed),
+        }
+    }
+}
+
+/// The tenant's persistent set, dispatching over the pointer
+/// representation chosen in its spec.
+enum TenantSet {
+    Off(PHashSet<OffHolder, 32>),
+    Riv(PHashSet<Riv, 32>),
+    Fat(PHashSet<FatPtrCached, 32>),
+}
+
+impl TenantSet {
+    fn create(arena: NodeArena, nbuckets: u64, kind: ReprKind) -> Result<TenantSet, String> {
+        Ok(match kind {
+            ReprKind::OffHolder => {
+                TenantSet::Off(PHashSet::create_rooted(arena, nbuckets, SET_ROOT).map_err(err)?)
+            }
+            ReprKind::Riv => {
+                TenantSet::Riv(PHashSet::create_rooted(arena, nbuckets, SET_ROOT).map_err(err)?)
+            }
+            ReprKind::FatCached => {
+                TenantSet::Fat(PHashSet::create_rooted(arena, nbuckets, SET_ROOT).map_err(err)?)
+            }
+        })
+    }
+
+    fn attach(arena: NodeArena, kind: ReprKind) -> Result<TenantSet, String> {
+        Ok(match kind {
+            ReprKind::OffHolder => TenantSet::Off(PHashSet::attach(arena, SET_ROOT).map_err(err)?),
+            ReprKind::Riv => TenantSet::Riv(PHashSet::attach(arena, SET_ROOT).map_err(err)?),
+            ReprKind::FatCached => TenantSet::Fat(PHashSet::attach(arena, SET_ROOT).map_err(err)?),
+        })
+    }
+
+    fn insert_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool, String> {
+        match self {
+            TenantSet::Off(s) => s.insert_tx(store, key).map_err(err),
+            TenantSet::Riv(s) => s.insert_tx(store, key).map_err(err),
+            TenantSet::Fat(s) => s.insert_tx(store, key).map_err(err),
+        }
+    }
+
+    fn remove_tx(&mut self, store: &ObjectStore, key: u64) -> Result<bool, String> {
+        match self {
+            TenantSet::Off(s) => s.remove_tx(store, key).map_err(err),
+            TenantSet::Riv(s) => s.remove_tx(store, key).map_err(err),
+            TenantSet::Fat(s) => s.remove_tx(store, key).map_err(err),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        match self {
+            TenantSet::Off(s) => s.contains(key),
+            TenantSet::Riv(s) => s.contains(key),
+            TenantSet::Fat(s) => s.contains(key),
+        }
+    }
+
+    fn keys(&self) -> Vec<u64> {
+        match self {
+            TenantSet::Off(s) => s.keys(),
+            TenantSet::Riv(s) => s.keys(),
+            TenantSet::Fat(s) => s.keys(),
+        }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            TenantSet::Off(s) => s.check_invariants(),
+            TenantSet::Riv(s) => s.check_invariants(),
+            TenantSet::Fat(s) => s.check_invariants(),
+        }
+    }
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// Replicator tuning shared by every tenant of a server (mirrors the
+/// server's retry policy onto the shipping path).
+#[derive(Debug, Clone)]
+pub(crate) struct TenantTuning {
+    pub max_retries: u32,
+    pub retry_backoff: std::time::Duration,
+    pub retry_backoff_max: std::time::Duration,
+    pub degraded_window: u64,
+}
+
+/// One live tenant, owned by its shard worker thread.
+pub(crate) struct Tenant {
+    pub spec: TenantSpec,
+    pub metrics: Arc<TenantMetrics>,
+    path: PathBuf,
+    stream: PathBuf,
+    region: Option<Region>,
+    store: Option<ObjectStore>,
+    set: Option<TenantSet>,
+    repl: Option<Replicator>,
+    state: TenantState,
+    /// Every base the tenant's region was ever mapped at, in order.
+    pub bases: Vec<usize>,
+    /// LRU tick of the last request touching this tenant.
+    pub last_used: u64,
+    /// Writes attempted against this tenant (fault-plan ordinal).
+    pub writes: u64,
+    /// Requests remaining before an automatic heal while degraded.
+    degraded_left: u64,
+    tuning: TenantTuning,
+}
+
+impl Tenant {
+    pub(crate) fn new(
+        spec: TenantSpec,
+        dir: &Path,
+        metrics: Arc<TenantMetrics>,
+        tuning: TenantTuning,
+    ) -> Tenant {
+        let path = dir.join(format!("tenant-{}.nvr", spec.id));
+        let stream = dir.join(format!("tenant-{}.nvd", spec.id));
+        Tenant {
+            spec,
+            metrics,
+            path,
+            stream,
+            region: None,
+            store: None,
+            set: None,
+            repl: None,
+            state: TenantState::Closed,
+            bases: Vec::new(),
+            last_used: 0,
+            writes: 0,
+            degraded_left: 0,
+            tuning,
+        }
+    }
+
+    pub(crate) fn is_open(&self) -> bool {
+        self.region.is_some()
+    }
+
+    pub(crate) fn state(&self) -> TenantState {
+        self.state
+    }
+
+    fn set_state(&mut self, s: TenantState) {
+        self.state = s;
+        self.metrics.state.store(s.code(), Ordering::Relaxed);
+    }
+
+    fn repl_config(&self) -> ReplicatorConfig {
+        ReplicatorConfig {
+            max_retries: self.tuning.max_retries,
+            retry_backoff: self.tuning.retry_backoff,
+            retry_backoff_max: self.tuning.retry_backoff_max,
+            ..ReplicatorConfig::default()
+        }
+    }
+
+    /// Attaches shadow tracking and (when configured) a fresh
+    /// replication stream to the open region.
+    fn attach_instrumentation(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        let region = self.region.as_ref().expect("open region");
+        if self.spec.shadowed {
+            region.enable_shadow().map_err(err)?;
+        }
+        if self.spec.replicate {
+            let sink =
+                PlannedSink::create(&self.stream, self.spec.id, plan.clone()).map_err(err)?;
+            match Replicator::attach_sink(region, Box::new(sink), self.repl_config()) {
+                Ok(r) => self.repl = Some(r),
+                Err(e) => {
+                    // The opening append failed permanently (dead sink):
+                    // the tenant serves, but replication is lost.
+                    self.metrics.repl_lost.fetch_add(1, Ordering::Relaxed);
+                    self.set_state(TenantState::DegradedReplLost);
+                    self.degraded_left = self.tuning.degraded_window;
+                    return Err(format!("replication attach failed: {e}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens the tenant: formats a fresh region on first open, otherwise
+    /// reopens the backing file **avoiding the previous base** so every
+    /// reopen is a remap. No-op when already open.
+    pub(crate) fn ensure_open(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        if self.is_open() {
+            return Ok(());
+        }
+        if self.path.exists() {
+            self.reopen(plan)
+        } else {
+            self.format(plan)
+        }
+    }
+
+    fn format(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        let region = Region::create_file(&self.path, self.spec.region_size).map_err(err)?;
+        let store = ObjectStore::format_with_log(&region, self.spec.log_cap).map_err(err)?;
+        let set = TenantSet::create(
+            NodeArena::transactional(store.clone()),
+            self.spec.nbuckets,
+            self.spec.repr,
+        )?;
+        region.sync().map_err(err)?;
+        self.bases.push(region.base());
+        self.region = Some(region);
+        self.store = Some(store);
+        self.set = Some(set);
+        self.set_state(TenantState::Healthy);
+        let r = self.attach_instrumentation(plan);
+        metrics::incr(Counter::RegionOpens);
+        r
+    }
+
+    fn reopen(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        let avoid = self.bases.last().copied().unwrap_or(0);
+        let region = Region::open_file_avoiding(&self.path, avoid).map_err(err)?;
+        let store = ObjectStore::attach(&region).map_err(err)?;
+        let health = store.health();
+        let set = TenantSet::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
+        if let Err(e) = set.check_invariants() {
+            self.metrics
+                .invariant_failures
+                .fetch_add(1, Ordering::Relaxed);
+            // Leave everything in place for post-mortem inspection.
+            self.region = Some(region);
+            self.store = Some(store);
+            self.set = Some(set);
+            return Err(format!("invariants violated after reopen: {e}"));
+        }
+        let remapped = region.base() != avoid;
+        if remapped {
+            self.metrics.remaps.fetch_add(1, Ordering::Relaxed);
+            metrics::incr(Counter::SrvRemapReopens);
+        }
+        let came_from_crash = region.was_dirty() || health != StoreHealth::Clean;
+        self.bases.push(region.base());
+        self.region = Some(region);
+        self.store = Some(store);
+        self.set = Some(set);
+        // A dirty image (crash teardown) or an actual rollback marks the
+        // tenant `Recovered`; a clean eviction reopen stays `Healthy`.
+        // `StoreHealth::Damaged` also lands here: the invariant check
+        // above passed, so the tenant serves, visibly post-crash.
+        self.set_state(if came_from_crash {
+            TenantState::Recovered
+        } else {
+            TenantState::Healthy
+        });
+        self.attach_instrumentation(plan)
+    }
+
+    /// Closes the tenant cleanly (eviction): invariant check, seal the
+    /// replication stream, clean region close. The next `ensure_open`
+    /// remaps.
+    pub(crate) fn evict(&mut self) -> Result<(), String> {
+        if !self.is_open() {
+            return Ok(());
+        }
+        if let Some(set) = &self.set {
+            if let Err(e) = set.check_invariants() {
+                self.metrics
+                    .invariant_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(format!("invariants violated at eviction: {e}"));
+            }
+        }
+        self.set = None;
+        self.store = None;
+        let repl = self.repl.take();
+        let region = self.region.take().expect("open region");
+        region.close().map_err(err)?;
+        if let Some(r) = repl {
+            // Clean close already shipped the final delta; a seal error
+            // here means the sink died, which the next open re-detects.
+            let _ = r.seal();
+        }
+        self.metrics.evictions.fetch_add(1, Ordering::Relaxed);
+        metrics::incr(Counter::SrvEvictions);
+        metrics::incr(Counter::RegionCloses);
+        self.set_state(TenantState::Closed);
+        Ok(())
+    }
+
+    /// Injects a crash image under `policy` and recovers in place: the
+    /// faulted image is reopened (remapped), undo recovery runs, and
+    /// the tenant comes back `Recovered`.
+    pub(crate) fn crash_and_recover(
+        &mut self,
+        policy: FaultPolicy,
+        plan: &ServerFaultPlan,
+    ) -> Result<(), String> {
+        self.crash_image(policy)?;
+        self.reopen(plan)
+    }
+
+    /// Injects a crash image and fails over: the replication stream is
+    /// sealed and a replica promoted **at a different base** becomes the
+    /// new primary; the tenant degrades to read-only. Falls back to
+    /// in-place recovery (`DegradedReplLost`) when the stream cannot be
+    /// sealed (dead sink).
+    pub(crate) fn crash_and_failover(
+        &mut self,
+        policy: FaultPolicy,
+        plan: &ServerFaultPlan,
+    ) -> Result<(), String> {
+        if !self.spec.replicate {
+            return Err("failover crash on a non-replicated tenant".to_string());
+        }
+        let old_base = self.bases.last().copied().unwrap_or(0);
+        let repl = self.crash_image(policy)?;
+        let sealed = match repl {
+            Some(r) => r.seal().is_ok(),
+            None => false,
+        };
+        if !sealed {
+            // No sealed stream to promote from: recover the crashed
+            // primary image instead and mark replication lost.
+            self.metrics.repl_lost.fetch_add(1, Ordering::Relaxed);
+            self.reopen_without_repl(plan)?;
+            self.set_state(TenantState::DegradedReplLost);
+            self.degraded_left = self.tuning.degraded_window;
+            return Ok(());
+        }
+        // Promote the replica over the tenant's backing file so future
+        // reopens keep using the single canonical path.
+        let region = repl::promote_avoiding(&self.stream, &self.path, old_base).map_err(err)?;
+        let store = ObjectStore::attach(&region).map_err(err)?;
+        let set = TenantSet::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
+        if let Err(e) = set.check_invariants() {
+            self.metrics
+                .invariant_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(format!("invariants violated after failover: {e}"));
+        }
+        assert_ne!(region.base(), old_base, "promotion must remap");
+        self.metrics.remaps.fetch_add(1, Ordering::Relaxed);
+        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+        metrics::incr(Counter::SrvRemapReopens);
+        metrics::incr(Counter::SrvFailovers);
+        self.bases.push(region.base());
+        self.region = Some(region);
+        self.store = Some(store);
+        self.set = Some(set);
+        self.set_state(TenantState::DegradedReadOnly);
+        self.degraded_left = self.tuning.degraded_window;
+        Ok(())
+    }
+
+    /// Tears down to a fault-injected crash image on disk. Returns the
+    /// detached replicator (if any) so the caller decides whether to
+    /// seal it.
+    fn crash_image(&mut self, policy: FaultPolicy) -> Result<Option<Replicator>, String> {
+        if !self.spec.shadowed {
+            return Err("crash injection on an unshadowed tenant".to_string());
+        }
+        self.set = None;
+        self.store = None;
+        let repl = self.repl.take();
+        let region = self.region.take().expect("open region");
+        region.crash_with_faults(policy).map_err(err)?;
+        self.metrics.crashes.fetch_add(1, Ordering::Relaxed);
+        self.set_state(TenantState::Closed);
+        Ok(repl)
+    }
+
+    /// Reopens after a crash without re-attaching replication (used on
+    /// the replication-lost path so a dead sink is not immediately
+    /// re-probed).
+    fn reopen_without_repl(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        let replicate = self.spec.replicate;
+        self.spec.replicate = false;
+        let r = self.reopen(plan);
+        self.spec.replicate = replicate;
+        r
+    }
+
+    /// One step of the degraded window; returns `true` if the tenant
+    /// should auto-heal now.
+    pub(crate) fn tick_degraded(&mut self) -> bool {
+        if !self.state.read_only() {
+            return false;
+        }
+        self.degraded_left = self.degraded_left.saturating_sub(1);
+        self.degraded_left == 0
+    }
+
+    /// Heals a degraded tenant: re-attaches replication when it was
+    /// lost (and the sink revived), then returns to `Recovered`.
+    pub(crate) fn heal(&mut self, plan: &ServerFaultPlan) -> Result<(), String> {
+        match self.state {
+            TenantState::DegradedReadOnly => {}
+            TenantState::DegradedReplLost => {
+                if self.spec.replicate && self.repl.is_none() {
+                    self.attach_instrumentation(plan)?;
+                }
+            }
+            _ => return Ok(()),
+        }
+        self.metrics.heals.fetch_add(1, Ordering::Relaxed);
+        self.set_state(TenantState::Recovered);
+        Ok(())
+    }
+
+    /// Detects a permanent replication-sink failure after a write and
+    /// degrades the tenant. Returns `true` when degradation happened.
+    pub(crate) fn check_repl_health(&mut self) -> bool {
+        let failed = self.repl.as_ref().is_some_and(|r| r.failure().is_some());
+        if failed {
+            // Dropping the dead replicator is prompt even mid-backoff
+            // (its retry wait observes the abort flag).
+            self.repl = None;
+            self.metrics.repl_lost.fetch_add(1, Ordering::Relaxed);
+            self.set_state(TenantState::DegradedReplLost);
+            self.degraded_left = self.tuning.degraded_window;
+        }
+        failed
+    }
+
+    /// Membership probe.
+    pub(crate) fn contains(&self, key: u64) -> bool {
+        self.set.as_ref().expect("open tenant").contains(key)
+    }
+
+    /// All keys (snapshot; used by reports and tests).
+    pub(crate) fn keys(&self) -> Vec<u64> {
+        self.set.as_ref().expect("open tenant").keys()
+    }
+
+    /// Transactional insert; `Ok(applied)` once committed.
+    pub(crate) fn insert(&mut self, key: u64) -> Result<bool, String> {
+        let store = self.store.clone().expect("open tenant");
+        self.set
+            .as_mut()
+            .expect("open tenant")
+            .insert_tx(&store, key)
+    }
+
+    /// Transactional remove; `Ok(applied)` once committed.
+    pub(crate) fn remove(&mut self, key: u64) -> Result<bool, String> {
+        let store = self.store.clone().expect("open tenant");
+        self.set
+            .as_mut()
+            .expect("open tenant")
+            .remove_tx(&store, key)
+    }
+
+    /// Structure invariants of the live set.
+    pub(crate) fn check_invariants(&self) -> Result<(), String> {
+        match &self.set {
+            Some(s) => s.check_invariants(),
+            None => Ok(()),
+        }
+    }
+
+    /// Final teardown at server shutdown: like eviction but keeps the
+    /// terminal state for the report.
+    pub(crate) fn shutdown(&mut self) -> Result<(), String> {
+        let prior = self.state;
+        self.evict()?;
+        // Preserve the ladder position in the report (evict set Closed).
+        self.metrics.state.store(prior.code(), Ordering::Relaxed);
+        self.state = prior;
+        Ok(())
+    }
+}

@@ -38,6 +38,21 @@ struct StoreMeta {
     log_cap: u64,
 }
 
+/// Attach-time health of a store, summarizing [`ObjectStore::recovered`]
+/// and [`RecoveryStats::degraded`] into the three cases a serving layer
+/// actually branches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Clean attach: no interrupted transaction, no rollback.
+    Clean,
+    /// An interrupted transaction was rolled back completely — the store
+    /// is consistent and fully serviceable.
+    Recovered,
+    /// Rollback skipped corrupt log entries or hit a truncated scan: the
+    /// store opened, but some ranges hold post-crash bytes.
+    Damaged,
+}
+
 /// A transactional object store over one region. Cheap to clone.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
@@ -154,6 +169,22 @@ impl ObjectStore {
     /// image.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// One-word health classification for serving layers deciding whether
+    /// a freshly attached tenant should serve normally, note a recovery,
+    /// or degrade: [`StoreHealth::Clean`] (no rollback ran),
+    /// [`StoreHealth::Recovered`] (rollback ran and every entry applied),
+    /// or [`StoreHealth::Damaged`] (entries were skipped or the scan was
+    /// truncated — some ranges hold post-crash bytes).
+    pub fn health(&self) -> StoreHealth {
+        if self.recovery.degraded() {
+            StoreHealth::Damaged
+        } else if self.recovered {
+            StoreHealth::Recovered
+        } else {
+            StoreHealth::Clean
+        }
     }
 
     /// The underlying region.

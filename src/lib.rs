@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use nvmsim;
+pub use nvserver;
 pub use pds;
 pub use pi_core;
 pub use pstore;
@@ -67,9 +68,13 @@ pub use nvmsim::{
     FaultReport, FaultStamp, History, LatencyModel, Layout, NvError, NvSpace, OpRecord, Recorder,
     Region, RegionPool, SchedEvent, ScheduleAborted, Scheduler, SetOp, VerifyReport, Violation,
 };
+pub use nvserver::{
+    Client, Priority, ReprKind, Server, ServerConfig, ServerFaultPlan, ServerReport, TenantSpec,
+    TenantState,
+};
 pub use pds::{NodeArena, PBst, PGraph, PHashSet, PList, PMap, PTrie, PVec, PdsError, WordCount};
 pub use pi_core::{
     is_persistent, AtomicPPtr, BasedPtr, FatPtr, FatPtrCached, NormalPtr, NvRef, OffHolder, PPtr,
     PersistentI, PersistentX, PtrRepr, Riv, SwizzledPtr, TypeError,
 };
-pub use pstore::{ObjectStore, RecoveryStats, StoreError, Tx};
+pub use pstore::{ObjectStore, RecoveryStats, StoreError, StoreHealth, Tx};

@@ -1,0 +1,838 @@
+//! Server chaos matrix: the multi-tenant region server under injected
+//! shard stalls, transient write faults, tenant crash images, failover,
+//! dead replication sinks, and live eviction — the `nvserver`
+//! acceptance suite.
+//!
+//! Invariants asserted across every cell:
+//!
+//! 1. **No request is silently dropped** — every submission returns a
+//!    terminal status (`Ok` / `Overloaded` / `DeadlineExceeded` /
+//!    `Degraded` / `Failed` / `Shutdown`).
+//! 2. **Acked commits survive** — every write acked `Ok` carries a
+//!    linearization stamp, and the per-tenant stamp-ordered history
+//!    must explain the keys present after crash+reopen and after
+//!    failover (`nvmsim::dlin` discipline, crash at the end of time).
+//! 3. **Eviction and failover never violate invariants** — per-tenant
+//!    `invariant_failures` stays 0 and every reopen lands at a
+//!    different base than the mapping before it (position independence
+//!    under fire).
+//!
+//! The shadow tracker and replication registry are process-global, so
+//! every test serializes on `SERIAL`. The workload seed comes from
+//! `SERVER_MATRIX_SEED` (decimal or 0x-hex); set
+//! `SERVER_MATRIX_ARTIFACT_DIR` to keep tenant images and streams of
+//! failing runs for upload.
+
+use nvm_pi::nvmsim::dlin;
+use nvm_pi::nvserver::{BatchOp, Status, TenantState};
+use nvm_pi::pstore::ObjectStore;
+use nvm_pi::{
+    History, NodeArena, OpRecord, PHashSet, Priority, Region, ReprKind, Riv, Server, ServerConfig,
+    ServerFaultPlan, ServerReport, SetOp, TenantSpec,
+};
+use nvmsim::shadow::FaultPolicy;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+mod util;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    util::serial_guard(&SERIAL)
+}
+
+fn seed() -> u64 {
+    util::env_seed("SERVER_MATRIX_SEED", 0x5EED_5E21)
+}
+
+fn tag() -> String {
+    util::seed_tag("SERVER_MATRIX_SEED", seed())
+}
+
+/// Scratch directory for one cell (kept when the artifact dir is set).
+fn tdir(label: &str) -> (PathBuf, bool) {
+    match std::env::var("SERVER_MATRIX_ARTIFACT_DIR") {
+        Ok(root) => {
+            let d = PathBuf::from(root).join(label);
+            std::fs::create_dir_all(&d).unwrap();
+            (d, true)
+        }
+        Err(_) => {
+            let d =
+                std::env::temp_dir().join(format!("server-matrix-{}-{label}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            std::fs::create_dir_all(&d).unwrap();
+            (d, false)
+        }
+    }
+}
+
+fn cleanup(dir: PathBuf, keep: bool) {
+    if !keep {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A config tuned for tests: tight retry backoff, generous deadline.
+fn test_config(dir: &std::path::Path) -> ServerConfig {
+    let mut cfg = ServerConfig::new(dir.to_path_buf());
+    cfg.default_deadline = Duration::from_secs(30);
+    cfg.retry_backoff = Duration::from_micros(200);
+    cfg.retry_backoff_max = Duration::from_millis(2);
+    cfg
+}
+
+/// Records an acked mutation for the dlin check.
+fn acked(op: SetOp, key: u64, applied: bool, stamp: u64) -> OpRecord {
+    OpRecord {
+        thread: 0,
+        op,
+        key,
+        result: Some(applied),
+        stamp,
+        // Acked before the (end-of-time) crash event: Required.
+        invoke_event: 0,
+        durable_event: 0,
+    }
+}
+
+/// Runs the dlin check for one tenant: the stamp-ordered acked history
+/// must explain the final keys.
+fn check_tenant_history(label: &str, ops: Vec<OpRecord>, recovered: &[u64]) {
+    let h = History {
+        initial: Vec::new(),
+        ops,
+    };
+    let report = dlin::check(&h, u64::MAX, recovered);
+    assert!(
+        report.ok(),
+        "[{label} {}] acked history not explained by recovered keys: {:?}",
+        tag(),
+        report.violations
+    );
+}
+
+fn assert_consecutive_bases_differ(label: &str, report: &ServerReport, tenant: u32) {
+    let bases = &report.tenant(tenant).unwrap().bases;
+    for w in bases.windows(2) {
+        assert_ne!(
+            w[0],
+            w[1],
+            "[{label} {}] tenant {tenant} reopened at the same base {:#x}",
+            tag(),
+            w[0]
+        );
+    }
+}
+
+// -- basic serving ------------------------------------------------------------
+
+#[test]
+fn serves_all_reprs_through_the_codec() {
+    let _g = lock();
+    let (dir, keep) = tdir("serve-basic");
+    let tenants = vec![
+        TenantSpec::new(0, ReprKind::OffHolder),
+        TenantSpec::new(1, ReprKind::Riv),
+        TenantSpec::new(2, ReprKind::FatCached),
+    ];
+    let server = Server::start(test_config(&dir), tenants, ServerFaultPlan::none()).unwrap();
+    let client = server.client();
+    for t in 0..3u32 {
+        for k in 0..8u64 {
+            let r = client.put(t, k);
+            assert_eq!(r.status, Status::Ok, "put {t}/{k}: {r:?}");
+            assert_eq!(r.found, Some(true), "fresh insert applied");
+            assert_ne!(r.stamp, 0, "committed write carries a stamp");
+        }
+        let r = client.delete(t, 0);
+        assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+        assert_eq!(client.get(t, 0).found, Some(false));
+        assert_eq!(client.get(t, 1).found, Some(true));
+        // Batch: one frame, three transactions, three stamps.
+        let r = client.batch(
+            t,
+            vec![
+                BatchOp {
+                    put: true,
+                    key: 100,
+                },
+                BatchOp {
+                    put: true,
+                    key: 100,
+                },
+                BatchOp {
+                    put: false,
+                    key: 100,
+                },
+            ],
+        );
+        assert_eq!(r.status, Status::Ok, "{r:?}");
+        let applied: Vec<bool> = r.batch.iter().map(|b| b.applied).collect();
+        assert_eq!(applied, vec![true, false, true]);
+        assert!(r.batch.windows(2).all(|w| w[0].stamp < w[1].stamp));
+    }
+    // Unknown tenants are a typed rejection, not a hang.
+    assert_eq!(client.get(99, 0).status, Status::NoSuchTenant);
+    let report = server.shutdown();
+    for t in 0..3u32 {
+        let tr = report.tenant(t).unwrap();
+        let mut keys = tr.keys.clone();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6, 7], "tenant {t} final keys");
+        assert_eq!(tr.snapshot.invariant_failures, 0);
+    }
+    cleanup(dir, keep);
+}
+
+// -- admission control and deadlines ------------------------------------------
+
+#[test]
+fn admission_sheds_lowest_priority_past_high_water() {
+    let _g = lock();
+    let (dir, keep) = tdir("admission");
+    let mut cfg = test_config(&dir);
+    cfg.shards = 1;
+    cfg.queue_depth = 2;
+    let plan = ServerFaultPlan::none();
+    // Stall the worker on its first dequeue so the queue backs up
+    // deterministically behind it.
+    plan.stall_shard(0, 1, Duration::from_millis(800));
+    let server = Server::start(cfg, vec![TenantSpec::new(0, ReprKind::OffHolder)], plan).unwrap();
+
+    let handle = server.handle();
+    let first = {
+        let h = handle.clone();
+        std::thread::spawn(move || {
+            let c = nvm_pi::Client::new(Arc::new(h));
+            c.put(0, 1)
+        })
+    };
+    // Wait for the worker to be inside the stall (its dequeue counter
+    // moves before the sleep).
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Four low-priority requests: two fit the depth-2 queue, two are
+    // rejected at the gate.
+    let mut lows = Vec::new();
+    for k in 0..4u64 {
+        let h = handle.clone();
+        lows.push(std::thread::spawn(move || {
+            let c = nvm_pi::Client::new(Arc::new(h)).with_priority(Priority::Low);
+            c.put(0, 10 + k)
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    // A high-priority arrival past the high-water mark sheds a queued
+    // low instead of being rejected.
+    let high = {
+        let h = handle.clone();
+        std::thread::spawn(move || {
+            let c = nvm_pi::Client::new(Arc::new(h)).with_priority(Priority::High);
+            c.put(0, 99)
+        })
+    };
+
+    assert_eq!(first.join().unwrap().status, Status::Ok);
+    assert_eq!(high.join().unwrap().status, Status::Ok, "high never shed");
+    let low_statuses: Vec<Status> = lows.into_iter().map(|t| t.join().unwrap().status).collect();
+    let overloaded = low_statuses
+        .iter()
+        .filter(|s| **s == Status::Overloaded)
+        .count();
+    let ok = low_statuses.iter().filter(|s| **s == Status::Ok).count();
+    assert_eq!(
+        (overloaded, ok),
+        (3, 1),
+        "2 gate rejections + 1 shed for the high arrival; statuses {low_statuses:?}"
+    );
+    let report = server.shutdown();
+    let snap = report.tenant(0).unwrap().snapshot;
+    assert_eq!(snap.overloaded, 3, "{snap:?}");
+    cleanup(dir, keep);
+}
+
+#[test]
+fn deadlines_expire_behind_a_stalled_shard() {
+    let _g = lock();
+    let (dir, keep) = tdir("deadline");
+    let mut cfg = test_config(&dir);
+    cfg.shards = 1;
+    let plan = ServerFaultPlan::none();
+    plan.stall_shard(0, 1, Duration::from_millis(500));
+    let server = Server::start(cfg, vec![TenantSpec::new(0, ReprKind::Riv)], plan).unwrap();
+    let handle = server.handle();
+    let warm = {
+        let h = handle.clone();
+        std::thread::spawn(move || nvm_pi::Client::new(Arc::new(h)).put(0, 1))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // Queued behind the stall with a 100 ms deadline: must expire to a
+    // terminal response, not wait out the stall.
+    let short =
+        nvm_pi::Client::new(Arc::new(handle.clone())).with_deadline(Duration::from_millis(100));
+    let r = short.put(0, 2);
+    assert_eq!(r.status, Status::DeadlineExceeded, "{r:?}");
+    assert_eq!(warm.join().unwrap().status, Status::Ok);
+    // The expired write must not have been applied.
+    let c = server.client();
+    assert_eq!(c.get(0, 2).found, Some(false));
+    let report = server.shutdown();
+    assert_eq!(report.tenant(0).unwrap().snapshot.deadline_exceeded, 1);
+    cleanup(dir, keep);
+}
+
+// -- transient faults and retry ----------------------------------------------
+
+#[test]
+fn transient_faults_retry_with_capped_backoff() {
+    let _g = lock();
+    let (dir, keep) = tdir("transient");
+    let plan = ServerFaultPlan::none();
+    let server = Server::start(
+        test_config(&dir),
+        vec![TenantSpec::new(0, ReprKind::OffHolder)],
+        plan.clone(),
+    )
+    .unwrap();
+    let client = server.client();
+    assert_eq!(client.put(0, 1).status, Status::Ok);
+
+    // Two transient failures, three retries configured: succeeds on the
+    // third attempt.
+    plan.transient(0, 2, 2);
+    let r = client.put(0, 2);
+    assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+    assert_eq!(r.attempts, 3, "two failed attempts + one success");
+
+    // More failures than retries: a terminal Failed, not a hang. (The
+    // per-tenant write ordinal counts attempts, so arm from ordinal 1 —
+    // `take` fires on any ordinal at or past the arm point.)
+    plan.transient(0, 1, 50);
+    let r = client.put(0, 3);
+    assert_eq!(r.status, Status::Failed, "{r:?}");
+    assert_eq!(
+        client.get(0, 3).found,
+        Some(false),
+        "failed write not applied"
+    );
+
+    let report = server.shutdown();
+    let snap = report.tenant(0).unwrap().snapshot;
+    assert_eq!(snap.retries, 2 + 3, "{snap:?}");
+    assert_eq!(snap.failed, 1);
+    cleanup(dir, keep);
+}
+
+// -- crash + recover in place -------------------------------------------------
+
+#[test]
+fn acked_commits_survive_crash_and_remapped_reopen() {
+    let _g = lock();
+    let (dir, keep) = tdir("crash-reopen");
+    let s = seed();
+    let plan = ServerFaultPlan::none();
+    // Two crashes mid-run: a torn-word image and a dropped-line image.
+    plan.crash_tenant(0, 12, FaultPolicy::TearWords { seed: s }, false);
+    plan.crash_tenant(0, 24, FaultPolicy::DropUnflushed, false);
+    let server = Server::start(
+        test_config(&dir),
+        vec![TenantSpec::new(0, ReprKind::Riv).crashable()],
+        plan,
+    )
+    .unwrap();
+    let client = server.client();
+    let mut history = Vec::new();
+    let mut rng = s;
+    for _ in 0..40 {
+        let v = util::splitmix64(rng);
+        rng = v;
+        let key = v % 16;
+        let put = v & 0x10000 != 0;
+        let r = if put {
+            client.put(0, key)
+        } else {
+            client.delete(0, key)
+        };
+        assert_eq!(r.status, Status::Ok, "[{}] every write acks: {r:?}", tag());
+        let op = if put { SetOp::Insert } else { SetOp::Remove };
+        history.push(acked(op, key, r.found.unwrap(), r.stamp));
+    }
+    let report = server.shutdown();
+    let tr = report.tenant(0).unwrap();
+    assert_eq!(tr.snapshot.crashes, 2, "both crashes fired");
+    assert!(
+        tr.bases.len() >= 3,
+        "two crash-reopens remap: bases {:?}",
+        tr.bases
+    );
+    assert_consecutive_bases_differ("crash-reopen", &report, 0);
+    assert_eq!(tr.snapshot.invariant_failures, 0);
+    check_tenant_history("crash-reopen", history, &tr.keys);
+
+    // The closed image is independently attachable and agrees with the
+    // report (offline audit of the same bytes a failure would upload).
+    let region = Region::open_file(dir.join("tenant-0.nvr")).unwrap();
+    let store = ObjectStore::attach(&region).unwrap();
+    let set: PHashSet<Riv, 32> =
+        PHashSet::attach(NodeArena::transactional(store.clone()), "srv.set").unwrap();
+    let mut disk_keys = set.keys();
+    disk_keys.sort_unstable();
+    let mut report_keys = tr.keys.clone();
+    report_keys.sort_unstable();
+    assert_eq!(disk_keys, report_keys, "on-disk set == reported set");
+    set.check_invariants().unwrap();
+    drop(set);
+    drop(store);
+    region.close().unwrap();
+    cleanup(dir, keep);
+}
+
+// -- failover -----------------------------------------------------------------
+
+#[test]
+fn failover_promotes_replica_and_walks_the_ladder() {
+    let _g = lock();
+    let (dir, keep) = tdir("failover");
+    let plan = ServerFaultPlan::none();
+    let mut cfg = test_config(&dir);
+    cfg.degraded_window = 1000; // heal explicitly, not by window
+    let server = Server::start(
+        cfg,
+        vec![TenantSpec::new(0, ReprKind::OffHolder).replicated()],
+        plan.clone(),
+    )
+    .unwrap();
+    let client = server.client();
+    let mut history = Vec::new();
+    for k in 0..10u64 {
+        let r = client.put(0, k);
+        assert_eq!(r.status, Status::Ok, "{r:?}");
+        history.push(acked(SetOp::Insert, k, r.found.unwrap(), r.stamp));
+    }
+    // The 11th write crashes the primary; the server promotes the
+    // replica and answers Degraded — the write is NOT acked.
+    plan.crash_tenant(0, 11, FaultPolicy::TearWords { seed: seed() }, true);
+    let r = client.put(0, 100);
+    assert_eq!(r.status, Status::Degraded, "{r:?}");
+    assert_eq!(r.stamp, 0, "refused write carries no stamp");
+
+    // Reads keep serving — from the replica, at a new base — and every
+    // acked commit is present; the refused write is not.
+    for k in 0..10u64 {
+        let g = client.get(0, k);
+        assert_eq!(
+            (g.status, g.found),
+            (Status::Ok, Some(true)),
+            "[{}] acked key {k} after failover: {g:?}",
+            tag()
+        );
+    }
+    assert_eq!(
+        client.get(0, 100).found,
+        Some(false),
+        "unacked write absent"
+    );
+    assert_eq!(client.delete(0, 3).status, Status::Degraded, "read-only");
+
+    // Heal: writes flow again and the state ladder records the walk.
+    assert_eq!(client.heal(0).status, Status::Ok);
+    let r = client.put(0, 200);
+    assert_eq!(r.status, Status::Ok, "post-heal write: {r:?}");
+    history.push(acked(SetOp::Insert, 200, r.found.unwrap(), r.stamp));
+
+    let report = server.shutdown();
+    let tr = report.tenant(0).unwrap();
+    assert_eq!(tr.state, TenantState::Recovered, "healed ladder end-state");
+    assert_eq!(tr.snapshot.failovers, 1, "{:?}", tr.snapshot);
+    assert_eq!(tr.snapshot.crashes, 1);
+    assert!(tr.snapshot.degraded >= 2, "{:?}", tr.snapshot);
+    assert!(tr.snapshot.heals >= 1);
+    assert_eq!(tr.snapshot.invariant_failures, 0);
+    assert!(tr.bases.len() >= 2, "promotion remapped: {:?}", tr.bases);
+    assert_consecutive_bases_differ("failover", &report, 0);
+    check_tenant_history("failover", history, &tr.keys);
+    cleanup(dir, keep);
+}
+
+#[test]
+fn dead_sink_walks_repl_lost_ladder() {
+    let _g = lock();
+    let (dir, keep) = tdir("dead-sink");
+    let plan = ServerFaultPlan::none();
+    let mut cfg = test_config(&dir);
+    cfg.degraded_window = 1000;
+    let server = Server::start(
+        cfg,
+        vec![TenantSpec::new(0, ReprKind::FatCached).replicated()],
+        plan.clone(),
+    )
+    .unwrap();
+    let client = server.client();
+    for k in 0..5u64 {
+        assert_eq!(client.put(0, k).status, Status::Ok);
+    }
+    // Kill the sink: the replicator's retry ladder exhausts in the
+    // background and the next commits notice the permanent failure.
+    plan.kill_sink(0);
+    let mut degraded_seen = false;
+    for k in 10..60u64 {
+        let r = client.put(0, k);
+        match r.status {
+            Status::Ok => std::thread::sleep(Duration::from_millis(5)),
+            Status::Degraded => {
+                degraded_seen = true;
+                break;
+            }
+            s => panic!("[{}] unexpected status {s:?}", tag()),
+        }
+    }
+    assert!(degraded_seen, "permanent sink failure must degrade writes");
+    // Healing while the sink is still dead fails (typed, terminal)...
+    assert_eq!(client.heal(0).status, Status::Failed);
+    // ...and succeeds once the sink is revived.
+    plan.revive_sink(0);
+    assert_eq!(client.heal(0).status, Status::Ok);
+    let r = client.put(0, 999);
+    assert_eq!(r.status, Status::Ok, "writes flow after heal: {r:?}");
+    let report = server.shutdown();
+    let snap = report.tenant(0).unwrap().snapshot;
+    assert!(snap.repl_lost >= 1, "{snap:?}");
+    assert!(snap.heals >= 1, "{snap:?}");
+    assert_eq!(snap.invariant_failures, 0);
+    cleanup(dir, keep);
+}
+
+// -- eviction-remap under concurrent traffic (PR 4 regression net) -----------
+
+#[test]
+fn eviction_remap_under_concurrent_traffic() {
+    let _g = lock();
+    let (dir, keep) = tdir("evict-live");
+    let mut cfg = test_config(&dir);
+    cfg.shards = 1;
+    // FatCached is the representation with the PR 4 stale-base bug
+    // class: its lookup cache must rebind on every remapped reopen.
+    let server = Server::start(
+        cfg,
+        vec![TenantSpec::new(0, ReprKind::FatCached)],
+        ServerFaultPlan::none(),
+    )
+    .unwrap();
+    let handle = server.handle();
+    const THREADS: u64 = 4;
+    const KEYS: u64 = 40;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                let c = nvm_pi::Client::new(Arc::new(h));
+                for j in 0..KEYS {
+                    // Pace the traffic so the evictor genuinely
+                    // interleaves with it.
+                    if j % 8 == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    let key = t * 1000 + j;
+                    let p = c.put(0, key);
+                    assert_eq!(
+                        (p.status, p.found),
+                        (Status::Ok, Some(true)),
+                        "put {key}: {p:?}"
+                    );
+                    // Read-your-write must hold across any eviction and
+                    // remapped reopen between the two requests.
+                    let g = c.get(0, key);
+                    assert_eq!(
+                        (g.status, g.found),
+                        (Status::Ok, Some(true)),
+                        "get {key}: {g:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    // Meanwhile: keep evicting the tenant out from under the traffic.
+    let evictor = {
+        let h = handle.clone();
+        std::thread::spawn(move || {
+            let c = nvm_pi::Client::new(Arc::new(h));
+            let mut forced = 0;
+            for _ in 0..8 {
+                std::thread::sleep(Duration::from_millis(4));
+                let r = c.evict(0);
+                assert_eq!(r.status, Status::Ok, "evict: {r:?}");
+                forced += 1;
+            }
+            forced
+        })
+    };
+    for w in workers {
+        w.join().unwrap();
+    }
+    let forced = evictor.join().unwrap();
+    let report = server.shutdown();
+    let tr = report.tenant(0).unwrap();
+    assert_eq!(tr.snapshot.invariant_failures, 0);
+    assert_eq!(forced, 8);
+    assert!(
+        tr.snapshot.evictions >= 2,
+        "mid-traffic evictions recorded: {:?}",
+        tr.snapshot
+    );
+    assert!(
+        tr.snapshot.remaps >= 1 && tr.bases.len() >= 2,
+        "[{}] traffic must have reopened the tenant remapped: {:?} bases {:?}",
+        tag(),
+        tr.snapshot,
+        tr.bases
+    );
+    assert_consecutive_bases_differ("evict-live", &report, 0);
+    assert_eq!(
+        tr.keys.len() as u64,
+        THREADS * KEYS,
+        "every acked put present at close"
+    );
+    cleanup(dir, keep);
+}
+
+// -- LRU pressure -------------------------------------------------------------
+
+#[test]
+fn lru_pressure_evicts_and_remaps_cold_tenants() {
+    let _g = lock();
+    let (dir, keep) = tdir("lru");
+    let mut cfg = test_config(&dir);
+    cfg.shards = 1;
+    cfg.max_open_per_shard = 2;
+    let tenants = (0..4u32)
+        .map(|id| TenantSpec::new(id, ReprKind::OffHolder))
+        .collect();
+    let server = Server::start(cfg, tenants, ServerFaultPlan::none()).unwrap();
+    let client = server.client();
+    // Round-robin over 4 tenants with a ceiling of 2: every revisit
+    // reopens a previously evicted tenant at a new base.
+    for round in 0..3u64 {
+        for t in 0..4u32 {
+            let r = client.put(t, round);
+            assert_eq!(r.status, Status::Ok, "t{t} r{round}: {r:?}");
+        }
+    }
+    for t in 0..4u32 {
+        for round in 0..3u64 {
+            assert_eq!(client.get(t, round).found, Some(true), "t{t} k{round}");
+        }
+    }
+    let report = server.shutdown();
+    let total_evictions: u64 = report.tenants.iter().map(|t| t.snapshot.evictions).sum();
+    let total_remaps: u64 = report.tenants.iter().map(|t| t.snapshot.remaps).sum();
+    assert!(
+        total_evictions >= 4,
+        "LRU pressure evicted: {total_evictions}"
+    );
+    assert!(total_remaps >= 4, "evicted tenants reopened remapped");
+    for t in &report.tenants {
+        assert_eq!(t.snapshot.invariant_failures, 0);
+        let mut keys = t.keys.clone();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2], "tenant {} keys", t.id);
+    }
+    cleanup(dir, keep);
+}
+
+// -- the full chaos sweep -----------------------------------------------------
+
+/// One chaos round: 6 tenants across 2 shards, every fault class armed,
+/// 3 client threads of seeded traffic. Returns nothing; asserts
+/// everything.
+fn chaos_round(label: &str, s: u64) {
+    let (dir, keep) = tdir(label);
+    let plan = ServerFaultPlan::none();
+    let mut cfg = test_config(&dir);
+    cfg.shards = 2;
+    cfg.degraded_window = 12;
+    let tenants = vec![
+        TenantSpec::new(0, ReprKind::OffHolder),
+        TenantSpec::new(1, ReprKind::Riv).with_priority(Priority::Low),
+        TenantSpec::new(2, ReprKind::FatCached).crashable(),
+        TenantSpec::new(3, ReprKind::OffHolder).replicated(),
+        TenantSpec::new(4, ReprKind::Riv).replicated(),
+        TenantSpec::new(5, ReprKind::FatCached).crashable(),
+    ];
+    // Every fault class in one run:
+    plan.stall_shard(0, 9, Duration::from_millis(40));
+    plan.stall_shard(1, 7, Duration::from_millis(40));
+    plan.transient(0, 4, 2);
+    plan.transient(5, 6, 1);
+    plan.crash_tenant(2, 8, FaultPolicy::TearWords { seed: s }, false);
+    plan.crash_tenant(5, 11, FaultPolicy::DropUnflushed, false);
+    plan.crash_tenant(3, 6, FaultPolicy::TearWords { seed: s ^ 0xABCD }, true);
+    let server = Server::start(cfg, tenants, plan.clone()).unwrap();
+    let handle = server.handle();
+
+    let histories: Arc<Mutex<Vec<Vec<OpRecord>>>> = Arc::new(Mutex::new(vec![Vec::new(); 6]));
+    let status_tally = Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let threads: Vec<_> = (0..3u64)
+        .map(|tid| {
+            let h = handle.clone();
+            let histories = histories.clone();
+            let tally = status_tally.clone();
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let c = nvm_pi::Client::new(Arc::new(h));
+                let mut rng = s ^ (tid.wrapping_mul(0x9E37_79B9));
+                for step in 0..40u64 {
+                    let v = util::splitmix64(rng);
+                    rng = v;
+                    let tenant = (v % 6) as u32;
+                    let key = (v >> 8) % 24;
+                    let roll = (v >> 16) % 10;
+                    // Thread 0 kills tenant 4's sink a third of the way
+                    // in (the dead-sink fault class, mid-traffic).
+                    if tid == 0 && step == 13 {
+                        plan.kill_sink(4);
+                    }
+                    let r = if roll < 6 {
+                        c.put(tenant, key)
+                    } else if roll < 8 {
+                        c.delete(tenant, key)
+                    } else {
+                        c.get(tenant, key)
+                    };
+                    // Invariant 1: terminal statuses only, no Failed.
+                    assert!(
+                        matches!(
+                            r.status,
+                            Status::Ok
+                                | Status::Overloaded
+                                | Status::DeadlineExceeded
+                                | Status::Degraded
+                        ),
+                        "[{}] tenant {tenant} step {step}: {r:?}",
+                        util::seed_tag("SERVER_MATRIX_SEED", s)
+                    );
+                    *tally.lock().unwrap().entry(r.status.name()).or_insert(0u64) += 1;
+                    // Invariant 2 bookkeeping: acked mutations only.
+                    if r.status == Status::Ok && roll < 8 {
+                        let op = if roll < 6 {
+                            SetOp::Insert
+                        } else {
+                            SetOp::Remove
+                        };
+                        histories.lock().unwrap()[tenant as usize].push(acked(
+                            op,
+                            key,
+                            r.found.unwrap(),
+                            r.stamp,
+                        ));
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // Deterministic tails: the seeded traffic split may leave an armed
+    // crash ordinal unreached, so drive each crash tenant until its
+    // fault fires. Acked writes join the history; the failover tenant's
+    // triggering write is refused (`Degraded`) and is not recorded.
+    {
+        let c = nvm_pi::Client::new(Arc::new(handle.clone()));
+        for (tenant, key_base) in [(2u32, 300u64), (5, 400), (3, 500)] {
+            let m = server.handle().tenant_metrics(tenant).unwrap();
+            let mut i = 0u64;
+            while m.snapshot().crashes == 0 {
+                assert!(i < 100, "[{label}] tenant {tenant} crash never fired");
+                let r = c.put(tenant, key_base + i);
+                match r.status {
+                    Status::Ok => histories.lock().unwrap()[tenant as usize].push(acked(
+                        SetOp::Insert,
+                        key_base + i,
+                        r.found.unwrap(),
+                        r.stamp,
+                    )),
+                    Status::Degraded => {}
+                    s => panic!("[{label}] crash tail tenant {tenant}: unexpected {s:?}"),
+                }
+                i += 1;
+            }
+        }
+    }
+    // Deterministic tail for the dead-sink ladder: tenant 4's sink died
+    // mid-traffic; keep writing until a commit notices the parked
+    // replication failure and the ladder answers `Degraded`. Acked tail
+    // writes join the history like any other.
+    {
+        let c = nvm_pi::Client::new(Arc::new(handle.clone()));
+        let mut noticed = false;
+        for i in 0..60u64 {
+            let r = c.put(4, 200 + i);
+            match r.status {
+                Status::Ok => {
+                    histories.lock().unwrap()[4].push(acked(
+                        SetOp::Insert,
+                        200 + i,
+                        r.found.unwrap(),
+                        r.stamp,
+                    ));
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Status::Degraded => {
+                    noticed = true;
+                    break;
+                }
+                s => panic!("[{label}] dead-sink tail: unexpected {s:?}"),
+            }
+        }
+        assert!(noticed, "[{label}] dead sink never degraded tenant 4");
+    }
+    let report = server.shutdown();
+    let tally = status_tally.lock().unwrap().clone();
+    let histories = std::mem::take(&mut *histories.lock().unwrap());
+
+    // Every armed crash fired and remapped its tenant.
+    for (tenant, expect_crashes) in [(2u32, 1u64), (5, 1), (3, 1)] {
+        let tr = report.tenant(tenant).unwrap();
+        assert!(
+            tr.snapshot.crashes >= expect_crashes,
+            "[{label}] tenant {tenant} crashes: {:?} (tally {tally:?})",
+            tr.snapshot
+        );
+        assert!(
+            tr.bases.len() >= 2,
+            "[{label}] tenant {tenant} remapped: {:?}",
+            tr.bases
+        );
+    }
+    let t3 = report.tenant(3).unwrap();
+    assert_eq!(t3.snapshot.failovers, 1, "[{label}] {:?}", t3.snapshot);
+    let t4 = report.tenant(4).unwrap();
+    assert!(
+        t4.snapshot.repl_lost >= 1,
+        "[{label}] dead sink recorded on the ladder: {:?}",
+        t4.snapshot
+    );
+    // Invariant 2: per-tenant acked histories explain the final keys.
+    for (tenant, ops) in histories.into_iter().enumerate() {
+        let tr = report.tenant(tenant as u32).unwrap();
+        assert_eq!(
+            tr.snapshot.invariant_failures, 0,
+            "[{label}] tenant {tenant}: {:?}",
+            tr.snapshot
+        );
+        check_tenant_history(label, ops, &tr.keys);
+        assert_consecutive_bases_differ(label, &report, tenant as u32);
+    }
+    cleanup(dir, keep);
+}
+
+#[test]
+fn chaos_matrix_sweep() {
+    let _g = lock();
+    let s = seed();
+    chaos_round("chaos-a", s);
+    chaos_round("chaos-b", util::splitmix64(s));
+}
