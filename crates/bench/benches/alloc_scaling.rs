@@ -17,6 +17,12 @@
 //!   a channel, consumers free them. Cross-thread dealloc defeats
 //!   magazine reuse and hammers remote subtrees, the llalloc stress case.
 //!
+//! A third section, `LARGEREGION`, benchmarks single multi-chunk
+//! regions at sizes the old one-segment-per-region geometry could not
+//! reach (up to 1 GiB; `--quick` stays at 64 MiB): stepwise `grow` cost,
+//! steady-state churn throughput in the grown region, and `Addr2ID`
+//! latency probed across every chunk of the run.
+//!
 //! Reports aggregate and per-thread ops/s, the `llalloc_cas_retries`
 //! delta per cell, and (with `--json FILE`) a schema-versioned report.
 //! `--gate` exits nonzero when the 8-thread llalloc churn throughput is
@@ -25,7 +31,7 @@
 
 use bench::report::{render_json, ReportConfig, Row, Section};
 use nvmsim::metrics::{self, Counter};
-use nvmsim::Region;
+use nvmsim::{NvSpace, Region};
 use std::sync::{mpsc, Arc, Barrier};
 use std::time::Instant;
 
@@ -195,6 +201,71 @@ fn run_prodcons(threads: usize, ops_per_thread: usize, repr: Repr) -> Cell {
     }
 }
 
+/// One LARGEREGION cell: grow a region from 8 MiB to `size` in steps,
+/// then measure steady-state alloc churn and Addr2ID translation over
+/// the full chunk run.
+struct LargeCell {
+    grow_ms: f64,
+    grows: u64,
+    alloc_ops_per_sec: f64,
+    translate_ns: f64,
+    chunks: usize,
+}
+
+/// LARGEREGION — single regions at sizes the old one-segment-per-region
+/// geometry could not represent. The claims under test: growth is
+/// commit-only (no remap, cost linear in the new bytes), allocation
+/// throughput does not degrade with region size, and `Addr2ID` stays a
+/// single dependent load no matter how many chunks back the region.
+fn run_large_region(size: usize, churn_ops: usize) -> LargeCell {
+    let space = NvSpace::global();
+    let chunk = space.layout().chunk_size();
+    let before = metrics::snapshot();
+    let region = Region::create_with_capacity(8 << 20, size).expect("create large bench region");
+
+    // Grow to full size in steps, like a datastore ingesting.
+    const GROW_STEPS: usize = 8;
+    let t0 = Instant::now();
+    for step in 1..=GROW_STEPS {
+        let target = (8 << 20).max(size / GROW_STEPS * step);
+        region.grow(target).expect("grow within reserved capacity");
+    }
+    let grow_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let done = churn(&region, churn_ops, 1);
+    let alloc_ops_per_sec = (done * 2) as f64 / t0.elapsed().as_secs_f64();
+
+    // Addr2ID across every chunk of the run: one probe address per
+    // chunk, striding the offset so probes do not share cache sets.
+    let base = region.base();
+    let chunks = size / chunk;
+    let probes: Vec<usize> = (0..chunks)
+        .map(|i| base + i * chunk + (i * 4099) % (chunk - 8))
+        .collect();
+    let rounds = (1_000_000 / chunks.max(1)).max(1);
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..rounds {
+        for &addr in &probes {
+            let (rid, off) = space.rid_off_of_addr(addr);
+            sink = sink.wrapping_add(rid as u64 ^ off);
+        }
+    }
+    let translate_ns = t0.elapsed().as_secs_f64() * 1e9 / (rounds * chunks) as f64;
+    std::hint::black_box(sink);
+
+    let grows = metrics::snapshot().delta(&before).get(Counter::RegionGrows);
+    region.close().expect("close large bench region");
+    LargeCell {
+        grow_ms,
+        grows,
+        alloc_ops_per_sec,
+        translate_ns,
+        chunks,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "--test");
@@ -273,6 +344,55 @@ fn main() {
             metrics: metrics::snapshot().delta(&before),
         });
     }
+
+    // LARGEREGION: single multi-chunk regions at sizes the old
+    // one-segment-per-region geometry could not reach.
+    let large_sizes: &[usize] = if quick {
+        &[16 << 20, 64 << 20]
+    } else {
+        &[64 << 20, 256 << 20, 1 << 30]
+    };
+    println!("\n  [largeregion]");
+    println!(
+        "  {:>9} | {:>6} | {:>9} | {:>14} | {:>12}",
+        "size", "chunks", "grow ms", "alloc ops/s", "addr2id ns"
+    );
+    let before = metrics::snapshot();
+    let mut rows = Vec::new();
+    for &size in large_sizes {
+        let cell = run_large_region(size, ops_per_thread);
+        println!(
+            "  {:>6} MiB | {:>6} | {:>9.2} | {:>14.0} | {:>12.2}",
+            size >> 20,
+            cell.chunks,
+            cell.grow_ms,
+            cell.alloc_ops_per_sec,
+            cell.translate_ns
+        );
+        rows.push(Row::new(
+            "LARGEREGION",
+            "grow_churn_translate",
+            "alloc_free",
+            "llalloc",
+            1e9 / cell.alloc_ops_per_sec,
+            format!(
+                "size_mib={} chunks={} grow_ms={:.2} region_grows={} \
+                 alloc_ops_per_sec={:.0} addr2id_ns={:.2}",
+                size >> 20,
+                cell.chunks,
+                cell.grow_ms,
+                cell.grows,
+                cell.alloc_ops_per_sec,
+                cell.translate_ns
+            ),
+        ));
+    }
+    sections.push(Section {
+        id: "LARGEREGION".to_string(),
+        title: "large-region growth, alloc, and translation".to_string(),
+        rows,
+        metrics: metrics::snapshot().delta(&before),
+    });
 
     // Scaling gate: 8-thread llalloc churn must beat 4x single-thread.
     let t1 = llalloc_churn

@@ -40,9 +40,10 @@ unsafe impl PtrRepr for RivHash {
             return;
         }
         let space = NvSpace::global();
-        let rid = space.rid_of_addr(target) as u64;
-        let off = (target & space.layout().offset_mask()) as u64;
-        self.0 = FLAG | (rid << space.layout().l3) | off;
+        // Region bases are chunk-aligned, so the offset comes from the
+        // RID-table entry rather than a mask of the address.
+        let (rid, off) = space.rid_off_of_addr(target);
+        self.0 = FLAG | ((rid as u64) << space.layout().l3) | off;
     }
 
     #[inline]

@@ -47,13 +47,12 @@ impl FatPtr {
             return FatPtr::default();
         }
         let space = NvSpace::global();
-        let rid = space.rid_of_addr(target);
+        // One RID-table load gives both the ID and the region offset;
+        // masking the address would be wrong now that region bases are
+        // chunk-aligned rather than 2^l3-aligned.
+        let (rid, off) = space.rid_off_of_addr(target);
         debug_assert!(rid != 0, "address {target:#x} not in any open region");
-        FatPtr {
-            rid,
-            _pad: 0,
-            off: (target & space.layout().offset_mask()) as u64,
-        }
+        FatPtr { rid, _pad: 0, off }
     }
 }
 

@@ -87,10 +87,15 @@ impl Riv {
             return Riv(0);
         }
         let space = NvSpace::global();
-        let rid = space.rid_of_addr(addr); // Addr2ID: bit transforms + load
+        // Addr2ID: bit transforms + one RID-table load. The entry yields
+        // both the ID and the chunk's position in its region, so the
+        // region offset (`addr - getBase(addr)`) comes out of the same
+        // load — region bases are chunk-aligned, not 2^l3-aligned, so a
+        // plain mask of the address would be wrong for any region whose
+        // run does not start at an l3 boundary.
+        let (rid, off) = space.rid_off_of_addr(addr);
         debug_assert!(rid != 0, "address {addr:#x} not in any open region");
-        let off = addr & space.layout().offset_mask(); // addr - getBase(addr)
-        Riv(RIV_FLAG | ((rid as u64) << space.layout().l3) | off as u64)
+        Riv(RIV_FLAG | ((rid as u64) << space.layout().l3) | off)
     }
 
     /// `x2p` (Figure 5 (b)): converts this value into an absolute address

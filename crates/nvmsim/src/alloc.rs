@@ -99,6 +99,16 @@ impl AllocHeader {
         self.ll_dir = 0;
     }
 
+    /// Extends the managed range to end at `new_end` (in-place region
+    /// growth): the bump frontier and free lists are untouched — the new
+    /// bytes are simply more frontier to carve. Shrinking is not
+    /// supported; a smaller `new_end` is ignored.
+    pub fn extend(&mut self, new_end: u64) {
+        if new_end > self.end {
+            self.end = new_end;
+        }
+    }
+
     /// An all-zero header (no managed range yet); call
     /// [`AllocHeader::init`] before use.
     #[cfg(test)]

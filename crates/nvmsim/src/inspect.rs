@@ -54,6 +54,9 @@ pub struct ImageReport {
     pub version: u32,
     /// Region size in bytes (equals the file length for valid images).
     pub size: u64,
+    /// Reserved capacity in bytes — the growth ceiling the region's chunk
+    /// run covers. Equals `size` for regions created without headroom.
+    pub capacity: u64,
     /// Whether the image was cleanly closed (false = crash; recovery will
     /// run on next open if a store log is present).
     pub clean: bool,
@@ -79,6 +82,16 @@ impl fmt::Display for ImageReport {
         writeln!(f, "region id:    {}", self.rid)?;
         writeln!(f, "format:       v{}", self.version)?;
         writeln!(f, "size:         {} bytes", self.size)?;
+        let chunk = crate::layout::Layout::DEFAULT.chunk_size() as u64;
+        writeln!(
+            f,
+            "capacity:     {} bytes ({} chunk{} of {} under the default layout, {} bytes of growth headroom)",
+            self.capacity,
+            self.capacity.div_ceil(chunk).max(1),
+            if self.capacity.div_ceil(chunk).max(1) == 1 { "" } else { "s" },
+            chunk,
+            self.capacity.saturating_sub(self.size),
+        )?;
         writeln!(
             f,
             "state:        {}",
@@ -171,7 +184,8 @@ mod offsets {
     pub const SIZE: usize = 16;
     pub const FLAGS: usize = 24;
     pub const USER_TAG: usize = 32;
-    pub const ROOTS: usize = 40;
+    pub const CAPACITY: usize = 40;
+    pub const ROOTS: usize = 48;
     pub const ROOT_ENTRY_SIZE: usize = 48; // 32 name + 8 offset + 8 tag
     pub const ROOT_OFFSET_IN_ENTRY: usize = 32;
     pub const ROOT_TAG_IN_ENTRY: usize = 40;
@@ -516,6 +530,7 @@ pub fn inspect_bytes(bytes: &[u8]) -> Result<ImageReport> {
         rid: read_u32(bytes, RID),
         version,
         size,
+        capacity: read_u64(bytes, CAPACITY),
         clean: read_u64(bytes, FLAGS) & 1 == 0,
         user_tag: read_u64(bytes, USER_TAG),
         roots,
@@ -539,10 +554,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("nvm-inspect-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("img.nvr");
-        let (rid, live);
+        let (rid, live, capacity);
         {
             let r = Region::create_file(&path, 1 << 20).unwrap();
             rid = r.rid();
+            capacity = r.capacity() as u64;
             let a = r.alloc(100, 8).unwrap();
             let _b = r.alloc(200, 8).unwrap();
             r.set_root_tagged(
@@ -559,6 +575,11 @@ mod tests {
         assert_eq!(report.rid, rid);
         assert_eq!(report.version, HEADER_VERSION);
         assert_eq!(report.size, 1 << 20);
+        assert_eq!(
+            report.capacity, capacity,
+            "offline CAPACITY offset drifted from RegionHeader"
+        );
+        assert!(report.capacity >= report.size);
         assert!(report.clean);
         assert_eq!(report.user_tag, 0xDEAD_BEEF);
         assert_eq!(report.live_allocs, live);

@@ -4,10 +4,12 @@
 //!
 //! * [`Layout`] — the *runtime* configuration used by the simulated NV space
 //!   ([`crate::nvspace::NvSpace`]): how many bits address a byte within a
-//!   segment (`l3`), how many bits index segments (`l2`), and how many bits
-//!   a region ID may use (`l4`). This mirrors the paper's Figure 6 with the
+//!   chunk (`lc`), how many bits index chunks (`l2`), how large a region
+//!   may grow (`l3`, the RIV offset field width), and how many bits a
+//!   region ID may use (`l4`). This mirrors the paper's Figure 6 with the
 //!   NV-space origin relocated into user space (substitution S1 in
-//!   DESIGN.md).
+//!   DESIGN.md) and the paper's fixed segments generalized to chunk runs
+//!   (the translation tables stay direct-mapped, one entry per chunk).
 //!
 //! * [`ExactLayout`] — a faithful arithmetic model of the paper's Figure 6/7
 //!   scheme, including the leading-ones prefix and the *flagging bits* that
@@ -38,33 +40,45 @@ pub const fn ceil_log2(n: u32) -> u32 {
 // Runtime layout
 // ---------------------------------------------------------------------------
 
+/// Bits indexing base-table entries within one committed base-table page:
+/// pages hold `2^BASE_PAGE_BITS` 8-byte entries (64 KiB) and are committed
+/// on demand the first time a region ID in their range is bound.
+pub const BASE_PAGE_BITS: u32 = 13;
+
 /// Runtime NV-space configuration.
 ///
-/// An address inside the simulated NV space decomposes, relative to the
-/// data-area base, as `segment_index << l3 | offset`, exactly like the
-/// paper's `nvbase`/offset split. Region IDs range over `[1, 2^l4)`; ID 0 is
-/// reserved as the null region.
+/// The data area is a pool of `2^l2` *chunks* of `2^lc` bytes each; a region
+/// occupies a contiguous run of chunks and may grow, chunk by chunk, up to
+/// `2^l3` bytes. Region IDs range over `[1, 2^l4)`; ID 0 is reserved as the
+/// null region.
 ///
 /// A RIV pointer value packs as `FLAG | rid << l3 | offset` where `FLAG` is
 /// bit 63, playing the role of the paper's leading-ones prefix (it marks the
 /// value as an NV pointer and keeps `rid + offset` confined to 63 bits).
+/// `l3` is therefore the *maximum region size* exponent — the width of the
+/// offset field — while `lc` is the translation granule: the RID table has
+/// one entry per chunk, so the paper's Addr2ID stays bit transformations
+/// plus a single load even though regions span many chunks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Layout {
-    /// Bits indexing segments; the NV space holds `2^l2` segments.
+    /// Bits indexing chunks; the NV space holds `2^l2` chunks.
     pub l2: u32,
-    /// Bits addressing bytes within a segment; segments are `2^l3` bytes.
+    /// Bits addressing bytes within a chunk; chunks are `2^lc` bytes.
+    pub lc: u32,
+    /// Bits of the RIV offset field; regions are at most `2^l3` bytes.
     pub l3: u32,
     /// Bits for region IDs; valid IDs are `1 ..= 2^l4 - 1`.
     pub l4: u32,
 }
 
 impl Layout {
-    /// The default simulation layout: 256 segments of 64 MiB (16 GiB of
-    /// virtual data area) and 16-bit region IDs.
+    /// The default simulation layout: 16384 chunks of 4 MiB (64 GiB of
+    /// virtual data area), regions up to 4 GiB, and 20-bit region IDs.
     pub const DEFAULT: Layout = Layout {
-        l2: 8,
-        l3: 26,
-        l4: 16,
+        l2: 14,
+        lc: 22,
+        l3: 32,
+        l4: 20,
     };
 
     /// Creates a layout after validating the paper's constraints plus the
@@ -74,34 +88,40 @@ impl Layout {
     ///
     /// [`NvError::BadLayout`] when a constraint is violated; the message
     /// names the offending constraint.
-    pub fn new(l2: u32, l3: u32, l4: u32) -> Result<Layout> {
-        let lay = Layout { l2, l3, l4 };
+    pub fn new(l2: u32, lc: u32, l3: u32, l4: u32) -> Result<Layout> {
+        let lay = Layout { l2, lc, l3, l4 };
         lay.validate()?;
         Ok(lay)
     }
 
     /// Validates the layout. See [`Layout::new`].
     pub fn validate(&self) -> Result<()> {
-        let Layout { l2, l3, l4 } = *self;
-        if l4 < l2 {
+        let Layout { l2, lc, l3, l4 } = *self;
+        if lc < 12 {
             return Err(NvError::BadLayout(format!(
-                "l4 ({l4}) must be >= l2 ({l2}) so the base table covers every segment's region"
+                "chunk bits lc ({lc}) must be >= 12 (one page)"
             )));
         }
-        if l3 < 12 {
+        if l3 < lc {
             return Err(NvError::BadLayout(format!(
-                "segment bits l3 ({l3}) must be >= 12"
+                "max-region bits l3 ({l3}) must be >= chunk bits lc ({lc})"
             )));
         }
-        if l2 + l3 > 46 {
+        if l3 > l2 + lc {
             return Err(NvError::BadLayout(format!(
-                "data area of 2^(l2+l3) = 2^{} bytes exceeds the 2^46 reservation cap",
-                l2 + l3
+                "max region of 2^l3 = 2^{l3} bytes cannot exceed the 2^(l2+lc) = 2^{} data area",
+                l2 + lc
+            )));
+        }
+        if l2 + lc > 46 {
+            return Err(NvError::BadLayout(format!(
+                "data area of 2^(l2+lc) = 2^{} bytes exceeds the 2^46 reservation cap",
+                l2 + lc
             )));
         }
         if l4 > 28 {
             return Err(NvError::BadLayout(format!(
-                "l4 ({l4}) > 28 would need a base table larger than 1 GiB of committed memory"
+                "l4 ({l4}) > 28 would need a base-table directory larger than practical"
             )));
         }
         if l4 + l3 > 63 {
@@ -113,19 +133,34 @@ impl Layout {
         Ok(())
     }
 
-    /// Number of segments in the data area.
-    pub fn segment_count(&self) -> usize {
+    /// Number of chunks in the data area.
+    pub fn chunk_count(&self) -> usize {
         1usize << self.l2
     }
 
-    /// Size of one segment in bytes.
-    pub fn segment_size(&self) -> usize {
-        1usize << self.l3
+    /// Size of one chunk in bytes.
+    pub fn chunk_size(&self) -> usize {
+        1usize << self.lc
+    }
+
+    /// Mask extracting the within-chunk offset from an address.
+    pub fn chunk_mask(&self) -> usize {
+        self.chunk_size() - 1
     }
 
     /// Total size of the data area in bytes.
     pub fn data_area_size(&self) -> usize {
-        self.segment_count() << self.l3
+        self.chunk_count() << self.lc
+    }
+
+    /// Largest size a single region may reach (the RIV offset field width).
+    pub fn max_region_size(&self) -> usize {
+        1usize << self.l3
+    }
+
+    /// Number of chunks needed to hold `bytes` (at least one).
+    pub fn chunks_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.chunk_size()).max(1)
     }
 
     /// Largest valid region ID.
@@ -133,27 +168,50 @@ impl Layout {
         ((1u64 << self.l4) - 1) as u32
     }
 
-    /// Mask extracting the within-segment offset from an address.
+    /// Mask extracting the offset field from a RIV value. Note that under
+    /// chunked placement this is *not* an address mask: region bases are
+    /// `2^lc`-aligned, not `2^l3`-aligned, so within-region offsets come
+    /// from the RID-table entry (chunk index within the region), never from
+    /// masking an absolute address.
     pub fn offset_mask(&self) -> usize {
-        self.segment_size() - 1
+        self.max_region_size() - 1
     }
 
-    /// Size in bytes of the RID table (`2^l2` entries, one per segment).
+    /// Size in bytes of the RID table (`2^l2` entries, one per chunk).
     ///
-    /// Entries are 4 bytes; the paper's minimum would be `⌈l4/8⌉` bytes,
-    /// which equals 4 only for `24 < l4 <= 32` — we use a fixed 4 so entry
-    /// loads are single aligned `u32` reads.
+    /// Entries are 8 bytes: the low 32 bits hold the region ID mapped at
+    /// the chunk (0 = none), the high 32 bits the chunk's index *within*
+    /// its region, so one aligned `u64` load yields both the ID and the
+    /// region base (paper Figure 7 (b) with a widened entry).
     pub fn rid_table_size(&self) -> usize {
-        self.segment_count() * 4
+        self.chunk_count() * 8
     }
 
-    /// Size in bytes of the base table (`2^l4` entries, one per region ID).
+    /// Number of 8-byte entries in one base-table page.
+    pub fn base_page_entries(&self) -> usize {
+        1usize << BASE_PAGE_BITS.min(self.l4)
+    }
+
+    /// Size in bytes of one base-table page.
+    pub fn base_page_size(&self) -> usize {
+        self.base_page_entries() * 8
+    }
+
+    /// Number of first-level directory slots in the two-level base table.
+    pub fn base_l1_len(&self) -> usize {
+        (1usize << self.l4).div_ceil(self.base_page_entries())
+    }
+
+    /// Virtual size in bytes of the base table (`2^l4` entries, one per
+    /// region ID).
     ///
-    /// Entries are 8 bytes and hold the region's absolute segment base
-    /// directly (the paper stores the `nvbase` bits — `⌈l2/8⌉` bytes —
-    /// which is the same information modulo the shift; we widen the entry
-    /// so `ID2Addr` is a single load with no recombination). The table is
-    /// committed lazily by the OS, so only touched entries cost memory.
+    /// Entries are 8 bytes and hold the region's absolute base directly
+    /// (the paper stores the `nvbase` bits — `⌈l2/8⌉` bytes — which is the
+    /// same information modulo the shift; we widen the entry so `ID2Addr`
+    /// is a single load with no recombination). The table is two-level:
+    /// only a small directory is committed up front and 64 KiB pages are
+    /// committed as region IDs in their range are first bound, so `l4` can
+    /// scale far past the old single-level geometry.
     pub fn base_table_size(&self) -> usize {
         (1usize << self.l4) * 8
     }
@@ -424,23 +482,54 @@ mod tests {
     fn default_layout_is_valid() {
         Layout::DEFAULT.validate().unwrap();
         assert_eq!(Layout::default(), Layout::DEFAULT);
-        assert_eq!(Layout::DEFAULT.segment_size(), 64 << 20);
-        assert_eq!(Layout::DEFAULT.segment_count(), 256);
-        assert_eq!(Layout::DEFAULT.max_rid(), 65535);
+        assert_eq!(Layout::DEFAULT.chunk_size(), 4 << 20);
+        assert_eq!(Layout::DEFAULT.chunk_count(), 16384);
+        assert_eq!(Layout::DEFAULT.max_region_size(), 4 << 30);
+        assert_eq!(Layout::DEFAULT.data_area_size(), 64 << 30);
+        assert_eq!(Layout::DEFAULT.max_rid(), (1 << 20) - 1);
         assert!(Layout::DEFAULT.rid_in_range(1));
-        assert!(Layout::DEFAULT.rid_in_range(65535));
+        assert!(Layout::DEFAULT.rid_in_range((1 << 20) - 1));
         assert!(!Layout::DEFAULT.rid_in_range(0));
-        assert!(!Layout::DEFAULT.rid_in_range(65536));
+        assert!(!Layout::DEFAULT.rid_in_range(1 << 20));
+    }
+
+    #[test]
+    fn chunk_helpers() {
+        let l = Layout::DEFAULT;
+        assert_eq!(l.chunks_for(0), 1);
+        assert_eq!(l.chunks_for(1), 1);
+        assert_eq!(l.chunks_for(l.chunk_size()), 1);
+        assert_eq!(l.chunks_for(l.chunk_size() + 1), 2);
+        assert_eq!(l.chunks_for(3 * l.chunk_size()), 3);
+        assert_eq!(l.chunk_mask(), l.chunk_size() - 1);
+        assert_eq!(l.offset_mask(), l.max_region_size() - 1);
+    }
+
+    #[test]
+    fn base_table_two_level_geometry() {
+        let l = Layout::DEFAULT;
+        assert_eq!(l.base_page_entries(), 1 << BASE_PAGE_BITS);
+        assert_eq!(l.base_page_size(), 64 << 10);
+        assert_eq!(
+            l.base_l1_len() * l.base_page_entries() * 8,
+            l.base_table_size()
+        );
+        // A tiny l4 collapses to a single partial page.
+        let s = Layout::new(6, 16, 20, 6).unwrap();
+        assert_eq!(s.base_page_entries(), 1 << 6);
+        assert_eq!(s.base_l1_len(), 1);
     }
 
     #[test]
     fn layout_rejects_bad_configs() {
-        assert!(Layout::new(8, 26, 4).is_err(), "l4 < l2");
-        assert!(Layout::new(8, 8, 16).is_err(), "tiny segments");
-        assert!(Layout::new(24, 26, 28).is_err(), "data area too big");
-        assert!(Layout::new(8, 26, 29).is_err(), "base table too big");
-        assert!(Layout::new(8, 40, 28).is_err(), "riv overflow");
-        assert!(Layout::new(8, 26, 16).is_ok());
+        assert!(Layout::new(8, 8, 20, 16).is_err(), "tiny chunks");
+        assert!(Layout::new(8, 22, 20, 16).is_err(), "l3 < lc");
+        assert!(Layout::new(8, 22, 34, 16).is_err(), "l3 past the data area");
+        assert!(Layout::new(26, 22, 32, 16).is_err(), "data area too big");
+        assert!(Layout::new(14, 22, 32, 29).is_err(), "base directory cap");
+        assert!(Layout::new(14, 22, 40, 24).is_err(), "riv overflow");
+        assert!(Layout::new(14, 22, 32, 20).is_ok());
+        assert!(Layout::new(6, 16, 20, 6).is_ok(), "small test geometry");
     }
 
     #[test]

@@ -362,11 +362,17 @@ impl LlState {
     ///
     /// # Safety
     ///
-    /// `base`/`size` must describe the mapped image; `hdr` must be its
-    /// allocator header; the caller must own the region exclusively.
+    /// `base`/`size` must describe the region's reserved run (`size` is
+    /// the capacity — volatile maps are sized by it so the region can
+    /// grow in place); only the first `committed` bytes are mapped
+    /// readable, so every persistent word the scan touches is
+    /// bounds-checked against `committed`, never `size`. `hdr` must be
+    /// the image's allocator header; the caller must own the region
+    /// exclusively.
     pub(crate) unsafe fn open(
         base: usize,
         size: usize,
+        committed: usize,
         instance: u64,
         hdr: &AllocHeader,
     ) -> Result<Option<LlState>> {
@@ -375,6 +381,12 @@ impl LlState {
             return Ok(None);
         }
         let st = Self::new_empty(base, size, instance, hdr.stats().end);
+        if st.end > committed as u64 {
+            return Err(NvError::BadImage(format!(
+                "allocator end {} beyond the committed size {committed}",
+                st.end
+            )));
+        }
         let mut page_off = ll_dir;
         let mut pages = 0usize;
         let mut subtrees = 0u32;
@@ -383,7 +395,7 @@ impl LlState {
             if pages >= st.page_offs.len() {
                 return Err(NvError::BadImage("bitmap page chain cycle".into()));
             }
-            if !page_off.is_multiple_of(64) || page_off as usize + LL_PAGE_SIZE > size {
+            if !page_off.is_multiple_of(64) || page_off as usize + LL_PAGE_SIZE > committed {
                 return Err(NvError::BadImage(format!(
                     "bitmap page offset {page_off:#x} out of bounds"
                 )));
@@ -1079,7 +1091,7 @@ mod tests {
         }
         // Simulated crash: rebuild volatile state from the media bytes.
         let instance = TEST_INSTANCE.fetch_add(1, Ordering::Relaxed);
-        let ll2 = unsafe { LlState::open(a.base(), a.mem.len(), instance, &a.hdr) }
+        let ll2 = unsafe { LlState::open(a.base(), a.mem.len(), a.mem.len(), instance, &a.hdr) }
             .unwrap()
             .expect("image has a bitmap directory");
         let (blocks, bytes) = ll2.live();
@@ -1110,7 +1122,7 @@ mod tests {
         let meta_addr = a.base() + page as usize + DESC_SIZE + D_META;
         unsafe { *(meta_addr as *mut u64) = 0xff };
         let instance = TEST_INSTANCE.fetch_add(1, Ordering::Relaxed);
-        let res = unsafe { LlState::open(a.base(), a.mem.len(), instance, &a.hdr) };
+        let res = unsafe { LlState::open(a.base(), a.mem.len(), a.mem.len(), instance, &a.hdr) };
         assert!(res.is_err(), "corrupt class must fail the scan");
     }
 

@@ -171,6 +171,18 @@ counters! {
     /// Responses answered `Degraded` (read-only after failover, or
     /// replication lost after a permanent sink failure).
     SrvDegradedResponses => "srv_degraded_responses",
+    /// Chunks released back to the NV-space pool that were already free —
+    /// a chunk-accounting bug. Counted just before the pool panics so the
+    /// leak is visible in metrics snapshots even from crash handlers.
+    NvDoubleReleases => "nv_double_releases",
+    /// Region growth operations (`Region::grow`) that committed new chunks
+    /// or extended the committed tail of the run.
+    RegionGrows => "region_grows",
+    /// Translation misses on the lock-free fast path: an address outside
+    /// the data area, an unmapped chunk, or an out-of-range region ID fed
+    /// to `Addr2ID`/`ID2Addr` (e.g. a corrupted fat pointer). These return
+    /// a typed miss instead of reading out of the tables.
+    NvTranslationMisses => "nv_translation_misses",
 }
 
 /// Number of counter shards. Power of two; threads are assigned
@@ -313,7 +325,7 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         assert_eq!(
             names.last().copied(),
-            Some("srv_degraded_responses"),
+            Some("nv_translation_misses"),
             "serialization order is the declaration order"
         );
     }

@@ -1,39 +1,75 @@
 //! The NV space: a reserved address range holding the two direct-mapped
-//! lookup tables and the data area of NV segments.
+//! lookup tables and a chunked data area.
 //!
-//! This is the runtime materialization of the paper's Figure 7. The three
-//! areas live at fixed offsets inside one contiguous reservation:
+//! This is the runtime materialization of the paper's Figure 7, generalized
+//! from fixed per-region segments to *chunk runs*: the data area is a pool
+//! of `2^l2` chunks of `2^lc` bytes, and a region occupies a contiguous run
+//! of chunks that can grow in place up to `2^l3` bytes. The areas live at
+//! fixed offsets inside one contiguous reservation:
 //!
 //! ```text
-//! +-------------+--------------+--- gap ---+----------------------------+
-//! |  RID table  |  base table  |           |  data area (2^l2 segments) |
-//! +-------------+--------------+-----------+----------------------------+
-//! ^ reservation base                       ^ aligned to 2^l3
+//! +-------------+-----------+------------------+--- gap ---+--------------------------+
+//! |  RID table  |  base L1  | base-table pages |           |  data area (2^l2 chunks) |
+//! +-------------+-----------+------------------+-----------+--------------------------+
+//! ^ reservation base         ^ committed on demand          ^ aligned to 2^lc
 //! ```
 //!
-//! * The **RID table** has one 4-byte entry per segment; entry `s` holds the
-//!   region ID mapped at segment `s` (0 = none). Given any address inside a
-//!   region, the entry address is `rid_table + ((addr - data_base) >> l3)*4`
-//!   — the paper's "several bit transformations".
+//! * The **RID table** has one 8-byte entry per chunk; entry `c` packs the
+//!   region ID mapped at chunk `c` in its low 32 bits (0 = none) and the
+//!   chunk's index *within* its region in the high 32 bits. Given any
+//!   address inside a region, the entry address is
+//!   `rid_table + ((addr - data_base) >> lc) * 8` — the paper's "several
+//!   bit transformations" — and a single aligned load yields both `Addr2ID`
+//!   and `getBase` (the region base is the containing chunk's base minus
+//!   `chunk_in_region << lc`).
 //! * The **base table** has one 8-byte entry per region ID; entry `r` holds
-//!   the absolute segment base of region `r` (0 = region not open), so
-//!   `ID2Addr` is a single shifted load.
+//!   the absolute base of region `r`'s chunk run (0 = region not open), so
+//!   `ID2Addr` is a shifted load. The table is two-level: a small directory
+//!   (the **base L1**) is committed up front and 64 KiB entry pages are
+//!   committed the first time a region ID in their range is bound, so the
+//!   ID space scales far past the old single-level geometry.
 //!
-//! Table entries are written under a lock when regions open and close, but
-//! read lock-free on the pointer-dereference fast path via relaxed atomic
-//! loads, which compile to plain `mov`s.
+//! Table entries are written under the pool lock when regions open, close,
+//! or grow, but read lock-free on the pointer-dereference fast path via
+//! relaxed atomic loads, which compile to plain `mov`s. Out-of-range
+//! chunks, unmapped chunks, and out-of-range region IDs all return a typed
+//! miss (0) instead of reading outside the tables — a corrupted fat pointer
+//! in a release build fails translation instead of faulting.
 
 use crate::error::{NvError, Result};
 use crate::layout::Layout;
 use crate::mem::{align_up, page_size, Reservation};
+use crate::metrics::{self, Counter};
 use parking_lot::Mutex;
 use std::fs::File;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Index of a segment in the data area. Segment 0 is reserved (never
-/// handed out) so that a base-table entry of 0 means "region not open".
-pub type SegIndex = u32;
+/// Index of a chunk in the data area. Chunk 0 is reserved (never handed
+/// out) so a zero base-table entry unambiguously means "region not open".
+pub type ChunkIndex = u32;
+
+/// A contiguous run of chunks backing one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRun {
+    /// First chunk of the run (never 0 for a real run).
+    pub start: ChunkIndex,
+    /// Number of chunks in the run (>= 1).
+    pub count: u32,
+}
+
+impl ChunkRun {
+    /// The chunk indices covered by this run.
+    pub fn chunks(&self) -> std::ops::Range<usize> {
+        self.start as usize..self.start as usize + self.count as usize
+    }
+}
+
+/// Environment variable overriding the randomized chunk-placement seed.
+/// When set (decimal or `0x`-prefixed hex), chunk bases are deterministic
+/// across runs — the crash/concurrent matrices pin this alongside their
+/// other seeds so recorded addresses replay bit-identically.
+pub const PLACEMENT_SEED_ENV: &str = "NVMSIM_PLACEMENT_SEED";
 
 /// A process-wide simulated NV space.
 ///
@@ -44,9 +80,12 @@ pub struct NvSpace {
     layout: Layout,
     reservation: Reservation,
     rid_table: usize,
-    base_table: usize,
+    base_l1: usize,
+    base_pages: usize,
+    base_page_stride: usize,
+    base_page_shift: u32,
     data_base: usize,
-    pool: Mutex<SegmentPool>,
+    pool: Mutex<ChunkPool>,
 }
 
 impl std::fmt::Debug for NvSpace {
@@ -54,27 +93,39 @@ impl std::fmt::Debug for NvSpace {
         f.debug_struct("NvSpace")
             .field("layout", &self.layout)
             .field("data_base", &format_args!("{:#x}", self.data_base))
-            .field("free_segments", &self.free_segments())
+            .field("free_chunks", &self.free_chunks())
             .finish()
     }
 }
 
-struct SegmentPool {
+struct ChunkPool {
     used: Vec<bool>,
     free: usize,
     rng: u64,
 }
 
-impl SegmentPool {
-    fn new(count: usize) -> SegmentPool {
+/// Parses [`PLACEMENT_SEED_ENV`] if set and well-formed.
+fn placement_seed_from_env() -> Option<u64> {
+    let raw = std::env::var(PLACEMENT_SEED_ENV).ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+impl ChunkPool {
+    fn new(count: usize) -> ChunkPool {
         let mut used = vec![false; count];
-        used[0] = true; // segment 0 is reserved
-        let seed = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x9e3779b97f4a7c15)
-            | 1;
-        SegmentPool {
+        used[0] = true; // chunk 0 is reserved
+        let seed = placement_seed_from_env().unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9e3779b97f4a7c15)
+        }) | 1;
+        ChunkPool {
             used,
             free: count - 1,
             rng: seed,
@@ -82,8 +133,9 @@ impl SegmentPool {
     }
 
     fn next_rand(&mut self) -> u64 {
-        // xorshift64*: quality is irrelevant, we only want segment bases to
-        // vary across runs the way address-space randomization would.
+        // xorshift64*: quality is irrelevant, we only want chunk bases to
+        // vary across runs the way address-space randomization would —
+        // unless a seed is pinned for deterministic replay.
         let mut x = self.rng;
         x ^= x >> 12;
         x ^= x << 25;
@@ -92,38 +144,74 @@ impl SegmentPool {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    fn acquire_random(&mut self) -> Option<SegIndex> {
-        if self.free == 0 {
-            return None;
-        }
-        let n = self.used.len();
-        let mut idx = (self.next_rand() as usize) % n;
-        for _ in 0..n {
-            if !self.used[idx] {
-                self.used[idx] = true;
-                self.free -= 1;
-                return Some(idx as SegIndex);
+    /// Finds `n` contiguous free chunks with the start index in `[lo, hi)`,
+    /// without claiming them. Scans each candidate window from the top so a
+    /// used chunk skips the start past it in one step.
+    fn scan(&self, lo: usize, hi: usize, n: usize) -> Option<usize> {
+        let mut s = lo;
+        'outer: while s < hi {
+            let mut i = s + n;
+            while i > s {
+                i -= 1;
+                if self.used[i] {
+                    s = i + 1;
+                    continue 'outer;
+                }
             }
-            idx = (idx + 1) % n;
+            return Some(s);
         }
         None
     }
 
-    fn acquire_at(&mut self, idx: usize) -> bool {
-        if idx == 0 || idx >= self.used.len() || self.used[idx] {
+    fn claim(&mut self, start: usize, n: usize) {
+        for i in start..start + n {
+            self.used[i] = true;
+        }
+        self.free -= n;
+    }
+
+    fn acquire_run(&mut self, n: usize) -> Option<usize> {
+        let count = self.used.len();
+        if n == 0 || n >= count || self.free < n {
+            return None;
+        }
+        // Valid starts are [1, hi); pick a random one and probe forward,
+        // wrapping once, so placement varies like ASLR would.
+        let hi = count - n + 1;
+        let r = 1 + (self.next_rand() as usize) % (hi - 1);
+        let s = self.scan(r, hi, n).or_else(|| self.scan(1, r, n))?;
+        self.claim(s, n);
+        Some(s)
+    }
+
+    fn acquire_run_at(&mut self, start: usize, n: usize) -> bool {
+        if start == 0 || n == 0 || start + n > self.used.len() {
             return false;
         }
-        self.used[idx] = true;
-        self.free -= 1;
+        if (start..start + n).any(|i| self.used[i]) {
+            return false;
+        }
+        self.claim(start, n);
         true
     }
 
-    fn release(&mut self, idx: usize) {
-        debug_assert!(idx != 0 && self.used[idx]);
-        if self.used[idx] {
-            self.used[idx] = false;
-            self.free += 1;
+    fn release_run(&mut self, start: usize, n: usize) {
+        assert!(
+            start != 0 && start + n <= self.used.len(),
+            "chunk run [{start}, +{n}) out of pool bounds"
+        );
+        for i in start..start + n {
+            if !self.used[i] {
+                // A double release means some owner's chunk accounting is
+                // wrong and address space would alias or leak invisibly.
+                // Count it (so crash handlers see it in metrics snapshots),
+                // then fail hard.
+                metrics::incr(Counter::NvDoubleReleases);
+                panic!("double release of NV chunk {i} (run [{start}, +{n}))");
+            }
+            self.used[i] = false;
         }
+        self.free += n;
     }
 }
 
@@ -132,9 +220,10 @@ static GLOBAL: OnceLock<NvSpace> = OnceLock::new();
 impl NvSpace {
     /// Creates a new NV space with the given layout.
     ///
-    /// Reserves `2^(l2+l3)` bytes of virtual address space for the data area
-    /// plus committed memory for the two tables. Only the tables consume
-    /// physical memory up front.
+    /// Reserves `2^(l2+lc)` bytes of virtual address space for the data
+    /// area plus the table areas. Only the RID table and the base-table
+    /// directory consume physical memory up front; base-table pages commit
+    /// as region IDs are bound and chunks commit as regions grow.
     ///
     /// # Errors
     ///
@@ -144,22 +233,28 @@ impl NvSpace {
         layout.validate()?;
         let page = page_size();
         let rid_size = align_up(layout.rid_table_size(), page);
-        let base_size = align_up(layout.base_table_size(), page);
-        let table_total = rid_size + base_size;
-        // Over-reserve by one segment so the data base can be aligned.
-        let total = table_total + layout.data_area_size() + layout.segment_size();
+        let l1_size = align_up(layout.base_l1_len() * 8, page);
+        let page_stride = align_up(layout.base_page_size(), page);
+        let pages_size = layout.base_l1_len() * page_stride;
+        let table_total = rid_size + l1_size + pages_size;
+        // Over-reserve by one chunk so the data base can be aligned.
+        let total = table_total + layout.data_area_size() + layout.chunk_size();
         let reservation = Reservation::new(total)?;
         let rid_table = reservation.base();
-        let base_table = rid_table + rid_size;
-        let data_base = align_up(base_table + base_size, layout.segment_size());
-        reservation.commit_anon(rid_table, table_total)?;
+        let base_l1 = rid_table + rid_size;
+        let base_pages = base_l1 + l1_size;
+        let data_base = align_up(base_pages + pages_size, layout.chunk_size());
+        reservation.commit_anon(rid_table, rid_size + l1_size)?;
         Ok(NvSpace {
             layout,
             reservation,
             rid_table,
-            base_table,
+            base_l1,
+            base_pages,
+            base_page_stride: page_stride,
+            base_page_shift: crate::layout::BASE_PAGE_BITS.min(layout.l4),
             data_base,
-            pool: Mutex::new(SegmentPool::new(layout.segment_count())),
+            pool: Mutex::new(ChunkPool::new(layout.chunk_count())),
         })
     }
 
@@ -183,21 +278,29 @@ impl NvSpace {
         self.layout
     }
 
-    /// Base address of the data area (segment 0).
+    /// Base address of the data area (chunk 0).
     #[inline]
     pub fn data_base(&self) -> usize {
         self.data_base
     }
 
-    /// Number of segments currently available.
-    pub fn free_segments(&self) -> usize {
+    /// Number of chunks currently available.
+    pub fn free_chunks(&self) -> usize {
         self.pool.lock().free
     }
 
-    /// Base address of segment `idx`.
-    pub fn segment_base(&self, idx: SegIndex) -> usize {
-        debug_assert!((idx as usize) < self.layout.segment_count());
-        self.data_base + ((idx as usize) << self.layout.l3)
+    /// Reseeds the randomized chunk-placement RNG. Matrix harnesses call
+    /// this with their pinned seed so chunk bases — and therefore every
+    /// recorded address — replay deterministically; randomized placement
+    /// stays the default for everyone else.
+    pub fn reseed_placement(&self, seed: u64) {
+        self.pool.lock().rng = seed | 1;
+    }
+
+    /// Base address of chunk `idx`.
+    pub fn chunk_base(&self, idx: ChunkIndex) -> usize {
+        debug_assert!((idx as usize) < self.layout.chunk_count());
+        self.data_base + ((idx as usize) << self.layout.lc)
     }
 
     /// Whether `addr` falls inside the data area.
@@ -205,166 +308,282 @@ impl NvSpace {
         addr >= self.data_base && addr < self.data_base + self.layout.data_area_size()
     }
 
-    /// Segment index containing `addr`.
+    /// Chunk index containing `addr`.
     ///
     /// # Errors
     ///
     /// [`NvError::AddressOutOfRange`] if `addr` is outside the data area.
-    pub fn segment_of(&self, addr: usize) -> Result<SegIndex> {
+    pub fn chunk_of(&self, addr: usize) -> Result<ChunkIndex> {
         if !self.contains(addr) {
             return Err(NvError::AddressOutOfRange { addr });
         }
-        Ok(((addr - self.data_base) >> self.layout.l3) as SegIndex)
+        Ok(((addr - self.data_base) >> self.layout.lc) as ChunkIndex)
     }
 
-    /// Acquires a random free segment, simulating address-space
-    /// randomization: reopening a region lands it somewhere new.
+    /// Acquires a run of `count` contiguous chunks at a randomized base,
+    /// simulating address-space randomization: reopening a region lands it
+    /// somewhere new.
     ///
     /// # Errors
     ///
-    /// [`NvError::NoFreeSegment`] when the space is full.
-    pub fn acquire_segment(&self) -> Result<SegIndex> {
+    /// [`NvError::NoFreeSegment`] when no run of that length is free.
+    pub fn acquire_chunks(&self, count: u32) -> Result<ChunkRun> {
         self.pool
             .lock()
-            .acquire_random()
+            .acquire_run(count as usize)
+            .map(|start| ChunkRun {
+                start: start as ChunkIndex,
+                count,
+            })
             .ok_or(NvError::NoFreeSegment)
     }
 
-    /// Acquires a specific segment (used by tests that need determinism).
+    /// Acquires a specific run (used by tests and placeholder pinning).
     ///
     /// # Errors
     ///
-    /// [`NvError::NoFreeSegment`] if the segment is reserved, in use, or out
-    /// of range.
-    pub fn acquire_segment_at(&self, idx: SegIndex) -> Result<SegIndex> {
-        if self.pool.lock().acquire_at(idx as usize) {
-            Ok(idx)
+    /// [`NvError::NoFreeSegment`] if any chunk of the run is reserved, in
+    /// use, or out of range.
+    pub fn acquire_chunks_at(&self, start: ChunkIndex, count: u32) -> Result<ChunkRun> {
+        if self
+            .pool
+            .lock()
+            .acquire_run_at(start as usize, count as usize)
+        {
+            Ok(ChunkRun { start, count })
         } else {
             Err(NvError::NoFreeSegment)
         }
     }
 
-    /// Returns a segment to the pool. The caller must have decommitted (or
-    /// never committed) its memory.
-    pub fn release_segment(&self, idx: SegIndex) {
-        self.pool.lock().release(idx as usize);
+    /// Returns a chunk run to the pool. The caller must have decommitted
+    /// (or never committed) its memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chunk of the run is already free — a double release
+    /// is a chunk-accounting bug that would alias address space, so it is
+    /// a hard error (counted in `nv_double_releases` first).
+    pub fn release_chunks(&self, run: ChunkRun) {
+        self.pool
+            .lock()
+            .release_run(run.start as usize, run.count as usize);
     }
 
-    /// Commits `len` bytes of zeroed anonymous memory at the start of
-    /// segment `idx`.
+    fn check_range(&self, addr: usize, len: usize) -> Result<()> {
+        let end = addr
+            .checked_add(len)
+            .ok_or(NvError::AddressOutOfRange { addr: usize::MAX })?;
+        if addr < self.data_base || end > self.data_base + self.layout.data_area_size() {
+            return Err(NvError::AddressOutOfRange { addr });
+        }
+        Ok(())
+    }
+
+    /// Commits `len` bytes of zeroed anonymous memory at `addr` (page
+    /// aligned, inside the data area, within chunks the caller owns).
     ///
     /// # Errors
     ///
     /// Propagates reservation errors.
-    pub fn commit_segment_anon(&self, idx: SegIndex, len: usize) -> Result<()> {
-        let len = align_up(len.min(self.layout.segment_size()), page_size());
-        self.reservation.commit_anon(self.segment_base(idx), len)
+    pub fn commit_range_anon(&self, addr: usize, len: usize) -> Result<()> {
+        let len = align_up(len, page_size());
+        self.check_range(addr, len)?;
+        self.reservation.commit_anon(addr, len)
     }
 
-    /// Commits `len` bytes of file-backed memory at the start of segment
-    /// `idx`. See [`Reservation::commit_file`].
+    /// Commits `len` bytes of file-backed memory at `addr`, mapping the
+    /// file from `file_off` (both page aligned). See
+    /// [`Reservation::commit_file`].
     ///
     /// # Errors
     ///
     /// Propagates reservation errors.
-    pub fn commit_segment_file(
+    pub fn commit_range_file(
         &self,
-        idx: SegIndex,
+        addr: usize,
         len: usize,
         file: &File,
+        file_off: u64,
         shared: bool,
     ) -> Result<()> {
-        let len = align_up(len.min(self.layout.segment_size()), page_size());
+        let len = align_up(len, page_size());
+        self.check_range(addr, len)?;
         self.reservation
-            .commit_file(self.segment_base(idx), len, file, 0, shared)
+            .commit_file(addr, len, file, file_off, shared)
     }
 
-    /// Decommits the first `len` bytes of segment `idx`.
+    /// Decommits `len` bytes at `addr`.
     ///
     /// # Errors
     ///
     /// Propagates reservation errors.
-    pub fn decommit_segment(&self, idx: SegIndex, len: usize) -> Result<()> {
-        let len = align_up(len.min(self.layout.segment_size()), page_size());
-        self.reservation.decommit(self.segment_base(idx), len)
+    pub fn decommit_range(&self, addr: usize, len: usize) -> Result<()> {
+        let len = align_up(len, page_size());
+        self.check_range(addr, len)?;
+        self.reservation.decommit(addr, len)
     }
 
-    /// Flushes the first `len` bytes of a file-backed segment to its file.
+    /// Flushes `len` file-backed bytes at `addr` to the backing file.
     ///
     /// # Errors
     ///
     /// Propagates reservation errors.
-    pub fn sync_segment(&self, idx: SegIndex, len: usize) -> Result<()> {
-        let len = align_up(len.min(self.layout.segment_size()), page_size());
-        self.reservation.sync(self.segment_base(idx), len)
+    pub fn sync_range(&self, addr: usize, len: usize) -> Result<()> {
+        let len = align_up(len, page_size());
+        self.check_range(addr, len)?;
+        self.reservation.sync(addr, len)
     }
 
-    // -- table maintenance (region open/close path, locked by callers) -----
+    // -- table maintenance (region open/close/grow path, pool-locked) ------
 
-    fn rid_entry(&self, seg: SegIndex) -> *const AtomicU32 {
-        debug_assert!((seg as usize) < self.layout.segment_count());
-        (self.rid_table + (seg as usize) * 4) as *const AtomicU32
+    fn rid_entry(&self, chunk: usize) -> *const AtomicU64 {
+        debug_assert!(chunk < self.layout.chunk_count());
+        (self.rid_table + chunk * 8) as *const AtomicU64
     }
 
-    fn base_entry(&self, rid: u32) -> *const AtomicUsize {
-        debug_assert!(rid as u64 <= self.layout.max_rid() as u64);
-        (self.base_table + (rid as usize) * 8) as *const AtomicUsize
+    fn base_l1_entry(&self, pidx: usize) -> *const AtomicUsize {
+        debug_assert!(pidx < self.layout.base_l1_len());
+        (self.base_l1 + pidx * 8) as *const AtomicUsize
     }
 
-    /// Publishes the `rid <-> segment` association in both tables.
+    /// Base-table entry pointer for an in-range `rid`, or `None` when the
+    /// rid's base-table page has never been committed.
+    fn base_entry(&self, rid: u32) -> Option<*const AtomicUsize> {
+        let pidx = (rid >> self.base_page_shift) as usize;
+        if pidx >= self.layout.base_l1_len() {
+            return None;
+        }
+        // SAFETY: the L1 directory is committed for the space's lifetime.
+        let page = unsafe { (*self.base_l1_entry(pidx)).load(Ordering::Relaxed) };
+        if page == 0 {
+            return None;
+        }
+        let slot = (rid as usize) & (self.layout.base_page_entries() - 1);
+        Some((page + slot * 8) as *const AtomicUsize)
+    }
+
+    /// Publishes the `rid <-> chunk run` association in both tables,
+    /// committing the rid's base-table page on first use.
     ///
-    /// Called by the region manager when a region is opened into a segment.
+    /// Called by the region manager when a region is opened into a run and
+    /// again (for the new chunks) when a region grows.
     ///
     /// # Errors
     ///
     /// [`NvError::InvalidRid`] if `rid` is out of range or already bound.
-    pub fn bind(&self, rid: u32, seg: SegIndex) -> Result<()> {
+    pub fn bind(&self, rid: u32, run: ChunkRun) -> Result<()> {
         if !self.layout.rid_in_range(rid) {
             return Err(NvError::InvalidRid {
                 rid,
                 reason: "out of range for layout",
             });
         }
-        // SAFETY: entry pointers are inside the committed table area.
+        debug_assert!(run.start != 0 && run.chunks().end <= self.layout.chunk_count());
+        let _guard = self.pool.lock();
+        let pidx = (rid >> self.base_page_shift) as usize;
+        // SAFETY: pidx is in range for an in-range rid; the L1 is committed.
+        let page = unsafe { (*self.base_l1_entry(pidx)).load(Ordering::Relaxed) };
+        if page == 0 {
+            let addr = self.base_pages + pidx * self.base_page_stride;
+            self.reservation
+                .commit_anon(addr, align_up(self.layout.base_page_size(), page_size()))?;
+            // SAFETY: same entry as above; publish after the commit so the
+            // fast path never dereferences an uncommitted page.
+            unsafe { (*self.base_l1_entry(pidx)).store(addr, Ordering::Release) };
+        }
+        let entry = self
+            .base_entry(rid)
+            .expect("base page committed just above");
+        // SAFETY: entry points into the committed base-table page.
         unsafe {
-            if (*self.base_entry(rid)).load(Ordering::Relaxed) != 0 {
+            if (*entry).load(Ordering::Relaxed) != 0 {
                 return Err(NvError::InvalidRid {
                     rid,
                     reason: "already bound",
                 });
             }
-            (*self.base_entry(rid)).store(self.segment_base(seg), Ordering::Release);
-            (*self.rid_entry(seg)).store(rid, Ordering::Release);
+            (*entry).store(self.chunk_base(run.start), Ordering::Release);
         }
+        self.bind_chunks(rid, run, 0);
         Ok(())
     }
 
-    /// Removes the `rid <-> segment` association from both tables.
-    pub fn unbind(&self, rid: u32, seg: SegIndex) {
-        // SAFETY: entry pointers are inside the committed table area.
-        unsafe {
-            (*self.rid_entry(seg)).store(0, Ordering::Release);
-            (*self.base_entry(rid)).store(0, Ordering::Release);
+    /// Publishes RID-table entries for the chunks of `run`, numbering them
+    /// within the region starting at `first_in_region`. Used by `bind` (at
+    /// 0) and by region growth for the newly acquired tail run.
+    pub fn bind_chunks(&self, rid: u32, run: ChunkRun, first_in_region: u32) {
+        for (k, chunk) in run.chunks().enumerate() {
+            let in_region = first_in_region as u64 + k as u64;
+            // SAFETY: entry pointers are inside the committed RID table.
+            unsafe {
+                (*self.rid_entry(chunk)).store(in_region << 32 | rid as u64, Ordering::Release);
+            }
+        }
+    }
+
+    /// Removes the `rid <-> chunk run` association from both tables.
+    pub fn unbind(&self, rid: u32, run: ChunkRun) {
+        let _guard = self.pool.lock();
+        for chunk in run.chunks() {
+            // SAFETY: entry pointers are inside the committed RID table.
+            unsafe { (*self.rid_entry(chunk)).store(0, Ordering::Release) };
+        }
+        if let Some(entry) = self.base_entry(rid) {
+            // SAFETY: entry points into a committed base-table page.
+            unsafe { (*entry).store(0, Ordering::Release) };
         }
     }
 
     // -- hot path: the paper's conversion functions -------------------------
 
+    /// Raw RID-table entry for the chunk containing `addr`, or `None` for
+    /// addresses outside the data area (typed miss, never an OOB read).
+    #[inline]
+    fn rid_entry_of_addr(&self, addr: usize) -> Option<u64> {
+        let chunk = addr.wrapping_sub(self.data_base) >> self.layout.lc;
+        if chunk >= self.layout.chunk_count() {
+            metrics::incr(Counter::NvTranslationMisses);
+            return None;
+        }
+        // SAFETY: chunk indexes the committed RID table (bounds-checked).
+        Some(unsafe { (*self.rid_entry(chunk)).load(Ordering::Relaxed) })
+    }
+
     /// `Addr2ID` (Figure 5 (c)): region ID of the region containing `addr`.
     ///
-    /// Returns 0 if no region is mapped at `addr`'s segment. Cost: two bit
-    /// transformations and one dependent load.
+    /// Returns 0 if `addr` is outside the data area or no region is mapped
+    /// at its chunk. Cost: two bit transformations, a bounds check, and one
+    /// dependent load.
     #[inline]
     pub fn rid_of_addr(&self, addr: usize) -> u32 {
-        let seg = (addr.wrapping_sub(self.data_base)) >> self.layout.l3;
-        debug_assert!(seg < self.layout.segment_count(), "addr outside data area");
-        // SAFETY: seg indexes the committed RID table (debug-asserted above;
-        // callers on the fast path guarantee addr is an NV address).
-        unsafe { (*self.rid_entry(seg as SegIndex)).load(Ordering::Relaxed) }
+        match self.rid_entry_of_addr(addr) {
+            Some(e) => e as u32,
+            None => 0,
+        }
+    }
+
+    /// `Addr2ID` plus the within-region offset, from the same single
+    /// RID-table load: the entry's high half is the chunk's index within
+    /// its region, so `offset = (chunk_in_region << lc) | (addr & chunk
+    /// mask)`. Returns `(0, 0)` on a translation miss.
+    ///
+    /// Under chunked placement this — not masking with
+    /// [`Layout::offset_mask`] — is the correct `addr - getBase(addr)`:
+    /// region bases are chunk aligned, not `2^l3` aligned.
+    #[inline]
+    pub fn rid_off_of_addr(&self, addr: usize) -> (u32, u64) {
+        match self.rid_entry_of_addr(addr) {
+            Some(e) => {
+                let off = (e >> 32 << self.layout.lc) | (addr & self.layout.chunk_mask()) as u64;
+                (e as u32, off)
+            }
+            None => (0, 0),
+        }
     }
 
     /// Checked variant of [`NvSpace::rid_of_addr`]: returns `None` when
-    /// `addr` is outside the data area or its segment has no region bound.
+    /// `addr` is outside the data area or its chunk has no region bound.
     pub fn try_rid_of_addr(&self, addr: usize) -> Option<u32> {
         if !self.contains(addr) {
             return None;
@@ -377,29 +596,53 @@ impl NvSpace {
 
     /// `ID2Addr` (Figure 5 (b)): base address of the region with id `rid`.
     ///
-    /// Returns 0 if the region is not open — callers that cannot tolerate
-    /// that must check [`NvSpace::is_bound`] first. Cost: one shifted load.
+    /// Returns 0 if the region is not open *or* `rid` is out of range for
+    /// the layout (a corrupted fat pointer fails translation instead of
+    /// reading outside the table) — callers that cannot tolerate that must
+    /// check [`NvSpace::is_bound`] first. Cost: a bounds check plus the
+    /// directory and entry loads.
     #[inline]
     pub fn base_of_rid(&self, rid: u32) -> usize {
-        // SAFETY: rid indexes the committed base table; out-of-range rids
-        // are excluded by construction of RIV values (l4-bit field).
-        unsafe { (*self.base_entry(rid)).load(Ordering::Relaxed) }
+        match self.base_entry(rid) {
+            // SAFETY: base_entry only returns pointers into committed pages.
+            Some(entry) => unsafe { (*entry).load(Ordering::Relaxed) },
+            None => {
+                metrics::incr(Counter::NvTranslationMisses);
+                0
+            }
+        }
     }
 
-    /// `getBase` (Figure 5 (c)): the segment base of `addr`, by masking the
-    /// low `l3` bits. Valid because segments are `2^l3`-aligned absolutely.
+    /// Checked variant of [`NvSpace::base_of_rid`]: `None` is a typed miss
+    /// (unknown or unbound region ID).
+    pub fn try_base_of_rid(&self, rid: u32) -> Option<usize> {
+        match self.base_of_rid(rid) {
+            0 => None,
+            base => Some(base),
+        }
+    }
+
+    /// `getBase` (Figure 5 (c)): the base of the region containing `addr`.
+    ///
+    /// The containing chunk's base is a mask (chunks are `2^lc`-aligned
+    /// absolutely); the RID-table entry's high half walks back to the
+    /// run's first chunk. Unmapped chunks yield their chunk base;
+    /// addresses outside the data area yield their `2^lc`-aligned floor.
     #[inline]
     pub fn base_of_addr(&self, addr: usize) -> usize {
-        addr & !self.layout.offset_mask()
+        let chunk_base = addr & !self.layout.chunk_mask();
+        match self.rid_entry_of_addr(addr) {
+            Some(e) => chunk_base - (((e >> 32) as usize) << self.layout.lc),
+            None => chunk_base,
+        }
     }
 
-    /// Whether region `rid` currently has a segment bound.
+    /// Whether region `rid` currently has a chunk run bound.
     pub fn is_bound(&self, rid: u32) -> bool {
         if !self.layout.rid_in_range(rid) {
             return false;
         }
-        // SAFETY: in-range rid indexes the committed base table.
-        unsafe { (*self.base_entry(rid)).load(Ordering::Relaxed) != 0 }
+        self.base_of_rid(rid) != 0
     }
 }
 
@@ -408,87 +651,165 @@ mod tests {
     use super::*;
 
     fn small_space() -> NvSpace {
-        // 16 segments of 1 MiB, 6-bit rids.
-        NvSpace::new(Layout::new(4, 20, 6).unwrap()).unwrap()
+        // 64 chunks of 64 KiB, regions up to 1 MiB, 6-bit rids.
+        NvSpace::new(Layout::new(6, 16, 20, 6).unwrap()).unwrap()
     }
 
     #[test]
-    fn data_base_is_segment_aligned() {
+    fn data_base_is_chunk_aligned() {
         let s = small_space();
-        assert_eq!(s.data_base() % s.layout().segment_size(), 0);
+        assert_eq!(s.data_base() % s.layout().chunk_size(), 0);
     }
 
     #[test]
-    fn segment_zero_is_reserved() {
+    fn chunk_zero_is_reserved() {
         let s = small_space();
-        assert!(s.acquire_segment_at(0).is_err());
-        for _ in 0..15 {
-            assert_ne!(s.acquire_segment().unwrap(), 0);
+        assert!(s.acquire_chunks_at(0, 1).is_err());
+        for _ in 0..63 {
+            assert_ne!(s.acquire_chunks(1).unwrap().start, 0);
         }
-        assert!(matches!(s.acquire_segment(), Err(NvError::NoFreeSegment)));
+        assert!(matches!(s.acquire_chunks(1), Err(NvError::NoFreeSegment)));
     }
 
     #[test]
     fn acquire_release_roundtrip() {
         let s = small_space();
-        let a = s.acquire_segment().unwrap();
-        let before = s.free_segments();
-        s.release_segment(a);
-        assert_eq!(s.free_segments(), before + 1);
+        let run = s.acquire_chunks(3).unwrap();
+        assert_eq!(run.count, 3);
+        let before = s.free_chunks();
+        s.release_chunks(run);
+        assert_eq!(s.free_chunks(), before + 3);
         // Can re-acquire deterministically.
-        assert_eq!(s.acquire_segment_at(a).unwrap(), a);
+        assert_eq!(s.acquire_chunks_at(run.start, 3).unwrap(), run);
     }
 
     #[test]
-    fn bind_publishes_both_tables() {
+    #[should_panic(expected = "double release")]
+    fn double_release_is_a_hard_error() {
         let s = small_space();
-        let seg = s.acquire_segment().unwrap();
-        s.bind(5, seg).unwrap();
+        let run = s.acquire_chunks(2).unwrap();
+        s.release_chunks(run);
+        s.release_chunks(run); // second release must panic, not leak
+    }
+
+    #[test]
+    fn placement_is_deterministic_under_a_pinned_seed() {
+        let s = small_space();
+        s.reseed_placement(0xfeed);
+        let a = s.acquire_chunks(2).unwrap();
+        let b = s.acquire_chunks(1).unwrap();
+        s.release_chunks(a);
+        s.release_chunks(b);
+        s.reseed_placement(0xfeed);
+        assert_eq!(s.acquire_chunks(2).unwrap(), a);
+        assert_eq!(s.acquire_chunks(1).unwrap(), b);
+    }
+
+    #[test]
+    fn bind_publishes_both_tables_across_chunks() {
+        let s = small_space();
+        let run = s.acquire_chunks(3).unwrap();
+        s.bind(5, run).unwrap();
         assert!(s.is_bound(5));
-        let base = s.segment_base(seg);
-        assert_eq!(s.rid_of_addr(base), 5);
-        assert_eq!(s.rid_of_addr(base + 12345), 5);
+        let base = s.chunk_base(run.start);
         assert_eq!(s.base_of_rid(5), base);
-        assert_eq!(s.base_of_addr(base + 12345), base);
-        s.unbind(5, seg);
+        let csize = s.layout().chunk_size();
+        // Translation works from every chunk of the run, not just the
+        // first, and offsets are region-relative.
+        for k in 0..3usize {
+            let addr = base + k * csize + 12345;
+            assert_eq!(s.rid_of_addr(addr), 5);
+            assert_eq!(s.base_of_addr(addr), base);
+            assert_eq!(s.rid_off_of_addr(addr), (5, (k * csize + 12345) as u64));
+        }
+        s.unbind(5, run);
         assert!(!s.is_bound(5));
         assert_eq!(s.rid_of_addr(base), 0);
-        s.release_segment(seg);
+        s.release_chunks(run);
     }
 
     #[test]
     fn bind_rejects_bad_rids() {
         let s = small_space();
-        let seg = s.acquire_segment().unwrap();
-        assert!(s.bind(0, seg).is_err());
-        assert!(s.bind(64, seg).is_err(), "l4 = 6 allows rids 1..=63");
-        s.bind(63, seg).unwrap();
-        let seg2 = s.acquire_segment().unwrap();
-        assert!(s.bind(63, seg2).is_err(), "double bind rejected");
-        s.unbind(63, seg);
+        let run = s.acquire_chunks(1).unwrap();
+        assert!(s.bind(0, run).is_err());
+        assert!(s.bind(64, run).is_err(), "l4 = 6 allows rids 1..=63");
+        s.bind(63, run).unwrap();
+        let run2 = s.acquire_chunks(1).unwrap();
+        assert!(s.bind(63, run2).is_err(), "double bind rejected");
+        s.unbind(63, run);
     }
 
     #[test]
-    fn commit_segment_and_write() {
+    fn out_of_range_translation_is_a_typed_miss() {
         let s = small_space();
-        let seg = s.acquire_segment().unwrap();
-        s.commit_segment_anon(seg, 8192).unwrap();
-        let base = s.segment_base(seg) as *mut u64;
+        // Addresses outside the data area: typed miss, no OOB table read.
+        assert_eq!(s.rid_of_addr(0x1000), 0);
+        assert_eq!(s.rid_off_of_addr(usize::MAX / 2), (0, 0));
+        assert_eq!(s.try_rid_of_addr(0x1000), None);
+        // Out-of-range rids (e.g. from a corrupted fat pointer): same.
+        assert_eq!(s.base_of_rid(9999), 0);
+        assert_eq!(s.base_of_rid(u32::MAX), 0);
+        assert_eq!(s.try_base_of_rid(u32::MAX), None);
+        // In-range but never-bound rid: its base page may not even be
+        // committed yet — still a typed miss.
+        assert_eq!(s.base_of_rid(7), 0);
+        assert!(!s.is_bound(7));
+    }
+
+    #[test]
+    fn commit_range_and_write_across_a_chunk_boundary() {
+        let s = small_space();
+        let run = s.acquire_chunks(2).unwrap();
+        let base = s.chunk_base(run.start);
+        let csize = s.layout().chunk_size();
+        s.commit_range_anon(base, 2 * csize).unwrap();
+        // A write spanning the boundary between the two chunks of the run.
+        let p = (base + csize - 4) as *mut u64;
         unsafe {
-            base.write(0xdeadbeef);
-            assert_eq!(base.read(), 0xdeadbeef);
+            p.write_unaligned(0xdead_beef_cafe_f00d);
+            assert_eq!(p.read_unaligned(), 0xdead_beef_cafe_f00d);
         }
-        s.decommit_segment(seg, 8192).unwrap();
-        s.release_segment(seg);
+        s.decommit_range(base, 2 * csize).unwrap();
+        s.release_chunks(run);
     }
 
     #[test]
-    fn segment_of_checks_range() {
+    fn commit_range_checks_bounds() {
         let s = small_space();
-        assert!(s.segment_of(0x1000).is_err());
-        let seg = s.acquire_segment().unwrap();
-        assert_eq!(s.segment_of(s.segment_base(seg) + 5).unwrap(), seg);
-        s.release_segment(seg);
+        assert!(s.commit_range_anon(0x1000, 4096).is_err());
+        let end = s.data_base() + s.layout().data_area_size();
+        assert!(s.commit_range_anon(end - 4096, 8192).is_err());
+    }
+
+    #[test]
+    fn chunk_of_checks_range() {
+        let s = small_space();
+        assert!(s.chunk_of(0x1000).is_err());
+        let run = s.acquire_chunks(1).unwrap();
+        assert_eq!(s.chunk_of(s.chunk_base(run.start) + 5).unwrap(), run.start);
+        s.release_chunks(run);
+    }
+
+    #[test]
+    fn runs_are_contiguous_and_exhaustion_reports_cleanly() {
+        let s = small_space();
+        // 63 usable chunks: a 40-chunk run plus a 23-chunk run exhaust it.
+        // Pin the first run's placement — randomized placement could
+        // otherwise split the free space so no 23-run remains.
+        let a = s.acquire_chunks_at(1, 40).unwrap();
+        let b = s.acquire_chunks(23).unwrap();
+        assert_eq!(s.free_chunks(), 0);
+        assert!(matches!(s.acquire_chunks(1), Err(NvError::NoFreeSegment)));
+        s.release_chunks(a);
+        assert!(
+            matches!(s.acquire_chunks(41), Err(NvError::NoFreeSegment)),
+            "no contiguous run of 41 exists even though 40 chunks are free"
+        );
+        let c = s.acquire_chunks(40).unwrap();
+        assert_eq!(c.start, a.start, "only one 40-run fits");
+        s.release_chunks(b);
+        s.release_chunks(c);
     }
 
     #[test]
@@ -499,10 +820,10 @@ mod tests {
     }
 
     #[test]
-    fn random_acquisition_varies_segments() {
+    fn random_acquisition_varies_chunks() {
         let s = small_space();
-        let a = s.acquire_segment().unwrap();
-        let b = s.acquire_segment().unwrap();
-        assert_ne!(a, b);
+        let a = s.acquire_chunks(1).unwrap();
+        let b = s.acquire_chunks(1).unwrap();
+        assert_ne!(a.start, b.start);
     }
 }

@@ -1,21 +1,27 @@
 //! NVRegions: the loading unit of the simulated NVM (Section 2.2).
 //!
-//! A region is a contiguous chunk of memory mapped into one NV segment. Its
-//! first bytes hold a [`RegionHeader`] — magic, version, region ID, the
+//! A region is a contiguous span of memory mapped into a run of NV chunks.
+//! Its first bytes hold a [`RegionHeader`] — magic, version, region ID, the
 //! named-root directory, and the embedded allocator state — all expressed
 //! position-independently (offsets only), so a persisted image can be
-//! remapped at *any* segment base in a later run. Reopening a file-backed
-//! region picks a random free segment, which is how the experiments exercise
+//! remapped at *any* chunk-run base in a later run. Reopening a file-backed
+//! region picks a random free run, which is how the experiments exercise
 //! position independence: every reopen lands the data somewhere new, exactly
 //! like address-space randomization would.
+//!
+//! Regions are created with a *capacity* (virtually reserved, defaulting to
+//! the size) and can grow in place up to it via [`Region::grow`]: new chunks
+//! of the already-acquired run are committed on demand, the embedded
+//! allocator's frontier is extended, and the translation tables never
+//! change — RIV values keep resolving across the growth.
 
 use crate::alloc::{class_for, AllocHeader, AllocStats, CLASS_SIZES, NUM_CLASSES};
 use crate::error::{NvError, Result};
 use crate::latency;
 use crate::llalloc::{ClassOccupancy, LlState};
 use crate::magazine::{self, LocalStats, ThreadCache, REFILL_BATCH};
-use crate::mem::align_up;
-use crate::nvspace::{NvSpace, SegIndex};
+use crate::mem::{align_up, page_size};
+use crate::nvspace::{ChunkRun, NvSpace};
 use crate::registry;
 use crate::shadow::{self, FaultPolicy, FaultReport, FaultStamp};
 use crate::verify::{self, VerifyReport};
@@ -24,14 +30,15 @@ use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Magic number identifying a region image ("NVPIRGN1").
 pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"NVPIRGN1");
 /// Current on-media format version (v2 added the checksummed A/B
-/// metadata slots between the header and the data area).
-pub const HEADER_VERSION: u32 = 2;
+/// metadata slots between the header and the data area; v3 added the
+/// reserved capacity for in-place growth over a chunk run).
+pub const HEADER_VERSION: u32 = 3;
 /// Maximum number of named roots per region.
 pub const MAX_ROOTS: usize = 16;
 /// Maximum root name length in bytes (NUL-padded storage).
@@ -62,6 +69,10 @@ pub struct RegionHeader {
     pub(crate) size: u64,
     pub(crate) flags: u64,
     pub(crate) user_tag: u64,
+    /// Reserved (virtual) size in bytes: the region may [`Region::grow`]
+    /// in place up to this without remapping. Always a whole number of
+    /// chunks, and at least `size`.
+    pub(crate) capacity: u64,
     pub(crate) roots: [RootEntry; MAX_ROOTS],
     pub(crate) alloc: AllocHeader,
     /// Record of the last injected crash (see [`crate::shadow`]); all
@@ -132,9 +143,15 @@ fn seed_stats(s: &AllocStats) -> LocalStats {
 pub(crate) struct Inner {
     space: &'static NvSpace,
     rid: u32,
-    seg: SegIndex,
+    /// The chunk run backing this region; covers `capacity` bytes.
+    run: ChunkRun,
     base: usize,
-    size: usize,
+    /// Committed size in bytes. Grows monotonically (up to `capacity`)
+    /// under `alloc_lock`; read with `Acquire` so any thread that sees a
+    /// grown size also sees the newly committed memory.
+    size: AtomicUsize,
+    /// Reserved ceiling for in-place growth (whole chunks).
+    capacity: usize,
     was_dirty: bool,
     backing: Backing,
     alloc_lock: Mutex<()>,
@@ -190,12 +207,25 @@ impl Region {
     ///
     /// # Errors
     ///
-    /// Fails if no segment or region ID is available, or `size` exceeds the
-    /// segment size.
+    /// Fails if no chunk run or region ID is available, or `size` exceeds
+    /// the maximum region size.
     pub fn create(size: usize) -> Result<Region> {
+        Self::create_with_capacity(size, size)
+    }
+
+    /// Creates an anonymous region of `size` bytes that can [`Region::grow`]
+    /// in place up to `capacity` bytes: a chunk run covering `capacity` is
+    /// reserved (virtual address space only), but just `size` bytes are
+    /// committed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create`]; additionally if `capacity` exceeds the
+    /// layout's maximum region size.
+    pub fn create_with_capacity(size: usize, capacity: usize) -> Result<Region> {
         let space = NvSpace::global();
         let rid = auto_rid(space)?;
-        Self::build(space, rid, size, None)
+        Self::build(space, rid, size, capacity, None)
     }
 
     /// Creates an anonymous region with an explicit region ID.
@@ -205,7 +235,7 @@ impl Region {
     /// As [`Region::create`]; additionally [`NvError::InvalidRid`] if `rid`
     /// is out of range or already open.
     pub fn create_with_rid(rid: u32, size: usize) -> Result<Region> {
-        Self::build(NvSpace::global(), rid, size, None)
+        Self::build(NvSpace::global(), rid, size, size, None)
     }
 
     /// Creates a durable, file-backed region of `size` bytes at `path`.
@@ -215,9 +245,37 @@ impl Region {
     ///
     /// As [`Region::create`], plus I/O errors creating the file.
     pub fn create_file<P: AsRef<Path>>(path: P, size: usize) -> Result<Region> {
+        Self::create_file_with_capacity(path, size, size)
+    }
+
+    /// Creates a durable, file-backed region of `size` bytes growable in
+    /// place up to `capacity` (see [`Region::create_with_capacity`]; the
+    /// file holds only the committed `size` bytes and is extended as the
+    /// region grows).
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::create_file`].
+    pub fn create_file_with_capacity<P: AsRef<Path>>(
+        path: P,
+        size: usize,
+        capacity: usize,
+    ) -> Result<Region> {
         let space = NvSpace::global();
         let rid = auto_rid(space)?;
-        Self::create_file_with_rid(path, rid, size)
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        file.set_len(size as u64)?;
+        let backing = Backing::File {
+            file,
+            path: path.as_ref().to_path_buf(),
+            shared: true,
+        };
+        Self::build(space, rid, size, capacity, Some(backing))
     }
 
     /// Creates a durable, file-backed region with an explicit region ID.
@@ -238,13 +296,14 @@ impl Region {
             path: path.as_ref().to_path_buf(),
             shared: true,
         };
-        Self::build(NvSpace::global(), rid, size, Some(backing))
+        Self::build(NvSpace::global(), rid, size, size, Some(backing))
     }
 
     fn build(
         space: &'static NvSpace,
         rid: u32,
         size: usize,
+        capacity: usize,
         backing: Option<Backing>,
     ) -> Result<Region> {
         let layout = space.layout();
@@ -254,31 +313,40 @@ impl Region {
                 reason: "out of range for layout",
             });
         }
-        if size < RegionHeader::data_start() as usize + 64 || size > layout.segment_size() {
+        let capacity = capacity.max(size);
+        if size < RegionHeader::data_start() as usize + 64 || capacity > layout.max_region_size() {
             return Err(NvError::BadImage(format!(
-                "region size {size} outside [{}, {}]",
+                "region geometry size {size} / capacity {capacity} outside [{}, {}]",
                 RegionHeader::data_start() as usize + 64,
-                layout.segment_size()
+                layout.max_region_size()
             )));
         }
-        let seg = space.acquire_segment()?;
+        let chunks = layout.chunks_for(capacity) as u32;
+        let run = space.acquire_chunks(chunks)?;
+        // The reserved ceiling is the whole run: capacity rounds up to
+        // chunk granularity so the header never promises less than the
+        // address space actually held.
+        let capacity = chunks as usize * layout.chunk_size();
+        let base = space.chunk_base(run.start);
         let commit = match &backing {
             Some(Backing::File { file, shared, .. }) => {
-                space.commit_segment_file(seg, size, file, *shared)
+                space.commit_range_file(base, size, file, 0, *shared)
             }
-            _ => space.commit_segment_anon(seg, size),
+            _ => space.commit_range_anon(base, size),
         };
         if let Err(e) = commit {
-            space.release_segment(seg);
+            space.release_chunks(run);
             return Err(e);
         }
-        if let Err(e) = space.bind(rid, seg) {
-            let _ = space.decommit_segment(seg, size);
-            space.release_segment(seg);
+        let cleanup = || {
+            let _ = space.decommit_range(base, capacity);
+            space.release_chunks(run);
+        };
+        if let Err(e) = space.bind(rid, run) {
+            cleanup();
             return Err(e);
         }
-        let base = space.segment_base(seg);
-        // SAFETY: the segment is committed read/write and at least `size`
+        // SAFETY: the run is committed read/write for at least `size`
         // bytes; we own it exclusively until the handle is shared.
         unsafe {
             let hdr = &mut *(base as *mut RegionHeader);
@@ -288,6 +356,7 @@ impl Region {
             hdr.size = size as u64;
             hdr.flags = FLAG_DIRTY;
             hdr.user_tag = 0;
+            hdr.capacity = capacity as u64;
             hdr.roots = [RootEntry {
                 name: [0; ROOT_NAME_CAP + 1],
                 offset: 0,
@@ -299,19 +368,21 @@ impl Region {
         let instance = NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed);
         // Format the first bitmap page of the two-level allocator before
         // the slot-A seed below, so even the seed snapshot carries the
-        // directory offset.
+        // directory offset. Volatile maps are sized for `capacity` so the
+        // allocator can follow in-place growth without reallocation.
         // SAFETY: the region is still owned exclusively; `hdr.alloc` was
         // just initialized for this base/size.
         let ll = unsafe {
             let hdr = &mut *(base as *mut RegionHeader);
-            LlState::create(base, size, instance, &mut hdr.alloc)
+            LlState::create(base, capacity, instance, &mut hdr.alloc)
         };
         let inner = Inner {
             space,
             rid,
-            seg,
+            run,
             base,
-            size,
+            size: AtomicUsize::new(size),
+            capacity,
             was_dirty: false,
             backing: backing.unwrap_or(Backing::Anonymous),
             alloc_lock: Mutex::new(()),
@@ -351,8 +422,9 @@ impl Region {
     ///
     /// If the first mapping collides with `avoid`, it is torn down with
     /// [`Region::crash`] (never [`Region::close`] — a pending recovery
-    /// must keep its dirty flag) while a placeholder anonymous region pins
-    /// the colliding segment, then the open is retried.
+    /// must keep its dirty flag), the exact chunk run just vacated is
+    /// pinned directly in the pool so the retry cannot land there, and
+    /// the open is retried.
     ///
     /// # Errors
     ///
@@ -360,23 +432,32 @@ impl Region {
     /// base could be found after a bounded number of attempts.
     pub fn open_file_avoiding<P: AsRef<Path>>(path: P, avoid: usize) -> Result<Region> {
         let path = path.as_ref();
-        let mut placeholders = Vec::new();
+        let space = NvSpace::global();
+        let mut pinned = Vec::new();
+        let mut result = None;
         for _ in 0..8 {
             let r = Self::open_impl(path, true)?;
             if r.base() != avoid {
-                drop(placeholders);
-                return Ok(r);
+                result = Some(r);
+                break;
             }
-            let size = r.size();
+            let run = r.inner.run;
             // Tear down without clearing the dirty flag, then pin the
-            // segment we just vacated so the next attempt lands elsewhere.
+            // run we just vacated so the next attempt lands elsewhere.
             r.crash();
-            placeholders.push(Region::create(size)?);
+            if let Ok(pin) = space.acquire_chunks_at(run.start, run.count) {
+                pinned.push(pin);
+            }
         }
-        Err(NvError::BadImage(format!(
-            "could not map {} away from base {avoid:#x} after 8 attempts",
-            path.display()
-        )))
+        for pin in pinned {
+            space.release_chunks(pin);
+        }
+        result.ok_or_else(|| {
+            NvError::BadImage(format!(
+                "could not map {} away from base {avoid:#x} after 8 attempts",
+                path.display()
+            ))
+        })
     }
 
     /// Opens an existing region image copy-on-write (`MAP_PRIVATE`): all
@@ -405,12 +486,13 @@ impl Region {
                 "file of {flen} bytes is too small for a v{HEADER_VERSION} region (minimum {min_len})"
             )));
         }
-        let mut head = [0u8; 32];
+        let mut head = [0u8; 48];
         file.read_exact(&mut head)?;
         let magic = u64::from_le_bytes(head[0..8].try_into().unwrap());
         let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
         let rid = u32::from_le_bytes(head[12..16].try_into().unwrap());
         let size = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        let capacity = u64::from_le_bytes(head[40..48].try_into().unwrap());
         if magic != REGION_MAGIC {
             return Err(NvError::BadImage(format!("bad magic {magic:#x}")));
         }
@@ -422,12 +504,23 @@ impl Region {
                 "header size {size} != file length {flen}"
             )));
         }
-        if size as usize > layout.segment_size() {
-            return Err(NvError::BadImage(format!(
-                "region of {size} bytes exceeds segment size {}",
-                layout.segment_size()
-            )));
-        }
+        let capacity = if capacity < size || capacity > layout.max_region_size() as u64 {
+            // The primary capacity word is implausible — rotted or torn,
+            // like any other header byte. The checksummed slots carry the
+            // authoritative copy; a region that never grew its reservation
+            // falls back to the file length (capacity == size there). The
+            // corruption walk below repairs the primary itself.
+            use std::io::Seek;
+            let mut area = vec![0u8; RegionHeader::data_start() as usize];
+            file.seek(std::io::SeekFrom::Start(0))?;
+            file.read_exact(&mut area)?;
+            match verify::slot_capacity(&area) {
+                Some(c) if c >= size && c <= layout.max_region_size() as u64 => c,
+                _ => size,
+            }
+        } else {
+            capacity
+        };
         if !layout.rid_in_range(rid) {
             return Err(NvError::InvalidRid {
                 rid,
@@ -442,16 +535,18 @@ impl Region {
         }
 
         let size = size as usize;
-        let seg = space.acquire_segment()?;
-        let cleanup = |seg| {
-            let _ = space.decommit_segment(seg, size);
-            space.release_segment(seg);
+        let chunks = layout.chunks_for(capacity as usize) as u32;
+        let run = space.acquire_chunks(chunks)?;
+        let capacity = chunks as usize * layout.chunk_size();
+        let base = space.chunk_base(run.start);
+        let cleanup = |run| {
+            let _ = space.decommit_range(base, capacity);
+            space.release_chunks(run);
         };
-        if let Err(e) = space.commit_segment_file(seg, size, &file, shared) {
-            space.release_segment(seg);
+        if let Err(e) = space.commit_range_file(base, size, &file, 0, shared) {
+            space.release_chunks(run);
             return Err(e);
         }
-        let base = space.segment_base(seg);
         // Full corruption walk: primary metadata (roots, allocator free
         // lists) plus both checksummed slots. A damaged primary is
         // restored from the newest valid slot; if that still does not
@@ -479,7 +574,7 @@ impl Region {
             usable = verify::verify_bytes(bytes).primary_ok();
         }
         if !usable {
-            cleanup(seg);
+            cleanup(run);
             return Err(NvError::BadImage(format!(
                 "unrecoverable image: {}",
                 report.damage_summary()
@@ -487,17 +582,33 @@ impl Region {
         }
         // A slot restore rewrites the identity words; re-check them
         // against what was validated pre-map.
-        // SAFETY: header is mapped.
-        let hdr_now = unsafe { &*(base as *const RegionHeader) };
+        // SAFETY: header is mapped read/write and still owned exclusively.
+        let hdr_now = unsafe { &mut *(base as *mut RegionHeader) };
         if hdr_now.rid != rid || hdr_now.size != flen {
-            cleanup(seg);
+            cleanup(run);
             return Err(NvError::BadImage(format!(
                 "metadata slot disagrees with the boot block (rid {} vs {rid}, size {} vs {flen})",
                 hdr_now.rid, hdr_now.size
             )));
         }
-        if let Err(e) = space.bind(rid, seg) {
-            cleanup(seg);
+        if (hdr_now.capacity as u64) < flen || hdr_now.capacity as usize > layout.max_region_size()
+        {
+            // The capacity word is still rot (a dirty image keeps its
+            // primary even when a slot exists): pin it to the run that was
+            // actually reserved from the sanitized pre-map value.
+            hdr_now.capacity = capacity as u64;
+        }
+        if hdr_now.capacity as usize > capacity {
+            // A restored slot must not promise more growth room than the
+            // run acquired from the boot block actually reserves.
+            cleanup(run);
+            return Err(NvError::BadImage(format!(
+                "metadata slot claims capacity {} beyond the reserved run ({capacity})",
+                hdr_now.capacity
+            )));
+        }
+        if let Err(e) = space.bind(rid, run) {
+            cleanup(run);
             return Err(e);
         }
         // A primary that had to be rebuilt from a slot counts as dirty:
@@ -524,6 +635,7 @@ impl Region {
         let ll = unsafe {
             LlState::open(
                 base,
+                capacity,
                 size,
                 instance,
                 &(*(base as *const RegionHeader)).alloc,
@@ -546,9 +658,10 @@ impl Region {
         let inner = Inner {
             space,
             rid,
-            seg,
+            run,
             base,
-            size,
+            size: AtomicUsize::new(size),
+            capacity,
             was_dirty,
             backing: Backing::File {
                 file,
@@ -580,9 +693,20 @@ impl Region {
         self.inner.base
     }
 
-    /// Region size in bytes.
+    /// Committed region size in bytes (grows via [`Region::grow`]).
     pub fn size(&self) -> usize {
-        self.inner.size
+        self.inner.len()
+    }
+
+    /// Reserved (virtual) ceiling for in-place growth, in bytes. Always a
+    /// whole number of chunks and at least [`Region::size`].
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// The chunk run backing this region.
+    pub fn chunk_run(&self) -> ChunkRun {
+        self.inner.run
     }
 
     /// Whether the image was not cleanly closed before this open — i.e. a
@@ -594,7 +718,105 @@ impl Region {
 
     /// Whether `addr` falls inside this region's current mapping.
     pub fn contains(&self, addr: usize) -> bool {
-        addr >= self.inner.base && addr < self.inner.base + self.inner.size
+        addr >= self.inner.base && addr < self.inner.base + self.inner.len()
+    }
+
+    /// Grows the region in place to `new_size` bytes.
+    ///
+    /// The newly committed bytes are zero, the embedded allocator's
+    /// frontier extends over them, and neither the base address nor any
+    /// existing pointer or RIV changes: the chunk run reserved at
+    /// creation already covers [`Region::capacity`], so growth is pure
+    /// commit + bookkeeping — the paper's translation tables are not
+    /// touched. File-backed (shared) regions extend their image file
+    /// first; copy-on-write sessions commit anonymous memory, keeping the
+    /// file untouched. A `new_size` at or below the current size is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`NvError::OutOfMemory`] past [`Region::capacity`],
+    /// [`NvError::BadImage`] while a replication source is attached (the
+    /// stream format pins the region size per session),
+    /// [`NvError::RegionClosed`] after close, plus commit/file I/O errors.
+    pub fn grow(&self, new_size: usize) -> Result<usize> {
+        self.check_open()?;
+        let _g = self.inner.alloc_lock.lock();
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(NvError::RegionClosed {
+                rid: self.inner.rid,
+            });
+        }
+        let old = self.inner.len();
+        if new_size <= old {
+            return Ok(old);
+        }
+        if new_size > self.inner.capacity {
+            return Err(NvError::OutOfMemory {
+                region: self.inner.rid,
+                requested: new_size,
+            });
+        }
+        if shadow::repl_attached(self.inner.base) {
+            return Err(NvError::BadImage(
+                "cannot grow a region while a replication source is attached".to_string(),
+            ));
+        }
+        let base = self.inner.base;
+        let page = page_size();
+        // Pages up to align_up(old) are already committed; extend the
+        // mapping from there. (Growth within the last committed page only
+        // needs the bookkeeping below.)
+        let lo = align_up(old, page);
+        let hi = align_up(new_size, page);
+        match &self.inner.backing {
+            Backing::File {
+                file, shared: true, ..
+            } => {
+                // Extend the image first so the new mapping never points
+                // past the end of the file (a store there would SIGBUS).
+                file.set_len(new_size as u64)?;
+                if hi > lo {
+                    self.inner.space.commit_range_file(
+                        base + lo,
+                        hi - lo,
+                        file,
+                        lo as u64,
+                        true,
+                    )?;
+                }
+            }
+            _ => {
+                // Anonymous regions and copy-on-write sessions get zeroed
+                // anonymous pages; a COW file is never touched.
+                if hi > lo {
+                    self.inner.space.commit_range_anon(base + lo, hi - lo)?;
+                }
+            }
+        }
+        // Memory is committed: publish the new size (Release pairs with
+        // the Acquire loads in `len`), then extend the durable metadata.
+        self.inner.size.store(new_size, Ordering::Release);
+        // SAFETY: lock held; region mapped while the handle exists.
+        let hdr = unsafe { self.header_mut() };
+        hdr.size = new_size as u64;
+        hdr.alloc.extend(new_size as u64);
+        // A tracked region's shadow state must cover the new bytes before
+        // any instrumented store lands there.
+        shadow::grow_region(base, new_size);
+        // Persist the rewritten geometry words (size, allocator end) so a
+        // crash image captured after the grow reopens at the new length:
+        // growth is rare, so one coarse flush of the header snapshot area
+        // is fine.
+        let snap = RegionHeader::snapshot_len();
+        shadow::track_store(base, snap);
+        latency::clflush_range(base, snap);
+        latency::wbarrier();
+        // The geometry words changed durably: reseal a metadata slot.
+        self.inner.write_meta_slot();
+        registry::register(self.inner.rid, base, new_size);
+        crate::metrics::incr(crate::metrics::Counter::RegionGrows);
+        Ok(new_size)
     }
 
     fn check_open(&self) -> Result<()> {
@@ -881,7 +1103,7 @@ impl Region {
     ///
     /// Debug-asserts the offset is within the region.
     pub fn ptr_at(&self, off: u64) -> usize {
-        debug_assert!((off as usize) < self.inner.size);
+        debug_assert!((off as usize) < self.inner.len());
         self.inner.base + off as usize
     }
 
@@ -1095,7 +1317,7 @@ impl Region {
             .iter()
             .find(|e| entry_matches(e, name))
             .map(|e| e.offset)
-            .filter(|&off| off >= RegionHeader::data_start() && off < self.inner.size as u64)
+            .filter(|&off| off >= RegionHeader::data_start() && off < self.inner.len() as u64)
     }
 
     /// Removes a named root. Returns whether it existed.
@@ -1154,7 +1376,7 @@ impl Region {
         if let Backing::File { shared: true, .. } = self.inner.backing {
             self.inner
                 .space
-                .sync_segment(self.inner.seg, self.inner.size)?;
+                .sync_range(self.inner.base, self.inner.len())?;
         }
         // A full-image sync is a durability point: every line is now
         // persisted as far as the shadow tracker is concerned.
@@ -1207,7 +1429,7 @@ impl Region {
         shadow::register(
             self.inner.rid,
             self.inner.base,
-            self.inner.size,
+            self.inner.len(),
             RegionHeader::fault_stamp_offset() as usize,
         );
         Ok(())
@@ -1300,7 +1522,7 @@ impl Region {
         // SAFETY: mapped while the handle exists; lock excludes header
         // mutation during the walk.
         let bytes =
-            unsafe { std::slice::from_raw_parts(self.inner.base as *const u8, self.inner.size) };
+            unsafe { std::slice::from_raw_parts(self.inner.base as *const u8, self.inner.len()) };
         Ok(verify::verify_bytes(bytes))
     }
 
@@ -1335,46 +1557,50 @@ impl Region {
                 "file of {flen} bytes is too small to salvage (minimum {min_len})"
             )));
         }
-        if flen as usize > layout.segment_size() {
+        if flen as usize > layout.max_region_size() {
             return Err(NvError::BadImage(format!(
-                "file of {flen} bytes exceeds segment size {}",
-                layout.segment_size()
+                "file of {flen} bytes exceeds the maximum region size {}",
+                layout.max_region_size()
             )));
         }
         // The mapping length is the file length — the one geometry fact
-        // that cannot lie — regardless of what the header claims.
+        // that cannot lie — regardless of what the header claims. The
+        // claimed capacity is equally untrusted: the salvage run is sized
+        // from the file, so a salvaged session simply cannot grow.
         let size = flen as usize;
-        let seg = space.acquire_segment()?;
-        let cleanup = |seg| {
-            let _ = space.decommit_segment(seg, size);
-            space.release_segment(seg);
+        let chunks = layout.chunks_for(size) as u32;
+        let run = space.acquire_chunks(chunks)?;
+        let capacity = chunks as usize * layout.chunk_size();
+        let base = space.chunk_base(run.start);
+        let cleanup = |run| {
+            let _ = space.decommit_range(base, capacity);
+            space.release_chunks(run);
         };
-        if let Err(e) = space.commit_segment_file(seg, size, &file, false) {
-            space.release_segment(seg);
+        if let Err(e) = space.commit_range_file(base, size, &file, 0, false) {
+            space.release_chunks(run);
             return Err(e);
         }
-        let base = space.segment_base(seg);
         // SAFETY: mapped copy-on-write and `size` bytes long; repairs land
         // in the private mapping only.
         let bytes = unsafe { std::slice::from_raw_parts_mut(base as *mut u8, size) };
         let report = match verify::salvage_in_place(bytes) {
             Ok(r) => r,
             Err(e) => {
-                cleanup(seg);
+                cleanup(run);
                 return Err(e);
             }
         };
         // SAFETY: header is mapped; salvage made it structurally valid.
         let rid = unsafe { (*(base as *const RegionHeader)).rid };
         if !layout.rid_in_range(rid) {
-            cleanup(seg);
+            cleanup(run);
             return Err(NvError::InvalidRid {
                 rid,
                 reason: "out of range for layout",
             });
         }
-        if let Err(e) = space.bind(rid, seg) {
-            cleanup(seg);
+        if let Err(e) = space.bind(rid, run) {
+            cleanup(run);
             return Err(e);
         }
         // SAFETY: as above.
@@ -1387,6 +1613,7 @@ impl Region {
         let ll = unsafe {
             LlState::open(
                 base,
+                capacity,
                 size,
                 instance,
                 &(*(base as *const RegionHeader)).alloc,
@@ -1403,9 +1630,10 @@ impl Region {
         let inner = Inner {
             space,
             rid,
-            seg,
+            run,
             base,
-            size,
+            size: AtomicUsize::new(size),
+            capacity,
             was_dirty: true,
             backing: Backing::File {
                 file,
@@ -1453,6 +1681,14 @@ impl Inner {
     /// Unique id of this open session (not the reusable region id).
     pub(crate) fn instance(&self) -> u64 {
         self.instance
+    }
+
+    /// Current committed size. `Acquire` pairs with the `Release` store
+    /// in [`Region::grow`]: a thread that observes a grown size also
+    /// observes the newly committed memory behind it.
+    #[inline]
+    fn len(&self) -> usize {
+        self.size.load(Ordering::Acquire)
     }
 
     /// Two-level allocator contributions to the aggregate statistics:
@@ -1503,7 +1739,7 @@ impl Inner {
     /// the flip itself.
     fn write_meta_slot(&self) {
         // SAFETY: the region is mapped read/write while `Inner` exists.
-        let bytes = unsafe { std::slice::from_raw_parts_mut(self.base as *mut u8, self.size) };
+        let bytes = unsafe { std::slice::from_raw_parts_mut(self.base as *mut u8, self.len()) };
         if let Some((slot_off, len)) = verify::stage_next_slot(bytes) {
             let addr = self.base + slot_off;
             shadow::track_store(addr, len);
@@ -1642,7 +1878,7 @@ impl Inner {
                 self.write_meta_slot();
             }
             if let Backing::File { shared: true, .. } = self.backing {
-                result = self.space.sync_segment(self.seg, self.size);
+                result = self.space.sync_range(self.base, self.len());
             }
         }
         // A crash teardown (clean=false) deliberately skips the drain:
@@ -1657,9 +1893,12 @@ impl Inner {
         crate::repl::on_region_close(self.base, clean);
         shadow::unregister_rid(self.rid);
         registry::unregister(self.rid);
-        self.space.unbind(self.rid, self.seg);
-        let d = self.space.decommit_segment(self.seg, self.size);
-        self.space.release_segment(self.seg);
+        self.space.unbind(self.rid, self.run);
+        // Decommit the whole reserved run (the uncommitted tail is
+        // already PROT_NONE; re-decommitting it is harmless and keeps the
+        // teardown independent of growth history).
+        let d = self.space.decommit_range(self.base, self.capacity);
+        self.space.release_chunks(self.run);
         result.and(d)
     }
 }

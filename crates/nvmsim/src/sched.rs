@@ -276,10 +276,13 @@ impl Scheduler {
 /// this one was parked (or before it could yield).
 #[inline]
 pub fn yield_point() {
-    let Some((inner, tid)) = CTX.with(|c| c.borrow().clone()) else {
+    // try_with: persistence points can fire from other TLS destructors
+    // (e.g. a magazine cache folding its stats on thread exit) after this
+    // module's slots are gone; a dead slot means "unregistered thread".
+    let Some((inner, tid)) = CTX.try_with(|c| c.borrow().clone()).ok().flatten() else {
         return;
     };
-    if SUPPRESS.with(|s| s.get()) > 0 {
+    if SUPPRESS.try_with(|s| s.get()).unwrap_or(0) > 0 {
         return;
     }
     let mut s = lock(&inner);

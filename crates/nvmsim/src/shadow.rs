@@ -443,6 +443,61 @@ pub(crate) fn checkpoint(base: usize) {
     persisted.copy_from_slice(mem);
 }
 
+/// Whether a replication source is attached to the region at `base`
+/// (its stream format pins the region size, so growth must be refused).
+pub(crate) fn repl_attached(base: usize) -> bool {
+    tracker_for_base(base).is_some_and(|t| lock(&t.state).repl_dirty.is_some())
+}
+
+/// Extends the tracker of the region at `base` to cover `new_size` bytes
+/// after an in-place [`crate::Region::grow`]. The tracker's `size` is
+/// immutable (the lock-free readers in `tracker_covering` rely on it), so
+/// growth swaps in a replacement tracker carrying the old state: existing
+/// line states, staged flushes, and the persisted prefix are preserved;
+/// the new tail — freshly committed, zero-filled memory that is durable by
+/// construction — joins as `CLEAN` with its bytes snapshotted as
+/// persisted. A no-op when the region is untracked or not actually grown.
+pub(crate) fn grow_region(base: usize, new_size: usize) {
+    let mut trackers = lock(&TRACKERS);
+    let Some(pos) = trackers.iter().position(|t| t.base == base) else {
+        return;
+    };
+    let old = trackers[pos].clone();
+    if new_size <= old.size {
+        return;
+    }
+    let s = lock(&old.state);
+    let nlines = new_size.div_ceil(SHADOW_LINE);
+    let mut lines = s.lines.clone();
+    lines.resize(nlines, CLEAN);
+    let mut persisted = s.persisted.clone();
+    // SAFETY: the caller (Region::grow) has committed `[base, base+new_size)`.
+    let tail =
+        unsafe { std::slice::from_raw_parts((base + old.size) as *const u8, new_size - old.size) };
+    persisted.extend_from_slice(tail);
+    let repl_dirty = s.repl_dirty.as_ref().map(|d| {
+        let mut d = d.clone();
+        d.resize(nlines, false);
+        d
+    });
+    let replacement = Arc::new(Tracker {
+        rid: old.rid,
+        base,
+        size: new_size,
+        stamp_off: old.stamp_off,
+        events: AtomicU64::new(old.events.load(Ordering::Relaxed)),
+        state: Mutex::new(TrackState {
+            lines,
+            staged: s.staged.clone(),
+            pending: s.pending.clone(),
+            persisted,
+            repl_dirty,
+        }),
+    });
+    drop(s);
+    trackers[pos] = replacement;
+}
+
 fn line_range(t: &Tracker, addr: usize, len: usize) -> std::ops::Range<usize> {
     let start = addr.max(t.base) - t.base;
     let end = (addr + len).min(t.base + t.size) - t.base;

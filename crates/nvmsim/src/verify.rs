@@ -45,7 +45,8 @@ const OFF_VERSION: usize = 8;
 const OFF_RID: usize = 12;
 const OFF_SIZE: usize = 16;
 const OFF_FLAGS: usize = 24;
-const OFF_ROOTS: usize = 40;
+const OFF_CAPACITY: usize = 40;
+const OFF_ROOTS: usize = 48;
 const ROOT_ENTRY_SIZE: usize = ROOT_NAME_CAP + 1 + 16;
 const OFF_ALLOC: usize = OFF_ROOTS + MAX_ROOTS * ROOT_ENTRY_SIZE;
 /// `AllocHeader`: bump, end, free_heads[NUM_CLASSES], large_head, counters.
@@ -689,6 +690,12 @@ pub fn verify_bytes(bytes: &[u8]) -> VerifyReport {
             .boot_errors
             .push(format!("header size {size} != file length {}", bytes.len()));
     }
+    let capacity = read_u64(bytes, OFF_CAPACITY);
+    if capacity < size {
+        report
+            .boot_errors
+            .push(format!("header capacity {capacity} below its size {size}"));
+    }
     report.rid = Some(read_u32(bytes, OFF_RID));
     report.clean = read_u64(bytes, OFF_FLAGS) & 1 == 0;
     walk_roots(bytes, |issue| report.root_errors.push(issue));
@@ -732,6 +739,22 @@ pub fn verify_bytes(bytes: &[u8]) -> VerifyReport {
 pub fn verify_file<P: AsRef<Path>>(path: P) -> Result<VerifyReport> {
     let data = std::fs::read(path)?;
     Ok(verify_bytes(&data))
+}
+
+/// The capacity word claimed by the newest valid metadata slot, for an
+/// open path whose primary capacity word is implausible. `bytes` must
+/// hold at least the full slot area (`RegionHeader::data_start()` bytes).
+pub(crate) fn slot_capacity(bytes: &[u8]) -> Option<u64> {
+    let mut best: Option<(u64, u64)> = None;
+    for i in 0..META_SLOT_COUNT {
+        if let (SlotState::Valid, seq) = parse_slot(bytes, i) {
+            let cap = read_u64(bytes, slot_off(i) + OFF_CAPACITY);
+            if best.is_none_or(|(s, _)| seq > s) {
+                best = Some((seq, cap));
+            }
+        }
+    }
+    best.map(|(_, c)| c)
 }
 
 /// Composes the current header snapshot into the *inactive* metadata slot
@@ -814,6 +837,13 @@ pub(crate) fn salvage_in_place(bytes: &mut [u8]) -> Result<VerifyReport> {
         write_u64(bytes, OFF_SIZE, bytes.len() as u64);
         repairs.push(format!(
             "header size pinned to mapped length {}",
+            bytes.len()
+        ));
+    }
+    if read_u64(bytes, OFF_CAPACITY) < bytes.len() as u64 {
+        write_u64(bytes, OFF_CAPACITY, bytes.len() as u64);
+        repairs.push(format!(
+            "header capacity pinned to mapped length {}",
             bytes.len()
         ));
     }

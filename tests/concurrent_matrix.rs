@@ -160,6 +160,9 @@ fn run_cell<R: PtrRepr>(
     );
     let dir = tdir(&format!("{label}-{}-{sched_seed:x}", policy_name(policy)));
     let orig = dir.join("orig.nvr");
+    // Cells replay exactly: region placement follows the schedule seed,
+    // not the process-global SystemTime default.
+    nvm_pi::NvSpace::global().reseed_placement(sched_seed);
     let region = Region::create_file(&orig, REGION_SIZE).unwrap();
     {
         let mut s: PHashSet<R, 32> =

@@ -45,9 +45,9 @@ static SERIAL: Mutex<()> = Mutex::new(());
 
 const IMG_SIZE: usize = 64 << 10;
 const LINE: usize = 64;
-/// Root directory offset in the v2 header (a format fact, mirrored by
+/// Root directory offset in the v3 header (a format fact, mirrored by
 /// `nvmsim::verify`; used here to wreck the primary on purpose).
-const OFF_ROOTS: usize = 40;
+const OFF_ROOTS: usize = 48;
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     util::serial_guard(&SERIAL)
@@ -84,6 +84,9 @@ fn splitmix(state: &mut u64) -> u64 {
 /// are process-global).
 fn build_pristine_locked(dir: &Path) -> Vec<u8> {
     let path = dir.join("pristine.nvr");
+    // Matrix runs replay exactly: region placement follows the rot seed,
+    // not the process-global SystemTime default.
+    nvm_pi::NvSpace::global().reseed_placement(seed());
     let region = Region::create_file(&path, IMG_SIZE).unwrap();
     let a = region.alloc_off(256, 16).unwrap();
     let b = region.alloc_off(64, 16).unwrap();
@@ -382,4 +385,37 @@ proptest! {
         check_salvage(&img_path, &ctx);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// A rotted pointer field — a region ID past the layout's ceiling or an
+/// address outside the data area — must fail translation as a *typed*
+/// miss on the lock-free fast path: a zero/None result plus a counted
+/// metric, never an out-of-bounds table read and never a panic.
+#[test]
+fn out_of_range_rid_translation_is_a_typed_miss() {
+    let _serial = lock();
+    use nvm_pi::nvmsim::metrics::{snapshot, Counter};
+    let space = nvm_pi::NvSpace::global();
+    let layout = space.layout();
+    let before = snapshot();
+    let bad_rid = layout.max_rid().wrapping_add(1);
+    assert_eq!(space.base_of_rid(bad_rid), 0);
+    assert_eq!(space.try_base_of_rid(bad_rid), None);
+    assert_eq!(space.base_of_rid(u32::MAX), 0);
+    let outside = space.data_base() + layout.data_area_size() + 64;
+    assert_eq!(space.rid_of_addr(outside), 0);
+    assert_eq!(space.try_rid_of_addr(outside), None);
+    assert_eq!(space.rid_off_of_addr(outside), (0, 0));
+    let d = snapshot().delta(&before);
+    assert!(
+        d.get(Counter::NvTranslationMisses) >= 4,
+        "typed misses must be counted, saw {}",
+        d.get(Counter::NvTranslationMisses)
+    );
+    // A live region keeps translating exactly while rotted inputs miss.
+    let r = Region::create(1 << 20).unwrap();
+    let p = r.alloc(64, 8).unwrap().as_ptr() as usize;
+    assert_eq!(space.rid_of_addr(p), r.rid());
+    assert_eq!(space.base_of_rid(r.rid()), r.base());
+    r.close().unwrap();
 }

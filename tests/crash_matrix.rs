@@ -76,6 +76,9 @@ fn run_cell<S>(
     assert_eq!(expected.len(), N_OPS + 1);
     let dir = tdir(label);
     let orig = dir.join("orig.nvr");
+    // Matrix runs replay exactly: region placement follows the matrix
+    // seed, not the process-global SystemTime default.
+    nvm_pi::NvSpace::global().reseed_placement(seed());
     let region = Region::create_file(&orig, REGION_SIZE).unwrap();
     let store = ObjectStore::format_with_log(&region, LOG_CAP).unwrap();
     let mut s = create(NodeArena::transactional(store.clone()));

@@ -385,25 +385,34 @@ fn fault_injected_magazine_crash_never_double_serves_blocks() {
 }
 
 #[test]
-fn region_out_of_segments_reports_cleanly() {
+fn region_out_of_chunk_runs_reports_cleanly() {
     let _serial = SERIAL.lock().unwrap();
-    // Consume every free segment, then verify the error is NoFreeSegment
-    // and everything recovers after release. Serialized against other
-    // tests by nature of consuming the shared pool — so keep it quick and
-    // tolerate pre-existing usage.
+    // Blanket the data area in huge virtually-reserved regions (1 GiB of
+    // capacity each, only 1 MiB committed): contiguous-run exhaustion
+    // must surface as NoFreeSegment, small regions must still fit in the
+    // leftover fragments, and everything must recover after release.
+    const CAP: usize = 1 << 30;
+    let ceiling = NvSpace::global().layout().data_area_size() / CAP + 2;
     let mut held = Vec::new();
     loop {
-        match Region::create(1 << 20) {
+        match Region::create_with_capacity(1 << 20, CAP) {
             Ok(r) => held.push(r),
             Err(nvm_pi::NvError::NoFreeSegment) => break,
             Err(e) => panic!("unexpected error: {e}"),
         }
-        assert!(held.len() <= 256, "segment pool should exhaust by 255");
+        assert!(
+            held.len() <= ceiling,
+            "chunk pool should exhaust within {ceiling} reservations"
+        );
     }
-    // Release everything; creation works again.
+    assert!(!held.is_empty(), "at least one 1 GiB reservation must fit");
+    // Single-chunk regions still fit in the fragments between runs.
+    let small = Region::create(1 << 20).unwrap();
+    small.close().unwrap();
+    // Release everything; a fresh 1 GiB reservation works again.
     for r in held.drain(..) {
         r.close().unwrap();
     }
-    let r = Region::create(1 << 20).unwrap();
+    let r = Region::create_with_capacity(1 << 20, CAP).unwrap();
     r.close().unwrap();
 }
