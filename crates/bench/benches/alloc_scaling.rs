@@ -341,6 +341,7 @@ fn main() {
             id: format!("ALLOCSCALE_{}", workload.to_uppercase()),
             title: format!("alloc scaling — {workload}"),
             rows,
+            bytes_per_key: Vec::new(),
             metrics: metrics::snapshot().delta(&before),
         });
     }
@@ -391,6 +392,7 @@ fn main() {
         id: "LARGEREGION".to_string(),
         title: "large-region growth, alloc, and translation".to_string(),
         rows,
+        bytes_per_key: Vec::new(),
         metrics: metrics::snapshot().delta(&before),
     });
 

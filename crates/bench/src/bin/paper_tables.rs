@@ -6,7 +6,7 @@
 //!              [--latency paper|off] [--json FILE]
 //! paper_tables --validate FILE
 //!
-//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl conc srv all
+//! Experiments: fig12 pay256 tab1 fig13 fig14 regs fig15 rivbrk abl repl conc srv suggest all
 //! ```
 //!
 //! `--json FILE` writes every row plus the `nvmsim::metrics` delta
@@ -21,7 +21,7 @@ use std::env;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|conc|srv|all ...] \
+        "usage: paper_tables [fig12|pay256|tab1|fig13|fig14|regs|fig15|rivbrk|abl|repl|conc|srv|suggest|all ...] \
          [--quick] [--markdown] [--n N] [--reps R] [--words N[,N...]] \
          [--latency paper|off] [--json FILE]\n       paper_tables --validate FILE"
     );
@@ -32,6 +32,7 @@ struct Section {
     id: &'static str,
     title: &'static str,
     rows: Vec<Row>,
+    bytes_per_key: Vec<(String, f64)>,
     metrics: metrics::Snapshot,
 }
 
@@ -123,6 +124,7 @@ fn main() {
             id,
             title,
             rows,
+            bytes_per_key: Vec::new(),
             metrics: delta,
         });
     }
@@ -189,6 +191,7 @@ fn main() {
             id: "FIG15",
             title: "Figure 15 — wordcount execution times",
             rows,
+            bytes_per_key: Vec::new(),
             metrics: delta,
         });
     }
@@ -229,6 +232,22 @@ fn main() {
             &|cfg| experiments::server_tail(cfg),
         );
     }
+    if want("suggest") {
+        eprintln!(
+            "running SUGGEST (suggestion-serving index, {} keys)...",
+            cfg.n * 10
+        );
+        let before = metrics::snapshot();
+        let (rows, bytes_per_key) = experiments::suggest(&cfg);
+        let delta = metrics::snapshot().delta(&before);
+        sections.push(Section {
+            id: "SUGGEST",
+            title: "Suggestion-serving index — ART vs trie, bytes per key (EXPERIMENTS.md)",
+            rows,
+            bytes_per_key,
+            metrics: delta,
+        });
+    }
     if sections.is_empty() {
         usage();
     }
@@ -250,6 +269,7 @@ fn main() {
                 id: s.id.to_string(),
                 title: s.title.to_string(),
                 rows: s.rows.clone(),
+                bytes_per_key: s.bytes_per_key.clone(),
                 metrics: s.metrics,
             })
             .collect();

@@ -829,6 +829,195 @@ pub fn server_tail(cfg: &Config) -> Vec<Row> {
     rows
 }
 
+/// SUGGEST — suggestion-serving index comparison (EXPERIMENTS.md).
+///
+/// Loads a prefix-redundant autocomplete corpus (10 × `cfg.n` distinct
+/// lowercase keys — 100k at paper scale) into the adaptive radix tree
+/// and the 26-way letter trie, each instantiated over the off-holder,
+/// RIV, and cached-fat-pointer representations, then serves a seeded
+/// prefix-query stream against both. Rows report insert ns/key and
+/// prefix-scan p50/p99; the returned side table carries the schema-v3
+/// `bytes_per_key` entries (live index bytes per distinct key, one per
+/// structure × representation). Regions start small and `grow()` ahead
+/// of the load, the chunked-capacity path large corpora rely on.
+pub fn suggest(cfg: &Config) -> (Vec<Row>, Vec<(String, f64)>) {
+    use pds::trie::TrieHeader;
+    use pds::{NodeArena, PArt, PTrie, TrieNode};
+    use pi_core::{FatPtrCached, OffHolder, PtrRepr};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    let n = cfg.n * 10;
+    let corpus = workloads::suggest_corpus(n, cfg.seed);
+
+    // Prefix queries: 2..=6-byte heads of uniformly sampled corpus keys.
+    // The corpus itself is stem-skewed, so hot prefixes dominate the
+    // query stream the way live autocomplete traffic does.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5347_5354);
+    let nq = cfg.searches.max(64);
+    let queries: Vec<String> = (0..nq)
+        .map(|_| {
+            let k = &corpus[rng.gen_range(0..n)];
+            let len = rng.gen_range(2usize..7).min(k.len());
+            k[..len].to_string()
+        })
+        .collect();
+
+    // Grow the region ahead of the next insert batch: live index bytes
+    // plus a worst-case allowance for the batch, with rounding slack.
+    fn ensure_room(region: &Region, live: usize, batch_worst: usize) {
+        let need = live + live / 2 + batch_worst + (16 << 20);
+        if region.size() < need {
+            let target = need.min(region.capacity());
+            region.grow(target).expect("grow region");
+        }
+    }
+
+    fn quantile(sorted: &[u64], q: f64) -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64
+    }
+
+    const BATCH: usize = 4096;
+
+    fn cell<R: PtrRepr>(corpus: &[String], queries: &[String]) -> (Vec<Row>, Vec<(String, f64)>) {
+        let mut rows = Vec::new();
+        let mut bpk = Vec::new();
+        for structure in ["art", "trie"] {
+            let region = Region::create_with_capacity(64 << 20, 4 << 30).expect("suggest region");
+            let mut art = None;
+            let mut trie = None;
+            if structure == "art" {
+                art = Some(PArt::<R>::new(NodeArena::raw(region.clone())).expect("art"));
+            } else {
+                trie = Some(PTrie::<R, 32>::new(NodeArena::raw(region.clone())).expect("trie"));
+            }
+            let trie_node = std::mem::size_of::<TrieNode<R, 32>>();
+            // Worst case per key: ART splits allocate a leaf plus two
+            // nodes (~1 KiB rounded); the trie allocates one node per
+            // unshared byte of the key.
+            let per_key_worst = if structure == "art" {
+                1024
+            } else {
+                (pds::MAX_KEY / 2) * trie_node * 2
+            };
+
+            let t = Instant::now();
+            for batch in corpus.chunks(BATCH) {
+                let live = match (&art, &trie) {
+                    (Some(a), _) => a.live_bytes() as usize,
+                    (_, Some(tr)) => {
+                        tr.node_count() as usize * trie_node + std::mem::size_of::<TrieHeader<R>>()
+                    }
+                    _ => unreachable!(),
+                };
+                ensure_room(&region, live, batch.len() * per_key_worst);
+                for w in batch {
+                    match (&mut art, &mut trie) {
+                        (Some(a), _) => {
+                            a.insert(w).expect("art insert");
+                        }
+                        (_, Some(tr)) => {
+                            tr.insert(w).expect("trie insert");
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            let insert_ns = t.elapsed().as_nanos() as f64 / corpus.len() as f64;
+
+            let mut lat = Vec::with_capacity(queries.len());
+            let mut matches = 0usize;
+            for q in queries {
+                let t = Instant::now();
+                let hits = match (&art, &trie) {
+                    (Some(a), _) => a.prefix_scan(q).expect("art scan"),
+                    (_, Some(tr)) => tr.prefix_scan(q).expect("trie scan"),
+                    _ => unreachable!(),
+                };
+                lat.push(t.elapsed().as_nanos() as u64);
+                matches += hits.len();
+            }
+            lat.sort_unstable();
+
+            let (bytes, distinct) = match (&art, &trie) {
+                (Some(a), _) => (a.live_bytes() as f64, a.key_count() as f64),
+                (_, Some(tr)) => (
+                    (tr.node_count() as usize * trie_node + std::mem::size_of::<TrieHeader<R>>())
+                        as f64,
+                    tr.distinct_words() as f64,
+                ),
+                _ => unreachable!(),
+            };
+            let per_key = bytes / distinct.max(1.0);
+            bpk.push((format!("{structure}/{}", R::NAME), per_key));
+
+            let note = format!(
+                "keys={} queries={} matches={} region_mib={} bytes_per_key={:.1}",
+                corpus.len(),
+                queries.len(),
+                matches,
+                region.size() >> 20,
+                per_key
+            );
+            rows.push(Row::new(
+                "SUGGEST",
+                structure,
+                "insert",
+                R::NAME,
+                insert_ns,
+                note.clone(),
+            ));
+            for (op, q) in [("scan p50", 0.50), ("scan p99", 0.99)] {
+                rows.push(Row::new(
+                    "SUGGEST",
+                    structure,
+                    op,
+                    R::NAME,
+                    quantile(&lat, q),
+                    note.clone(),
+                ));
+            }
+            drop(art);
+            drop(trie);
+            region.close().expect("close region");
+        }
+        (rows, bpk)
+    }
+
+    let mut rows = Vec::new();
+    let mut bytes_per_key = Vec::new();
+    for run in [
+        cell::<OffHolder>(&corpus, &queries),
+        cell::<Riv>(&corpus, &queries),
+        cell::<FatPtrCached>(&corpus, &queries),
+    ] {
+        rows.extend(run.0);
+        bytes_per_key.extend(run.1);
+    }
+    // Trie-relative slowdowns per (repr, op): the trie is the incumbent
+    // index, so its rows carry 1.0 and the ART rows its relative cost.
+    let base: Vec<(String, String, f64)> = rows
+        .iter()
+        .filter(|r| r.structure == "trie")
+        .map(|r| (r.repr.clone(), r.op.clone(), r.nanos))
+        .collect();
+    for r in rows.iter_mut() {
+        if r.structure == "trie" {
+            r.slowdown = Some(1.0);
+        } else if let Some((_, _, b)) = base
+            .iter()
+            .find(|(repr, op, _)| *repr == r.repr && *op == r.op)
+        {
+            if *b > 0.0 {
+                r.slowdown = Some(r.nanos / b);
+            }
+        }
+    }
+    (rows, bytes_per_key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -884,6 +1073,38 @@ mod tests {
                 .any(|r| r.note.contains("link_persists=") && !r.note.contains("link_persists=0,")),
             "lock-free inserts must record pre-link node persists"
         );
+    }
+
+    #[test]
+    fn suggest_compares_art_and_trie_with_bytes_per_key() {
+        let (rows, bpk) = suggest(&tiny());
+        // 3 reprs × 2 structures × (insert, scan p50, scan p99).
+        assert_eq!(rows.len(), 18);
+        assert!(rows
+            .iter()
+            .all(|r| r.experiment == "SUGGEST" && r.nanos > 0.0 && r.slowdown.is_some()));
+        assert_eq!(bpk.len(), 6);
+        for (name, v) in &bpk {
+            assert!(v.is_finite() && *v > 0.0, "{name}: {v}");
+        }
+        for repr in ["off-holder", "riv", "fat+cache"] {
+            let get = |s: &str| {
+                bpk.iter()
+                    .find(|(n, _)| *n == format!("{s}/{repr}"))
+                    .unwrap()
+                    .1
+            };
+            assert!(
+                get("art") < get("trie"),
+                "ART must be denser than the trie for {repr}"
+            );
+            let at = |op: &str| {
+                rows.iter()
+                    .find(|r| r.structure == "art" && r.repr == repr && r.op == op)
+                    .unwrap()
+            };
+            assert!(at("scan p99").nanos >= at("scan p50").nanos);
+        }
     }
 
     #[test]

@@ -368,6 +368,22 @@ pub fn validate_report(text: &str) -> Result<ReportSummary, String> {
         }
         s.get("metrics")
             .ok_or_else(|| format!("section {id} missing metrics"))?;
+        // Schema v3: bytes_per_key is mandatory (possibly empty), and
+        // every recorded value must be a sane per-key byte count.
+        let bpk = s
+            .get("bytes_per_key")
+            .ok_or_else(|| format!("section {id} missing bytes_per_key"))?;
+        let Json::Obj(members) = bpk else {
+            return Err(format!("section {id}: bytes_per_key must be an object"));
+        };
+        for (repr, v) in members {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("section {id}: bytes_per_key.{repr} not a number"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("section {id}: bad bytes_per_key.{repr} {v}"));
+            }
+        }
         rows += srows.len();
     }
     let summary = ReportSummary {
@@ -435,6 +451,7 @@ mod tests {
             title: "Figure 12 — has \"quotes\"".to_string(),
             rows,
             metrics,
+            bytes_per_key: vec![("riv".to_string(), 48.25)],
         }];
         let cfg = ReportConfig {
             n: 2000,
@@ -469,6 +486,8 @@ mod tests {
         let m = sections[0].get("metrics").unwrap();
         assert!(m.get("wbarrier_calls").unwrap().as_u64().unwrap() >= 1);
         assert!(m.get("fat_lookups").unwrap().as_u64().unwrap() >= 1);
+        let bpk = sections[0].get("bytes_per_key").unwrap();
+        assert_eq!(bpk.get("riv").and_then(Json::as_f64), Some(48.25));
     }
 
     #[test]
@@ -497,6 +516,15 @@ mod tests {
         assert!(validate_report(&no_gates)
             .unwrap_err()
             .contains("gates_relaxed"));
+        // Schema v3: per-section bytes_per_key is mandatory and typed.
+        let no_bpk = good.replacen("\"bytes_per_key\"", "\"bytes\"", 1);
+        assert!(validate_report(&no_bpk)
+            .unwrap_err()
+            .contains("bytes_per_key"));
+        let bad_bpk = good.replacen("\"riv\": 48.25", "\"riv\": -1", 1);
+        assert!(validate_report(&bad_bpk)
+            .unwrap_err()
+            .contains("bytes_per_key.riv"));
         // Zeroing the fat-lookup counter must fail the PAPER-model gate.
         let pos = good.find("\"fat_lookups\": ").expect("counter present");
         let end = good[pos..].find(',').unwrap() + pos;

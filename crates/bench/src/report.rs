@@ -137,7 +137,13 @@ pub fn render(rows: &[Row]) -> String {
 /// and whether any hardware-dependent pass/fail gate was auto-relaxed
 /// for this run (`gates_relaxed`) — both required for interpreting
 /// scaling and tail-latency numbers across machines.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: every section carries a `bytes_per_key` object mapping each
+/// measured representation to its live index bytes per distinct key
+/// (empty for pure-latency sections). The SUGGEST experiment is the
+/// first producer; the field is how space overheads of the pointer
+/// representations are compared across report generations.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One experiment section of a report: its rows plus the process-wide
 /// metrics delta captured around the section's timed run.
@@ -151,6 +157,9 @@ pub struct Section {
     pub rows: Vec<Row>,
     /// `metrics::snapshot()` delta over the section's run.
     pub metrics: Snapshot,
+    /// Live index bytes per distinct key, per representation (schema v3;
+    /// empty for sections that measure only time).
+    pub bytes_per_key: Vec<(String, f64)>,
 }
 
 /// The run configuration recorded in a JSON report.
@@ -255,6 +264,14 @@ pub fn render_json(sections: &[Section], cfg: &ReportConfig) -> String {
             out.push_str(if ri + 1 < s.rows.len() { ",\n" } else { "\n" });
         }
         out.push_str("      ],\n");
+        out.push_str("      \"bytes_per_key\": {");
+        for (i, (repr, v)) in s.bytes_per_key.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", json_escape(repr), json_f64(*v));
+        }
+        out.push_str("},\n");
         out.push_str("      \"metrics\": {");
         let mut first = true;
         for (name, value) in s.metrics.iter() {

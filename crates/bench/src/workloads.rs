@@ -68,6 +68,51 @@ pub fn words<'a>(vocab: &'a [String], stream: &[usize]) -> Vec<&'a str> {
     stream.iter().map(|&i| vocab[i].as_str()).collect()
 }
 
+/// A suggestion-serving corpus: `n` *distinct* lowercase keys with heavy
+/// shared-prefix redundancy, the shape an autocomplete index sees.
+///
+/// Each key is two Zipf-ishly drawn stems from a small (~sqrt n) pool
+/// concatenated with a fixed-width base-26 sequence suffix. The skewed
+/// stem draw makes a few prefixes dominate (path compression and wide
+/// fan-out both get exercised); the fixed-width suffix guarantees
+/// distinctness without disturbing the prefix structure. Keys stay
+/// within `pds::art::MAX_KEY` and are pure `a..=z`, so both the ART and
+/// the 26-way trie can ingest them.
+pub fn suggest_corpus(n: usize, seed: u64) -> Vec<String> {
+    assert!(n > 0);
+    let pool_size = ((n as f64).sqrt() as usize).clamp(16, 4096);
+    let stems = vocabulary(pool_size, seed ^ 0x5355_4747);
+    let ln_p = (pool_size as f64).ln();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4b45_5953);
+    // Fixed suffix width W with 26^W >= n keeps every key unique even
+    // when the stem pair repeats.
+    let mut width = 1usize;
+    let mut span = 26usize;
+    while span < n {
+        span *= 26;
+        width += 1;
+    }
+    let zipf = |rng: &mut StdRng| -> usize {
+        let u: f64 = rng.gen();
+        ((u * ln_p).exp() as usize).min(pool_size - 1)
+    };
+    (0..n)
+        .map(|i| {
+            let mut key = String::with_capacity(26 + width);
+            key.push_str(&stems[zipf(&mut rng)]);
+            key.push_str(&stems[zipf(&mut rng)]);
+            let mut rem = i;
+            let mut suffix = [0u8; 8];
+            for slot in suffix[..width].iter_mut().rev() {
+                *slot = b'a' + (rem % 26) as u8;
+                rem /= 26;
+            }
+            key.push_str(std::str::from_utf8(&suffix[..width]).unwrap());
+            key
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +157,34 @@ mod tests {
         assert!(low > 30_000, "expected heavy head, got {low}");
         let high = s.iter().filter(|&&i| i >= 5_000).count();
         assert!(high < 20_000, "expected light tail, got {high}");
+    }
+
+    #[test]
+    fn suggest_corpus_is_distinct_lowercase_and_prefix_heavy() {
+        let n = 20_000;
+        let corpus = suggest_corpus(n, 42);
+        assert_eq!(corpus, suggest_corpus(n, 42), "must be deterministic");
+        assert_ne!(corpus, suggest_corpus(n, 43));
+        assert_eq!(corpus.len(), n);
+        let mut sorted = corpus.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "keys must be distinct");
+        for k in &corpus {
+            assert!(k.bytes().all(|b| b.is_ascii_lowercase()), "{k}");
+            assert!(k.len() <= 32, "key too long for MAX_KEY: {k}");
+        }
+        // Prefix redundancy: the hottest 4-byte prefix must cover far
+        // more keys than a uniform draw over 26^4 prefixes would.
+        let mut heads = std::collections::HashMap::new();
+        for k in &corpus {
+            *heads.entry(&k.as_bytes()[..4]).or_insert(0usize) += 1;
+        }
+        let hottest = heads.values().max().copied().unwrap();
+        assert!(
+            hottest > n / 100,
+            "expected hot shared prefixes, got {hottest}"
+        );
     }
 
     #[test]

@@ -12,8 +12,14 @@ use nvmsim::crc::crc64;
 
 /// Frame magic: `NVPISRV1`.
 pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"NVPISRV1");
-/// Codec version encoded in every frame.
-pub const CODEC_VERSION: u32 = 1;
+/// Codec version encoded in every frame. Version 2 added the
+/// variable-length [`ReqOp::PrefixQuery`] opcode; v1 frames (which
+/// cannot carry it) are rejected with [`CodecError::BadVersion`].
+pub const CODEC_VERSION: u32 = 2;
+
+/// Longest prefix a [`ReqOp::PrefixQuery`] may carry — the ART's
+/// `pds::MAX_KEY`, since no longer prefix can match any indexed key.
+pub const MAX_PREFIX: usize = 64;
 
 const KIND_REQUEST: u32 = 1;
 const KIND_RESPONSE: u32 = 2;
@@ -89,6 +95,13 @@ pub enum ReqOp {
     /// Force a degraded tenant to heal now instead of waiting out the
     /// degraded window.
     Heal,
+    /// Suggestion lookup: all indexed keys starting with `prefix`,
+    /// served from the tenant's persistent ART (codec v2+).
+    PrefixQuery {
+        /// Lowercase ASCII prefix, at most [`MAX_PREFIX`] bytes; empty
+        /// scans the whole index (the server caps the reply).
+        prefix: String,
+    },
 }
 
 impl ReqOp {
@@ -100,6 +113,7 @@ impl ReqOp {
             ReqOp::Batch { .. } => 3,
             ReqOp::Evict => 4,
             ReqOp::Heal => 5,
+            ReqOp::PrefixQuery { .. } => 6,
         }
     }
 }
@@ -381,6 +395,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         p.push(u8::from(op.put));
         p.extend_from_slice(&op.key.to_le_bytes());
     }
+    if let ReqOp::PrefixQuery { prefix } = &req.op {
+        p.extend_from_slice(&(prefix.len() as u16).to_le_bytes());
+        p.extend_from_slice(prefix.as_bytes());
+    }
     frame(KIND_REQUEST, &p)
 }
 
@@ -421,6 +439,15 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, CodecError> {
         }
         4 => ReqOp::Evict,
         5 => ReqOp::Heal,
+        6 => {
+            let plen = c.u16()? as usize;
+            if plen > MAX_PREFIX {
+                return Err(CodecError::BadField("prefix length"));
+            }
+            let prefix = String::from_utf8(c.take(plen)?.to_vec())
+                .map_err(|_| CodecError::BadField("prefix utf-8"))?;
+            ReqOp::PrefixQuery { prefix }
+        }
         _ => return Err(CodecError::BadField("op code")),
     };
     if !matches!(op, ReqOp::Batch { .. }) && nbatch != 0 {
@@ -562,6 +589,24 @@ mod tests {
                 deadline_micros: 0,
                 op: ReqOp::Heal,
             },
+            Request {
+                id: 7,
+                tenant: 2,
+                priority: Priority::Normal,
+                deadline_micros: 250,
+                op: ReqOp::PrefixQuery {
+                    prefix: "car".to_string(),
+                },
+            },
+            Request {
+                id: 8,
+                tenant: 2,
+                priority: Priority::Low,
+                deadline_micros: 0,
+                op: ReqOp::PrefixQuery {
+                    prefix: String::new(),
+                },
+            },
         ]
     }
 
@@ -626,14 +671,16 @@ mod tests {
 
     #[test]
     fn truncation_at_every_length_is_a_clean_error() {
-        let req = &sample_requests()[3];
-        let bytes = encode_request(req);
-        for n in 0..bytes.len() {
-            let err = decode_request(&bytes[..n]).unwrap_err();
-            assert!(
-                matches!(err, CodecError::Truncated | CodecError::BadCrc),
-                "prefix {n}: {err:?}"
-            );
+        // Both variable-length request shapes: a batch and a prefix query.
+        for req in [&sample_requests()[3], &sample_requests()[6]] {
+            let bytes = encode_request(req);
+            for n in 0..bytes.len() {
+                let err = decode_request(&bytes[..n]).unwrap_err();
+                assert!(
+                    matches!(err, CodecError::Truncated | CodecError::BadCrc),
+                    "prefix {n}: {err:?}"
+                );
+            }
         }
         let resp = &sample_responses()[2];
         let bytes = encode_response(resp);
@@ -678,16 +725,51 @@ mod tests {
 
     #[test]
     fn unknown_codes_rejected() {
-        // Op code 6 does not exist: corrupt the encoded op byte and
+        // Op code 7 does not exist: corrupt the encoded op byte and
         // re-seal the frame so only the field check can object.
         let mut bytes = encode_request(&sample_requests()[0]);
         let op_off = HEADER_BYTES + 8 + 4 + 1;
-        bytes[op_off] = 6;
+        bytes[op_off] = 7;
         let payload = bytes[HEADER_BYTES..].to_vec();
         let resealed = frame(KIND_REQUEST, &payload);
         assert_eq!(
             decode_request(&resealed).unwrap_err(),
             CodecError::BadField("op code")
+        );
+    }
+
+    #[test]
+    fn oversized_or_non_utf8_prefixes_rejected() {
+        let long = Request {
+            id: 9,
+            tenant: 2,
+            priority: Priority::Normal,
+            deadline_micros: 0,
+            op: ReqOp::PrefixQuery {
+                prefix: "z".repeat(MAX_PREFIX + 1),
+            },
+        };
+        // The encoder happily writes it; the decoder must refuse.
+        assert_eq!(
+            decode_request(&encode_request(&long)).unwrap_err(),
+            CodecError::BadField("prefix length")
+        );
+
+        let ok = Request {
+            op: ReqOp::PrefixQuery {
+                prefix: "ab".to_string(),
+            },
+            ..long
+        };
+        let bytes = encode_request(&ok);
+        // Smash the first prefix byte to a lone UTF-8 continuation byte
+        // and re-seal, so only the string check can object.
+        let mut payload = bytes[HEADER_BYTES..].to_vec();
+        let plen = payload.len();
+        payload[plen - 2] = 0xFF;
+        assert_eq!(
+            decode_request(&frame(KIND_REQUEST, &payload)).unwrap_err(),
+            CodecError::BadField("prefix utf-8")
         );
     }
 }

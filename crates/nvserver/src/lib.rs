@@ -47,10 +47,10 @@ pub mod tenant;
 
 pub use codec::{
     BatchOp, BatchResult, CodecError, Priority, ReqOp, Request, Response, Status, CODEC_VERSION,
-    FRAME_MAGIC,
+    FRAME_MAGIC, MAX_PREFIX,
 };
 pub use fault::{ServerFaultPlan, ShardStall, TenantCrash, TransientFault};
 pub use server::{
     Client, Server, ServerConfig, ServerHandle, ServerReport, TenantReport, Transport,
 };
-pub use tenant::{ReprKind, TenantMetrics, TenantSnapshot, TenantSpec, TenantState};
+pub use tenant::{index_word, ReprKind, TenantMetrics, TenantSnapshot, TenantSpec, TenantState};

@@ -355,6 +355,18 @@ impl Client {
         self.request(tenant, ReqOp::Evict)
     }
 
+    /// Suggestion lookup: indexed words starting with `prefix`, sorted,
+    /// newline-separated in the response detail (capped, with a final
+    /// `… N more` line when truncated).
+    pub fn prefix(&self, tenant: u32, prefix: &str) -> Response {
+        self.request(
+            tenant,
+            ReqOp::PrefixQuery {
+                prefix: prefix.to_string(),
+            },
+        )
+    }
+
     /// Force-heal a degraded tenant.
     pub fn heal(&self, tenant: u32) -> Response {
         self.request(tenant, ReqOp::Heal)
@@ -642,12 +654,37 @@ fn handle_entry(
                 },
             }
         }
+        ReqOp::PrefixQuery { prefix } => match tenant.prefix_scan(prefix) {
+            Ok(matches) => {
+                // Reads serve in every open state, degraded included.
+                let total = matches.len();
+                let capped: Vec<String> = matches.into_iter().take(MAX_PREFIX_MATCHES).collect();
+                Response {
+                    id: req.id,
+                    status: Status::Ok,
+                    found: Some(total > 0),
+                    attempts: 1,
+                    stamp: 0,
+                    batch: Vec::new(),
+                    detail: if total > capped.len() {
+                        format!("{}\n… {} more", capped.join("\n"), total - capped.len())
+                    } else {
+                        capped.join("\n")
+                    },
+                }
+            }
+            Err(e) => Response::rejection(req.id, Status::Failed, e),
+        },
         ReqOp::Put { key } => write_path(core, tenant, entry, true, *key),
         ReqOp::Delete { key } => write_path(core, tenant, entry, false, *key),
         ReqOp::Batch { ops } => batch_path(core, tenant, entry, ops),
         ReqOp::Evict => unreachable!("handled before reopen"),
     }
 }
+
+/// Most matches a prefix-query response carries; the tail is summarized
+/// in the detail's final line.
+const MAX_PREFIX_MATCHES: usize = 16;
 
 fn evict_coldest(tenants: &mut HashMap<u32, Tenant>, max_open: usize) -> Result<(), String> {
     loop {

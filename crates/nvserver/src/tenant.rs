@@ -29,7 +29,7 @@ use nvmsim::metrics::{self, Counter};
 use nvmsim::repl::{self, Replicator, ReplicatorConfig};
 use nvmsim::shadow::FaultPolicy;
 use nvmsim::Region;
-use pds::{NodeArena, PHashSet};
+use pds::{NodeArena, PArt, PHashSet};
 use pi_core::{FatPtrCached, OffHolder, Riv};
 use pstore::{ObjectStore, StoreHealth};
 use std::path::{Path, PathBuf};
@@ -38,6 +38,27 @@ use std::sync::Arc;
 
 /// Root name under which every tenant's hash set is registered.
 const SET_ROOT: &str = "srv.set";
+
+/// Root name under which every tenant's suggestion index (ART) is
+/// registered.
+const IDX_ROOT: &str = "srv.idx";
+
+/// Width of [`index_word`]: 26^14 > 2^64, so every `u64` key has a
+/// distinct fixed-width word.
+const IDX_WORD_LEN: usize = 14;
+
+/// The ART word a `u64` key is indexed under: fixed-width base-26,
+/// most-significant digit first, so numerically close keys share long
+/// prefixes (the shape prefix queries exploit).
+pub fn index_word(key: u64) -> String {
+    let mut buf = [b'a'; IDX_WORD_LEN];
+    let mut rem = key;
+    for slot in buf.iter_mut().rev() {
+        *slot = b'a' + (rem % 26) as u8;
+        rem /= 26;
+    }
+    String::from_utf8(buf.to_vec()).expect("ascii")
+}
 
 /// Pointer representation a tenant's persistent set uses. Mixing
 /// representations across tenants means one server run exercises every
@@ -350,6 +371,76 @@ impl TenantSet {
     }
 }
 
+/// The tenant's suggestion index: a persistent ART over the same
+/// representation as its set, holding [`index_word`] of every member.
+enum TenantIndex {
+    Off(PArt<OffHolder>),
+    Riv(PArt<Riv>),
+    Fat(PArt<FatPtrCached>),
+}
+
+impl TenantIndex {
+    fn create(arena: NodeArena, kind: ReprKind) -> Result<TenantIndex, String> {
+        Ok(match kind {
+            ReprKind::OffHolder => {
+                TenantIndex::Off(PArt::create_rooted(arena, IDX_ROOT).map_err(err)?)
+            }
+            ReprKind::Riv => TenantIndex::Riv(PArt::create_rooted(arena, IDX_ROOT).map_err(err)?),
+            ReprKind::FatCached => {
+                TenantIndex::Fat(PArt::create_rooted(arena, IDX_ROOT).map_err(err)?)
+            }
+        })
+    }
+
+    fn attach(arena: NodeArena, kind: ReprKind) -> Result<TenantIndex, String> {
+        Ok(match kind {
+            ReprKind::OffHolder => TenantIndex::Off(PArt::attach(arena, IDX_ROOT).map_err(err)?),
+            ReprKind::Riv => TenantIndex::Riv(PArt::attach(arena, IDX_ROOT).map_err(err)?),
+            ReprKind::FatCached => TenantIndex::Fat(PArt::attach(arena, IDX_ROOT).map_err(err)?),
+        })
+    }
+
+    fn insert_tx(&mut self, store: &ObjectStore, word: &str) -> Result<(), String> {
+        match self {
+            TenantIndex::Off(a) => a.insert_tx(store, word).map(|_| ()).map_err(err),
+            TenantIndex::Riv(a) => a.insert_tx(store, word).map(|_| ()).map_err(err),
+            TenantIndex::Fat(a) => a.insert_tx(store, word).map(|_| ()).map_err(err),
+        }
+    }
+
+    fn remove_tx(&mut self, store: &ObjectStore, word: &str) -> Result<(), String> {
+        match self {
+            TenantIndex::Off(a) => a.remove_tx(store, word).map(|_| ()).map_err(err),
+            TenantIndex::Riv(a) => a.remove_tx(store, word).map(|_| ()).map_err(err),
+            TenantIndex::Fat(a) => a.remove_tx(store, word).map(|_| ()).map_err(err),
+        }
+    }
+
+    fn contains(&self, word: &str) -> bool {
+        match self {
+            TenantIndex::Off(a) => a.contains(word),
+            TenantIndex::Riv(a) => a.contains(word),
+            TenantIndex::Fat(a) => a.contains(word),
+        }
+    }
+
+    fn prefix_scan(&self, prefix: &str) -> Result<Vec<String>, String> {
+        match self {
+            TenantIndex::Off(a) => a.prefix_scan(prefix).map_err(err),
+            TenantIndex::Riv(a) => a.prefix_scan(prefix).map_err(err),
+            TenantIndex::Fat(a) => a.prefix_scan(prefix).map_err(err),
+        }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            TenantIndex::Off(a) => a.check_invariants(),
+            TenantIndex::Riv(a) => a.check_invariants(),
+            TenantIndex::Fat(a) => a.check_invariants(),
+        }
+    }
+}
+
 fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
@@ -373,6 +464,7 @@ pub(crate) struct Tenant {
     region: Option<Region>,
     store: Option<ObjectStore>,
     set: Option<TenantSet>,
+    idx: Option<TenantIndex>,
     repl: Option<Replicator>,
     state: TenantState,
     /// Every base the tenant's region was ever mapped at, in order.
@@ -403,6 +495,7 @@ impl Tenant {
             region: None,
             store: None,
             set: None,
+            idx: None,
             repl: None,
             state: TenantState::Closed,
             bases: Vec::new(),
@@ -482,11 +575,13 @@ impl Tenant {
             self.spec.nbuckets,
             self.spec.repr,
         )?;
+        let idx = TenantIndex::create(NodeArena::transactional(store.clone()), self.spec.repr)?;
         region.sync().map_err(err)?;
         self.bases.push(region.base());
         self.region = Some(region);
         self.store = Some(store);
         self.set = Some(set);
+        self.idx = Some(idx);
         self.set_state(TenantState::Healthy);
         let r = self.attach_instrumentation(plan);
         metrics::incr(Counter::RegionOpens);
@@ -499,7 +594,8 @@ impl Tenant {
         let store = ObjectStore::attach(&region).map_err(err)?;
         let health = store.health();
         let set = TenantSet::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
-        if let Err(e) = set.check_invariants() {
+        let idx = TenantIndex::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
+        if let Err(e) = set.check_invariants().and_then(|()| idx.check_invariants()) {
             self.metrics
                 .invariant_failures
                 .fetch_add(1, Ordering::Relaxed);
@@ -507,6 +603,7 @@ impl Tenant {
             self.region = Some(region);
             self.store = Some(store);
             self.set = Some(set);
+            self.idx = Some(idx);
             return Err(format!("invariants violated after reopen: {e}"));
         }
         let remapped = region.base() != avoid;
@@ -519,6 +616,10 @@ impl Tenant {
         self.region = Some(region);
         self.store = Some(store);
         self.set = Some(set);
+        self.idx = Some(idx);
+        if came_from_crash {
+            self.reconcile_index()?;
+        }
         // A dirty image (crash teardown) or an actual rollback marks the
         // tenant `Recovered`; a clean eviction reopen stays `Healthy`.
         // `StoreHealth::Damaged` also lands here: the invariant check
@@ -538,15 +639,14 @@ impl Tenant {
         if !self.is_open() {
             return Ok(());
         }
-        if let Some(set) = &self.set {
-            if let Err(e) = set.check_invariants() {
-                self.metrics
-                    .invariant_failures
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err(format!("invariants violated at eviction: {e}"));
-            }
+        if let Err(e) = self.check_invariants() {
+            self.metrics
+                .invariant_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(format!("invariants violated at eviction: {e}"));
         }
         self.set = None;
+        self.idx = None;
         self.store = None;
         let repl = self.repl.take();
         let region = self.region.take().expect("open region");
@@ -608,7 +708,8 @@ impl Tenant {
         let region = repl::promote_avoiding(&self.stream, &self.path, old_base).map_err(err)?;
         let store = ObjectStore::attach(&region).map_err(err)?;
         let set = TenantSet::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
-        if let Err(e) = set.check_invariants() {
+        let idx = TenantIndex::attach(NodeArena::transactional(store.clone()), self.spec.repr)?;
+        if let Err(e) = set.check_invariants().and_then(|()| idx.check_invariants()) {
             self.metrics
                 .invariant_failures
                 .fetch_add(1, Ordering::Relaxed);
@@ -623,6 +724,8 @@ impl Tenant {
         self.region = Some(region);
         self.store = Some(store);
         self.set = Some(set);
+        self.idx = Some(idx);
+        self.reconcile_index()?;
         self.set_state(TenantState::DegradedReadOnly);
         self.degraded_left = self.tuning.degraded_window;
         Ok(())
@@ -636,6 +739,7 @@ impl Tenant {
             return Err("crash injection on an unshadowed tenant".to_string());
         }
         self.set = None;
+        self.idx = None;
         self.store = None;
         let repl = self.repl.take();
         let region = self.region.take().expect("open region");
@@ -708,28 +812,79 @@ impl Tenant {
         self.set.as_ref().expect("open tenant").keys()
     }
 
-    /// Transactional insert; `Ok(applied)` once committed.
+    /// Transactional insert; `Ok(applied)` once committed. An applied
+    /// insert also indexes the key's [`index_word`] in the tenant's ART
+    /// (its own transaction; [`Tenant::reconcile_index`] repairs the
+    /// between-transactions crash window on recovery).
     pub(crate) fn insert(&mut self, key: u64) -> Result<bool, String> {
         let store = self.store.clone().expect("open tenant");
-        self.set
+        let applied = self
+            .set
             .as_mut()
             .expect("open tenant")
-            .insert_tx(&store, key)
+            .insert_tx(&store, key)?;
+        if applied {
+            self.idx
+                .as_mut()
+                .expect("open tenant")
+                .insert_tx(&store, &index_word(key))?;
+        }
+        Ok(applied)
     }
 
-    /// Transactional remove; `Ok(applied)` once committed.
+    /// Transactional remove; `Ok(applied)` once committed. An applied
+    /// remove also unindexes the key's [`index_word`].
     pub(crate) fn remove(&mut self, key: u64) -> Result<bool, String> {
         let store = self.store.clone().expect("open tenant");
-        self.set
+        let applied = self
+            .set
             .as_mut()
             .expect("open tenant")
-            .remove_tx(&store, key)
+            .remove_tx(&store, key)?;
+        if applied {
+            self.idx
+                .as_mut()
+                .expect("open tenant")
+                .remove_tx(&store, &index_word(key))?;
+        }
+        Ok(applied)
     }
 
-    /// Structure invariants of the live set.
+    /// Suggestion lookup: every indexed word starting with `prefix`,
+    /// sorted.
+    pub(crate) fn prefix_scan(&self, prefix: &str) -> Result<Vec<String>, String> {
+        self.idx.as_ref().expect("open tenant").prefix_scan(prefix)
+    }
+
+    /// Re-derives the suggestion index from the authoritative set after
+    /// a crash: the set and index commit in separate transactions, so a
+    /// crash between them leaves exactly one word missing or stale.
+    fn reconcile_index(&mut self) -> Result<(), String> {
+        let store = self.store.clone().expect("open tenant");
+        let keys = self.set.as_ref().expect("open tenant").keys();
+        let idx = self.idx.as_mut().expect("open tenant");
+        let want: std::collections::BTreeSet<String> =
+            keys.iter().map(|&k| index_word(k)).collect();
+        for word in idx.prefix_scan("")? {
+            if !want.contains(&word) {
+                idx.remove_tx(&store, &word)?;
+            }
+        }
+        for word in &want {
+            if !idx.contains(word) {
+                idx.insert_tx(&store, word)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structure invariants of the live set and suggestion index.
     pub(crate) fn check_invariants(&self) -> Result<(), String> {
-        match &self.set {
-            Some(s) => s.check_invariants(),
+        if let Some(s) = &self.set {
+            s.check_invariants()?;
+        }
+        match &self.idx {
+            Some(i) => i.check_invariants(),
             None => Ok(()),
         }
     }

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arena;
+pub mod art;
 pub mod bst;
 pub mod deque;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod trie;
 pub mod wordcount;
 
 pub use arena::{NodeArena, NODE_TYPE};
+pub use art::{inspect_index, ArtIndexReport, PArt, ART_KIND_NAMES, ART_ROOT_TAG, MAX_KEY};
 pub use bst::{BstNode, PBst, BST_ROOT_TAG};
 pub use deque::{DequeNode, PDeque, DEQUE_ROOT_TAG};
 pub use error::{PdsError, Result};

@@ -221,6 +221,58 @@ impl<R: PtrRepr, const P: usize> PTrie<R, P> {
         self.count(word) > 0
     }
 
+    /// Every present word starting with `prefix`, sorted. An empty prefix
+    /// scans the whole trie — the like-for-like comparison point for
+    /// [`crate::PArt::prefix_scan`] in the SUGGEST bench.
+    ///
+    /// # Errors
+    ///
+    /// [`PdsError::BadCharacter`] for prefixes outside `a..=z`.
+    pub fn prefix_scan(&self, prefix: &str) -> Result<Vec<String>> {
+        let steps: Vec<usize> = prefix
+            .as_bytes()
+            .iter()
+            .map(|&c| index_of(c))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::new();
+        // SAFETY: as in count.
+        unsafe {
+            let mut cur = (*self.header).root.load() as *const TrieNode<R, P>;
+            for i in steps {
+                cur = (*cur).children[i].load() as *const TrieNode<R, P>;
+                if cur.is_null() {
+                    return Ok(out);
+                }
+            }
+            let mut word = prefix.to_string();
+            self.collect_words(cur, &mut word, &mut out);
+        }
+        // Pre-order over sorted children already yields lexicographic
+        // order; keep the sort as a guard so callers can rely on it.
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Recursive collector under `n`, whose path spells `word`.
+    unsafe fn collect_words(
+        &self,
+        n: *const TrieNode<R, P>,
+        word: &mut String,
+        out: &mut Vec<String>,
+    ) {
+        if (*n).count > 0 {
+            out.push(word.clone());
+        }
+        for i in 0..ALPHABET {
+            let c = (*n).children[i].load() as *const TrieNode<R, P>;
+            if !c.is_null() {
+                word.push((b'a' + i as u8) as char);
+                self.collect_words(c, word, out);
+                word.pop();
+            }
+        }
+    }
+
     /// Full depth-first traversal; returns a checksum over terminal counts
     /// and structure shape.
     pub fn traverse(&self) -> u64 {
@@ -467,6 +519,19 @@ mod tests {
         basic::<OffHolder>();
         basic::<Riv>();
         basic::<FatPtr>();
+    }
+
+    #[test]
+    fn prefix_scan_returns_sorted_matches() {
+        let region = Region::create(4 << 20).unwrap();
+        let mut t: PTrie<OffHolder, 32> = PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        t.extend(WORDS.iter().copied()).unwrap();
+        assert_eq!(t.prefix_scan("car").unwrap(), vec!["car", "card", "care"]);
+        assert_eq!(t.prefix_scan("do").unwrap(), vec!["do", "dog", "done"]);
+        assert_eq!(t.prefix_scan("z").unwrap(), Vec::<String>::new());
+        assert_eq!(t.prefix_scan("").unwrap().len(), WORDS.len());
+        assert!(t.prefix_scan("no!such").is_err());
+        region.close().unwrap();
     }
 
     #[test]

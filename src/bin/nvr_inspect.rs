@@ -17,6 +17,10 @@
 //! nvr_inspect server <dir> [...]           # triage a region-server data dir:
 //!                                          # verify every tenant-*.nvr image and
 //!                                          # summarize every tenant-*.nvd stream
+//! nvr_inspect index [--root NAME] <image.nvr> [...]
+//!                                          # decode persistent ART indexes offline:
+//!                                          # repr, key count, node-kind histogram,
+//!                                          # leaf depth distribution, invariants
 //! ```
 //!
 //! `verify` is scriptable: exit code 0 means every check passed, 1 means
@@ -33,13 +37,114 @@
 //! and no delta stream is torn (an unsealed-but-intact stream is
 //! reported, not failed — a crashed primary legitimately leaves one), 1
 //! otherwise — the one-command triage for a failed server-matrix cell's
-//! artifact directory.
+//! artifact directory. `index` walks every adaptive-radix-tree root in
+//! the image (or just `--root NAME`) without needing to know its pointer
+//! representation — the root fingerprint identifies it — and exits 0
+//! when every decoded index passes `check_invariants`, 1 on any
+//! violation (or when an explicitly named root is absent), 2 on
+//! usage/IO trouble.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nvr_inspect [verify|scrub|stats|repl|alloc|history|server] <file|dir> [...]");
+    eprintln!(
+        "usage: nvr_inspect [verify|scrub|stats|repl|alloc|history|server|index] <file|dir> [...]"
+    );
     ExitCode::from(2)
+}
+
+/// Decodes persistent adaptive-radix-tree indexes offline. Every named
+/// root in the image is probed (the ART root tag plus the representation
+/// fingerprint arbitrate, so no repr flag is needed); `--root NAME`
+/// restricts the walk to one root and fails when it is not an ART.
+fn index(args: &[String]) -> ExitCode {
+    let mut root_filter: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--root" {
+            match it.next() {
+                Some(r) => root_filter = Some(r.clone()),
+                None => return usage(),
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut status = ExitCode::SUCCESS;
+    for path in &paths {
+        println!("=== {path}");
+        let region = match nvmsim::Region::open_file(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                status = ExitCode::from(2);
+                continue;
+            }
+        };
+        let roots = match &root_filter {
+            Some(r) => vec![r.clone()],
+            None => match region.roots() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    status = ExitCode::from(2);
+                    let _ = region.close();
+                    continue;
+                }
+            },
+        };
+        let mut found = 0;
+        for root in &roots {
+            let report = match pds::inspect_index(&region, root) {
+                Ok(r) => r,
+                // An unfiltered walk skips non-ART roots silently; an
+                // explicitly named root must decode.
+                Err(_) if root_filter.is_none() => continue,
+                Err(e) => {
+                    eprintln!("error: root {root}: {e}");
+                    status = ExitCode::FAILURE;
+                    continue;
+                }
+            };
+            found += 1;
+            println!("root:        {root}");
+            println!("repr:        {}", report.repr);
+            println!("keys:        {}", report.keys);
+            println!("nodes:       {} ({} bytes)", report.nodes, report.bytes);
+            for (kind, count) in pds::ART_KIND_NAMES.iter().zip(report.kinds.iter()) {
+                println!("  {kind:<8} {count}");
+            }
+            let hist: Vec<String> = report
+                .depth_hist
+                .iter()
+                .enumerate()
+                .map(|(depth, leaves)| format!("{depth}:{leaves}"))
+                .collect();
+            println!("depth:       {}", hist.join(" "));
+            match &report.problem {
+                None => println!("verdict:     consistent"),
+                Some(p) => {
+                    println!("verdict:     INCONSISTENT — {p}");
+                    status = ExitCode::FAILURE;
+                }
+            }
+        }
+        if found == 0 {
+            println!("(no ART index roots)");
+            if root_filter.is_some() {
+                status = ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = region.close() {
+            eprintln!("error: {e}");
+            status = ExitCode::FAILURE;
+        }
+    }
+    status
 }
 
 /// Walks each image's two-level bitmap allocator offline and dumps
@@ -478,6 +583,13 @@ fn main() -> ExitCode {
                 usage()
             } else {
                 server(rest)
+            }
+        }
+        Some((cmd, rest)) if cmd == "index" => {
+            if rest.is_empty() {
+                usage()
+            } else {
+                index(rest)
             }
         }
         _ => {

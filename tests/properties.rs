@@ -84,6 +84,42 @@ proptest! {
         prop_assert_eq!(lay.offset_of(addr), b);
         prop_assert_eq!(lay.get_base(addr), lay.data_addr(nv, 0));
     }
+
+    /// Prefix-query request frames (codec v2) round-trip for arbitrary
+    /// ids, priorities, and prefixes, and every truncated prefix of the
+    /// frame decodes to a typed error, never a partial request.
+    #[test]
+    fn prefix_query_frames_roundtrip_and_reject_truncation(
+        id in any::<u64>(),
+        tenant in any::<u32>(),
+        deadline in any::<u64>(),
+        prio in 0u8..3,
+        raw in prop::collection::vec(0u8..26, 0..64),
+    ) {
+        use nvm_pi::nvserver::codec::{decode_request, encode_request, CodecError};
+        use nvm_pi::nvserver::{Priority, ReqOp, Request};
+        let prefix: String = raw.iter().map(|&c| (b'a' + c) as char).collect();
+        let req = Request {
+            id,
+            tenant,
+            priority: match prio {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            },
+            deadline_micros: deadline,
+            op: ReqOp::PrefixQuery { prefix },
+        };
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+        for n in 0..bytes.len() {
+            let err = decode_request(&bytes[..n]).unwrap_err();
+            prop_assert!(
+                matches!(err, CodecError::Truncated | CodecError::BadCrc),
+                "prefix {}: {:?}", n, err
+            );
+        }
+    }
 }
 
 proptest! {
@@ -114,6 +150,48 @@ proptest! {
         let expect: Vec<u64> = keys.iter().rev().copied().collect();
         prop_assert_eq!(list.keys(), expect);
         prop_assert_eq!(list.len(), keys.len() as u64);
+        region.close().unwrap();
+    }
+
+    /// The adaptive radix tree and the 26-way letter trie agree on every
+    /// count, membership, and prefix scan for arbitrary lowercase key
+    /// multisets — the like-for-like guarantee the SUGGEST bench rests on.
+    #[test]
+    fn art_and_trie_agree_on_random_key_sets(
+        raw in prop::collection::vec(prop::collection::vec(0u8..26, 1..12), 0..120),
+        probe in prop::collection::vec(0u8..26, 0..4),
+    ) {
+        let words: Vec<String> = raw
+            .iter()
+            .map(|w| w.iter().map(|&c| (b'a' + c) as char).collect())
+            .collect();
+        let region = Region::create(16 << 20).unwrap();
+        let mut art: nvm_pi::PArt<Riv> =
+            nvm_pi::PArt::new(NodeArena::raw(region.clone())).unwrap();
+        let mut trie: nvm_pi::PTrie<Riv, 32> =
+            nvm_pi::PTrie::new(NodeArena::raw(region.clone())).unwrap();
+        for w in &words {
+            art.insert(w).unwrap();
+            trie.insert(w).unwrap();
+        }
+        art.check_invariants()
+            .unwrap_or_else(|e| panic!("art invariants: {e}"));
+        for w in &words {
+            prop_assert_eq!(art.count(w), trie.count(w), "count of {}", w);
+        }
+        // Scans agree on the full set, on every inserted word as a
+        // prefix, and on an arbitrary (often absent) probe prefix.
+        let probe: String = probe.iter().map(|&c| (b'a' + c) as char).collect();
+        let mut prefixes: Vec<&str> = words.iter().map(|w| w.as_str()).collect();
+        prefixes.push("");
+        prefixes.push(&probe);
+        for p in prefixes {
+            prop_assert_eq!(
+                art.prefix_scan(p).unwrap(),
+                trie.prefix_scan(p).unwrap(),
+                "scan of {:?}", p
+            );
+        }
         region.close().unwrap();
     }
 

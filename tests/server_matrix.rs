@@ -24,7 +24,7 @@
 //! failing runs for upload.
 
 use nvm_pi::nvmsim::dlin;
-use nvm_pi::nvserver::{BatchOp, Status, TenantState};
+use nvm_pi::nvserver::{index_word, BatchOp, Status, TenantState};
 use nvm_pi::pstore::ObjectStore;
 use nvm_pi::{
     History, NodeArena, OpRecord, PHashSet, Priority, Region, ReprKind, Riv, Server, ServerConfig,
@@ -183,6 +183,72 @@ fn serves_all_reprs_through_the_codec() {
         keys.sort_unstable();
         assert_eq!(keys, vec![1, 2, 3, 4, 5, 6, 7], "tenant {t} final keys");
         assert_eq!(tr.snapshot.invariant_failures, 0);
+    }
+    cleanup(dir, keep);
+}
+
+#[test]
+fn prefix_queries_survive_eviction_and_remap() {
+    let _g = lock();
+    let (dir, keep) = tdir("prefix-query");
+    let tenants = vec![
+        TenantSpec::new(0, ReprKind::OffHolder),
+        TenantSpec::new(1, ReprKind::Riv),
+        TenantSpec::new(2, ReprKind::FatCached),
+    ];
+    let server = Server::start(test_config(&dir), tenants, ServerFaultPlan::none()).unwrap();
+    let client = server.client();
+    // Keys 0..26 share the 13-char all-'a' head of their index words;
+    // 30 and 700 branch off earlier, so they match "" but not the head.
+    let head: String = index_word(0)[..13].to_string();
+    for t in 0..3u32 {
+        for k in [0u64, 3, 7, 30, 700] {
+            let r = client.put(t, k);
+            assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+        }
+        let r = client.delete(t, 3);
+        assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+
+        let r = client.prefix(t, &head);
+        assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+        assert_eq!(
+            r.detail,
+            format!("{}\n{}", index_word(0), index_word(7)),
+            "tenant {t}"
+        );
+        assert_eq!(client.prefix(t, "").detail.lines().count(), 4);
+        let none = client.prefix(t, &index_word(3));
+        assert_eq!((none.status, none.found), (Status::Ok, Some(false)));
+        assert!(none.detail.is_empty(), "{none:?}");
+
+        // Evict, then query straight through the remapped reopen.
+        assert_eq!(client.evict(t).status, Status::Ok);
+        let again = client.prefix(t, &head);
+        assert_eq!(again.status, Status::Ok, "{again:?}");
+        assert_eq!(again.detail, r.detail, "tenant {t} lost matches over remap");
+
+        // The index keeps absorbing writes after the remap.
+        let r = client.put(t, 1);
+        assert_eq!((r.status, r.found), (Status::Ok, Some(true)), "{r:?}");
+        let grown = client.prefix(t, &head);
+        assert_eq!(grown.detail.lines().count(), 3, "tenant {t}");
+    }
+    // Responses cap at 16 matches and summarize the tail.
+    for k in 0..26u64 {
+        client.put(0, k);
+    }
+    let capped = client.prefix(0, &head);
+    assert_eq!(capped.status, Status::Ok);
+    let lines: Vec<&str> = capped.detail.lines().collect();
+    assert_eq!(lines.len(), 17, "{capped:?}");
+    assert!(lines[16].contains("more"), "{capped:?}");
+
+    let report = server.shutdown();
+    for t in 0..3u32 {
+        let tr = report.tenant(t).unwrap();
+        assert_eq!(tr.snapshot.invariant_failures, 0, "tenant {t}");
+        assert!(tr.snapshot.remaps >= 1, "tenant {t} never remapped");
+        assert_consecutive_bases_differ("prefix-query", &report, t);
     }
     cleanup(dir, keep);
 }
